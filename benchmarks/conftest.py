@@ -1,0 +1,26 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures via
+``benchmark.pedantic(..., rounds=1)`` — these are minutes-long
+simulation campaigns, not microbenchmarks, so a single timed round is
+the right measurement.  Each benchmark prints the regenerated table
+(run pytest with ``-s`` to see them) and asserts the paper's shape
+criteria on the result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        print()
+        print(result.format())
+        return result
+
+    return runner

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 2 (TFET I-V characteristics)."""
+
+import pytest
+
+from repro.experiments import fig02_tfet_iv
+
+
+def test_fig02_tfet_iv(run_once):
+    result = run_once(fig02_tfet_iv.run)
+    forward = result.column("nTFET fwd @vds=+1V (A/um)")
+    assert forward[0] == pytest.approx(1e-17, rel=1e-3)
+    assert forward[-1] == pytest.approx(1e-4, rel=1e-3)
+    deep = result.column("nTFET rev @vds=-1V (A/um)")
+    assert max(deep) / min(deep) < 1.2

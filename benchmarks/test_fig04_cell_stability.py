@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Fig. 4 (DRNM and WL_crit vs beta)."""
+
+import math
+
+from repro.experiments import fig04_cell_stability
+
+BETAS = (0.4, 0.6, 0.8, 1.0, 1.5, 2.0)
+
+
+def test_fig04_cell_stability(run_once):
+    result = run_once(fig04_cell_stability.run, betas=BETAS)
+
+    # Inward nTFET: unwritable at every beta.
+    assert all(math.isinf(v) for v in result.column("WLcrit innTFET (ps)"))
+
+    # Inward pTFET: writable at small beta, diverging just past 1.
+    wl_p = result.column("WLcrit inpTFET (ps)")
+    assert math.isfinite(wl_p[0]) and math.isfinite(wl_p[1])
+    assert math.isinf(wl_p[-1])
+    finite = [v for v in wl_p if math.isfinite(v)]
+    assert finite == sorted(finite)  # rising steeply with beta
+
+    # CMOS: flat, fast, always writable.
+    wl_c = result.column("WLcrit CMOS (ps)")
+    assert all(math.isfinite(v) for v in wl_c)
+    assert max(wl_c) < 50 * min(wl_c)
+
+    # DRNM rises with beta; CMOS leads at small beta.
+    drnm_p = result.column("DRNM inpTFET (mV)")
+    assert drnm_p == sorted(drnm_p)
+    assert result.column("DRNM CMOS (mV)")[0] > drnm_p[0]

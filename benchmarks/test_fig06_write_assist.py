@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Fig. 6(e) (write-assist techniques vs beta)."""
+
+import math
+
+from repro.experiments import fig06_write_assist
+
+BETAS = (1.2, 1.8, 2.4, 3.0)
+
+
+def test_fig06_write_assist(run_once):
+    result = run_once(fig06_write_assist.run, betas=BETAS)
+
+    # Without assist the beta > 1 cell cannot be written.
+    assert all(math.isinf(v) for v in result.column("no assist"))
+
+    # Access-strengthening assists (wordline lowering / bitline raising)
+    # win at low beta ...
+    for name in ("wl_lowering", "bl_raising"):
+        assert result.column(name)[0] < result.column("vgnd_raising")[0]
+
+    # ... but the rail technique takes over by beta = 3 (the paper's
+    # crossover, where wl/bl fail outright and the rails survive).
+    rail_end = result.column("vgnd_raising")[-1]
+    for name in ("wl_lowering", "bl_raising"):
+        end = result.column(name)[-1]
+        assert math.isinf(end) or rail_end <= end
+
+    # WL_crit degrades monotonically with beta for every finite series.
+    for name in ("vgnd_raising", "wl_lowering", "bl_raising"):
+        finite = [v for v in result.column(name) if math.isfinite(v)]
+        assert finite == sorted(finite)

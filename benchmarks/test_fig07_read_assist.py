@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 7(e) (read-assist techniques vs beta)."""
+
+from repro.experiments import fig07_read_assist
+
+BETAS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_fig07_read_assist(run_once):
+    result = run_once(fig07_read_assist.run, betas=BETAS)
+
+    baseline = result.column("no assist")
+    assert baseline == sorted(baseline)  # DRNM grows with beta
+
+    # Every technique improves on the unassisted read at every beta.
+    for name in ("vdd_raising", "vgnd_lowering", "wl_raising", "bl_lowering"):
+        for base, assisted in zip(baseline, result.column(name)):
+            assert assisted > base
+
+    # At the design point (beta >= 0.6) the rail techniques dominate
+    # the access-weakening ones — the paper's large-beta ordering.
+    h = result.header
+    for row in result.rows:
+        if row[0] >= 0.6:
+            rail = max(row[h.index("vdd_raising")], row[h.index("vgnd_lowering")])
+            access = max(row[h.index("wl_raising")], row[h.index("bl_lowering")])
+            assert rail > access

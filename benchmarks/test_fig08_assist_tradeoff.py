@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 8 (WL_crit vs DRNM trade-off frontier)."""
+
+import math
+
+from repro.experiments import fig08_assist_tradeoff
+
+
+def test_fig08_assist_tradeoff(run_once):
+    result = run_once(
+        fig08_assist_tradeoff.run,
+        wa_betas=(1.2, 1.8, 2.4),
+        ra_betas=(0.3, 0.6, 0.9),
+    )
+
+    # The paper's headline conclusion: V_GND-lowering RA owns the
+    # lower-right corner (high DRNM at low WL_crit).
+    assert "vgnd_lowering" in result.notes[0]
+
+    # Every RA point is writable (beta <= 1 cell) ...
+    ra_rows = [r for r in result.rows if r[1] == "RA"]
+    assert all(math.isfinite(r[4]) for r in ra_rows)
+
+    # ... and the best RA point beats every WA point on both axes.
+    best_ra = max(ra_rows, key=lambda r: r[3] - 0.15 * r[4])
+    wa_rows = [r for r in result.rows if r[1] == "WA" and math.isfinite(r[4])]
+    for row in wa_rows:
+        assert best_ra[3] > row[3] or best_ra[4] < row[4]

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 9 (Monte-Carlo variation under WA)."""
+
+from repro.experiments import fig09_wa_variation
+
+SAMPLES = 12
+
+
+def test_fig09_wa_variation(run_once):
+    result = run_once(fig09_wa_variation.run, samples=SAMPLES, seed=9)
+    rows = {row[0]: row for row in result.rows}
+
+    # WL_crit under write assist varies strongly with +/-5 % t_ox ...
+    assert rows["vgnd_raising"][4] > 0.05  # >5 % relative spread
+
+    # ... while the DRNM of the same cells barely moves.
+    assert rows["(no assist)"][4] < 0.05
+
+    # The DRNM spread is far below the assisted-write WL_crit spread.
+    assert rows["vgnd_raising"][4] > 3.0 * rows["(no assist)"][4]

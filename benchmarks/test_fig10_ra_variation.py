@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 10 (Monte-Carlo variation under RA)."""
+
+from repro.experiments import fig10_ra_variation
+
+SAMPLES = 12
+
+
+def test_fig10_ra_variation(run_once):
+    result = run_once(fig10_ra_variation.run, samples=SAMPLES, seed=10)
+
+    drnm_rows = [r for r in result.rows if str(r[1]).startswith("DRNM")]
+    assert len(drnm_rows) == 4
+    # Paper: "for all RA techniques, the DRNM is minimally impacted".
+    for row in drnm_rows:
+        assert row[4] < 0.05
+
+    # The write-sized (beta = 0.6) cell never loses a write under
+    # variation, and its WL_crit spread is moderate.
+    wl_row = [r for r in result.rows if r[0] == "(no assist)"][0]
+    assert wl_row[5] == 0
+    assert wl_row[4] < 0.5

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Fig. 11 (write/read delay vs V_DD)."""
+
+import math
+
+from repro.experiments import fig11_delay
+
+VDDS = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def test_fig11_delay(run_once):
+    result = run_once(fig11_delay.run, vdds=VDDS)
+    h = result.header
+
+    for row in result.rows:
+        # Paper: the CMOS cell has the smallest write delay over
+        # (almost) every V_DD thanks to bidirectional conduction.
+        cmos_write = row[h.index("write CMOS")]
+        for col in ("write proposed", "write asym", "write 7T"):
+            assert cmos_write < row[h.index(col)]
+        # Reads develop at every V_DD; writes complete from 0.7 V up
+        # (the unassisted TFET write falls off a cliff at 0.5 V in this
+        # reproduction — see EXPERIMENTS.md; the paper's Fig. 11 also
+        # shows the proposed cell losing its write advantage there).
+        for col in h[1:]:
+            if col.startswith("read") or row[0] >= 0.7:
+                assert math.isfinite(row[h.index(col)]), (row[0], col)
+
+    # Delays improve monotonically with supply for the proposed cell.
+    writes = result.column("write proposed")
+    reads = result.column("read proposed")
+    assert writes == sorted(writes, reverse=True)
+    assert reads == sorted(reads, reverse=True)

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Fig. 12 (WL_crit and DRNM vs V_DD)."""
+
+import math
+
+from repro.experiments import fig12_margins
+
+VDDS = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def test_fig12_margins(run_once):
+    result = run_once(fig12_margins.run, vdds=VDDS)
+    h = result.header
+
+    for row in result.rows:
+        # Paper: all TFET SRAMs have larger WL_crit than the CMOS cell
+        # (unidirectional conduction), and the proposed cell has the
+        # smallest WL_crit among the TFET cells.
+        cmos = row[h.index("WLcrit CMOS")]
+        proposed = row[h.index("WLcrit proposed")]
+        seven = row[h.index("WLcrit 7T")]
+        assert proposed > cmos and seven > cmos
+        if math.isfinite(proposed) and math.isfinite(seven):
+            assert proposed < seven
+
+    # Paper: below 0.7 V the assisted proposed cell has the highest DRNM.
+    for row in result.rows:
+        if row[0] < 0.7:
+            best = row[h.index("DRNM proposed+RA")]
+            for col in ("DRNM CMOS", "DRNM asym", "DRNM 7T"):
+                assert best > row[h.index(col)]

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate the static-power comparison (Sections 3/5)."""
+
+from repro.experiments import table_static_power
+
+VDDS = (0.5, 0.6, 0.7, 0.8)
+
+
+def test_table_static_power(run_once):
+    result = run_once(table_static_power.run, vdds=VDDS)
+    h = result.header
+    rows = {row[0]: row for row in result.rows}
+
+    # Section 3: outward access costs ~5 orders at 0.6 V, ~9 at 0.8 V.
+    assert 4.0 < rows[0.6][h.index("orders: outward/inward")] < 8.0
+    assert 8.0 < rows[0.8][h.index("orders: outward/inward")] < 11.0
+
+    # Section 5: the proposed cell sits 6-7 orders below CMOS ...
+    for vdd in VDDS:
+        assert 5.0 < rows[vdd][h.index("orders: CMOS/proposed")] < 8.0
+
+    # ... the asym cell pays ~4 orders at 0.5 V ...
+    assert 3.0 < rows[0.5][h.index("orders: asym/proposed")] < 5.5
+
+    # ... and the 7T matches the proposed cell's leakage floor.
+    for vdd in VDDS:
+        p7 = rows[vdd][h.index("7T TFET")]
+        pp = rows[vdd][h.index("proposed (inward)")]
+        assert 0.2 < p7 / pp < 5.0

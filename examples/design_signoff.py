@@ -1,0 +1,80 @@
+"""Section 5 walkthrough: sign-off comparison of the four designs.
+
+Compares the proposed 6T inpTFET cell (beta = 0.6 + V_GND-lowering RA)
+against the 6T CMOS baseline, the asymmetric 6T TFET cell, and the 7T
+TFET cell on every axis the paper uses: performance (write/read
+delay), reliability (WL_crit, DRNM), static power, and area.
+
+Usage::
+
+    python examples/design_signoff.py [--vdd 0.8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+from repro.analysis.area import cell_area_um2
+from repro.analysis.power import hold_power
+from repro.analysis.stability import (
+    WlCritSearch,
+    critical_wordline_pulse,
+    dynamic_read_noise_margin,
+)
+from repro.analysis.timing import read_delay, write_delay
+from repro.experiments.designs import (
+    asym_cell,
+    cmos_cell,
+    proposed_cell,
+    proposed_read_assist,
+    seven_t_cell,
+)
+
+
+def fmt_ps(value: float) -> str:
+    return "inf" if math.isinf(value) else f"{value * 1e12:.0f} ps"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--vdd", type=float, default=0.8)
+    args = parser.parse_args()
+    vdd = args.vdd
+
+    designs = {
+        "6T CMOS": (cmos_cell(), None, True),
+        "proposed 6T inpTFET": (proposed_cell(), proposed_read_assist(), True),
+        "asym 6T TFET": (asym_cell(), None, False),  # no separatrix -> no WL_crit
+        "7T TFET": (seven_t_cell(), None, True),
+    }
+
+    print(f"Design sign-off at V_DD = {vdd} V")
+    header = (
+        f"{'design':21s} {'write':>9s} {'read':>9s} {'WL_crit':>9s} "
+        f"{'DRNM':>8s} {'hold power':>11s} {'area':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    search = WlCritSearch(upper_bound=8e-9)
+    for name, (cell, assist, has_wlcrit) in designs.items():
+        wd = write_delay(cell, vdd, pulse_width=6e-9)
+        rd = read_delay(cell, vdd, assist=assist, duration=8e-9)
+        wl = critical_wordline_pulse(cell, vdd, search=search) if has_wlcrit else None
+        drnm = dynamic_read_noise_margin(cell.read_testbench(vdd, assist=assist))
+        power = hold_power(cell, vdd)
+        area = cell_area_um2(cell)
+        print(
+            f"{name:21s} {fmt_ps(wd):>9s} {fmt_ps(rd):>9s} "
+            f"{fmt_ps(wl) if wl is not None else 'n/a':>9s} "
+            f"{drnm * 1e3:6.0f}mV {power:>11.2e} {area:7.3f}u2"
+        )
+
+    print()
+    print("Paper, Section 5/6: the proposed cell matches CMOS-class reliability")
+    print("while leaking 6-7 orders of magnitude less, beats the other TFET")
+    print("cells on margins, and ties the smallest-area class.")
+
+
+if __name__ == "__main__":
+    main()

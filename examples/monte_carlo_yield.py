@@ -1,0 +1,96 @@
+"""Section 4.3 walkthrough: process-variation robustness of the design.
+
+Monte-Carlo over +/-5 % gate-insulator thickness (independent per
+transistor) for the proposed design point — beta = 0.6 with
+V_GND-lowering read assist — reporting the DRNM and WL_crit
+distributions and a simple parametric yield (fraction of samples whose
+margins clear configurable limits).
+
+Usage::
+
+    python examples/monte_carlo_yield.py [--samples 24] [--seed 2011]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.montecarlo import MonteCarloStudy
+from repro.analysis.stability import (
+    WlCritSearch,
+    critical_wordline_pulse,
+    dynamic_read_noise_margin,
+)
+from repro.sram import READ_ASSISTS, AccessConfig, CellSizing, Tfet6TCell
+
+VDD = 0.8
+BETA = 0.6
+DRNM_LIMIT = 0.4  # volts
+WLCRIT_LIMIT = 2e-9  # seconds
+
+
+def print_histogram(label: str, counts: np.ndarray, edges: np.ndarray, unit: float, unit_name: str) -> None:
+    print(f"  {label}")
+    peak = max(int(c) for c in counts) or 1
+    for count, lo, hi in zip(counts, edges, edges[1:]):
+        bar = "#" * (40 * int(count) // peak)
+        print(f"    {lo / unit:8.1f} - {hi / unit:8.1f} {unit_name} | {bar} {count}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--samples", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=2011)
+    args = parser.parse_args()
+
+    sizing = CellSizing().with_beta(BETA)
+    assist = READ_ASSISTS["vgnd_lowering"]
+
+    def factory(devices):
+        return Tfet6TCell(sizing, AccessConfig.INWARD_P, devices=devices)
+
+    print(
+        f"Monte-Carlo ({args.samples} samples, +/-5% t_ox per transistor) of the "
+        f"proposed cell at V_DD = {VDD} V"
+    )
+
+    drnm_mc = MonteCarloStudy(
+        factory,
+        metric=lambda c: dynamic_read_noise_margin(c.read_testbench(VDD, assist=assist)),
+        metric_name="DRNM",
+    ).run(args.samples, seed=args.seed)
+    wl_mc = MonteCarloStudy(
+        factory,
+        metric=lambda c: critical_wordline_pulse(
+            c, VDD, search=WlCritSearch(upper_bound=8e-9)
+        ),
+        metric_name="WLcrit",
+    ).run(args.samples, seed=args.seed)
+
+    print()
+    print(f"DRNM   : mean {drnm_mc.mean() * 1e3:6.1f} mV, spread {drnm_mc.spread() * 100:.1f} %")
+    counts, edges = drnm_mc.histogram(bins=8)
+    print_histogram("distribution:", counts, edges, 1e-3, "mV")
+
+    print()
+    print(
+        f"WL_crit: mean {wl_mc.mean() * 1e12:6.1f} ps, spread {wl_mc.spread() * 100:.1f} %, "
+        f"write failures: {wl_mc.failure_count}"
+    )
+    counts, edges = wl_mc.histogram(bins=8)
+    print_histogram("distribution:", counts, edges, 1e-12, "ps")
+
+    read_yield = float(np.mean(drnm_mc.samples > DRNM_LIMIT))
+    write_yield = float(np.mean(wl_mc.samples < WLCRIT_LIMIT))
+    print()
+    print(f"parametric yield: read (DRNM > {DRNM_LIMIT * 1e3:.0f} mV)  = {read_yield:6.1%}")
+    print(f"                  write (WL_crit < {WLCRIT_LIMIT * 1e12:.0f} ps) = {write_yield:6.1%}")
+    print()
+    print("Paper, Section 4.3: the write-sized, read-assisted cell 'shows")
+    print("strong immunity to process variations.'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+* TFET inverter demo deck for `python -m repro netlist`
+VDD vdd 0 DC 0.8
+VIN in 0 PULSE(0 0.8 0.2n 2n)
+MP out in vdd ptfet W=0.1u
+MN out in 0 ntfet W=0.1u
+CL out 0 1f
+.end

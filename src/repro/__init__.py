@@ -1,0 +1,76 @@
+"""repro — reproduction of "Robust 6T Si tunneling transistor SRAM design".
+
+Yang & Mohanram, DATE 2011.  The library stacks four layers:
+
+1. :mod:`repro.devices` — TCAD-lite TFET physics (Kane band-to-band
+   tunneling behind a quasi-1D surface-potential solver), table-based
+   TFET compact models, and an analytic 32 nm MOSFET baseline;
+2. :mod:`repro.circuit` — a SPICE-class simulator (MNA, damped
+   Newton-Raphson with homotopy fallbacks, adaptive backward-Euler
+   transient, charge-conserving nonlinear capacitors);
+3. :mod:`repro.sram` — the studied cells (6T CMOS, 6T TFET in all four
+   access configurations, asymmetric 6T TFET, 7T TFET) and the eight
+   write/read-assist techniques;
+4. :mod:`repro.analysis` / :mod:`repro.experiments` — DRNM, WL_crit,
+   delays, static power, area, Monte-Carlo variation, and one runnable
+   experiment per paper figure/table.
+
+Quickstart::
+
+    from repro import Tfet6TCell, AccessConfig, CellSizing
+    from repro.analysis import dynamic_read_noise_margin
+
+    cell = Tfet6TCell(CellSizing().with_beta(0.6), AccessConfig.INWARD_P)
+    drnm = dynamic_read_noise_margin(cell.read_testbench(vdd=0.8))
+"""
+
+from repro.analysis import (
+    critical_wordline_pulse,
+    dynamic_read_noise_margin,
+    hold_power,
+    read_delay,
+    write_delay,
+)
+from repro.circuit import Circuit, simulate_transient, solve_dc
+from repro.devices.library import (
+    nmos_device,
+    nominal_tfet_physics,
+    pmos_device,
+    tfet_device,
+)
+from repro.sram import (
+    READ_ASSISTS,
+    WRITE_ASSISTS,
+    AccessConfig,
+    AsymTfet6TCell,
+    CellSizing,
+    Cmos6TCell,
+    Tfet6TCell,
+    Tfet7TCell,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "critical_wordline_pulse",
+    "dynamic_read_noise_margin",
+    "hold_power",
+    "read_delay",
+    "write_delay",
+    "Circuit",
+    "simulate_transient",
+    "solve_dc",
+    "nmos_device",
+    "nominal_tfet_physics",
+    "pmos_device",
+    "tfet_device",
+    "READ_ASSISTS",
+    "WRITE_ASSISTS",
+    "AccessConfig",
+    "AsymTfet6TCell",
+    "CellSizing",
+    "Cmos6TCell",
+    "Tfet6TCell",
+    "Tfet7TCell",
+    "__version__",
+]

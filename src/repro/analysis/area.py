@@ -1,0 +1,72 @@
+"""Lambda-rule cell-area estimation (the paper's Section 5 comparison).
+
+The paper's area statement is topological: the three 6T cells have the
+minimum transistor count and the 7T's extra read device plus read
+bitline cost "an unavoidable area increase of 10-15 %".  The model here
+is a standard width-aware lambda estimate: each transistor occupies its
+diffusion width plus fixed overhead, and each routed port (bitline /
+wordline class) adds wiring pitch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sram.cell import CellSizing
+
+__all__ = ["AreaModel", "cell_area_um2", "area_report"]
+
+_PORTS_6T = 3  # bl, blb, wl
+_PORTS_7T = 5  # wbl, wblb, wwl, rbl, rsl/rwl
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Coefficients of the lambda-rule estimate (micrometres / um^2)."""
+
+    diffusion_overhead: float = 0.06
+    """Per-transistor diffusion/contact overhead added to the width."""
+
+    gate_pitch: float = 0.18
+    """Height of one transistor row (gate + spacing)."""
+
+    port_area: float = 0.002
+    """Wiring area per routed port line, per cell (um^2)."""
+
+    fixed_overhead: float = 0.2
+    """Shared well/strap/isolation area independent of device count (um^2)."""
+
+    def transistor_area(self, width_um: float) -> float:
+        return (width_um + self.diffusion_overhead) * self.gate_pitch
+
+    def cell_area(self, widths: list[float], port_count: int) -> float:
+        active = sum(self.transistor_area(w) for w in widths)
+        return self.fixed_overhead + active + port_count * self.port_area
+
+
+def _cell_widths(cell) -> list[float]:
+    s: CellSizing = cell.sizing
+    widths = [
+        s.pulldown_width,
+        s.pulldown_width,
+        s.pullup_width,
+        s.pullup_width,
+        s.access_width,
+        s.access_width,
+    ]
+    if hasattr(cell, "read_buffer_width"):
+        widths.append(cell.read_buffer_width)
+    return widths
+
+
+def cell_area_um2(cell, model: AreaModel | None = None) -> float:
+    """Estimated layout area of one cell in square micrometres."""
+    model = model or AreaModel()
+    widths = _cell_widths(cell)
+    ports = _PORTS_7T if len(widths) == 7 else _PORTS_6T
+    return model.cell_area(widths, ports)
+
+
+def area_report(cells: dict[str, object], model: AreaModel | None = None) -> dict[str, float]:
+    """Areas for a set of named cells, in um^2."""
+    return {name: cell_area_um2(cell, model) for name, cell in cells.items()}

@@ -1,0 +1,102 @@
+"""Dynamic energy per operation.
+
+The paper motivates TFET SRAM with *static* power; a downstream user
+also needs the dynamic side of the ledger — especially because the
+rail-based assist techniques the paper recommends are flagged as
+carrying a "dynamic power overhead to generate lowered V_GND".  This
+module integrates the power delivered by every source over an access
+transient, so the assist overhead is captured automatically (the
+assist rail is a source like any other).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.results import TransientResult
+from repro.circuit.transient import TransientOptions, simulate_transient
+from repro.sram.assist import Assist
+from repro.sram.testbench import Testbench
+
+__all__ = ["delivered_energy", "operation_energy", "write_energy", "read_energy"]
+
+
+def delivered_energy(result: TransientResult, t0: float, t1: float) -> float:
+    """Energy (J) delivered by all sources over [t0, t1].
+
+    Trapezoidal integration of the instantaneous source power computed
+    from the solved branch currents; the MNA branch current flows from
+    node ``a`` through the source, so delivered power is ``-(v_a -
+    v_b) * i_branch`` summed over sources.
+    """
+    mask = result.window(t0, t1)
+    times = result.times[mask]
+    if times.size < 2:
+        raise ValueError("integration window contains fewer than two samples")
+
+    total_power = np.zeros(times.size)
+    for source in result.circuit.voltage_sources:
+        va = (
+            np.zeros(times.size)
+            if source.a < 0
+            else result.states[mask, source.a]
+        )
+        vb = (
+            np.zeros(times.size)
+            if source.b < 0
+            else result.states[mask, source.b]
+        )
+        i_branch = result.branch_current(source.name)[mask]
+        total_power += -(va - vb) * i_branch
+    return float(np.trapezoid(total_power, times))
+
+
+def operation_energy(
+    bench: Testbench,
+    settle: float = 1.0e-9,
+    options: TransientOptions | None = None,
+) -> float:
+    """Energy of one access: from just before the assist lead-in until
+    the cell has settled after the access window.
+
+    The hold-state leakage baseline is subtracted so the result is the
+    *incremental* energy of the operation.
+    """
+    t_stop = bench.window.t_off + settle
+    result = simulate_transient(
+        bench.circuit,
+        t_stop,
+        initial_conditions=bench.initial_conditions,
+        options=options,
+    )
+    gross = delivered_energy(result, 0.0, t_stop)
+    # Leakage baseline measured on the pre-access quiet segment.
+    quiet_end = min(bench.window.t_on * 0.2, 5e-11)
+    leak = delivered_energy(result, 0.0, quiet_end) / quiet_end
+    return gross - leak * t_stop
+
+
+def write_energy(
+    cell,
+    vdd: float,
+    assist: Assist | None = None,
+    pulse_width: float = 2e-9,
+    options: TransientOptions | None = None,
+) -> float:
+    """Energy (J) of one write access."""
+    bench = cell.write_testbench(vdd, pulse_width, assist=assist)
+    return operation_energy(bench, options=options)
+
+
+def read_energy(
+    cell,
+    vdd: float,
+    assist: Assist | None = None,
+    duration: float = 1e-9,
+    options: TransientOptions | None = None,
+) -> float:
+    """Energy (J) of one read access (bitline recharge not included —
+    the bitlines are left where the read put them, as in a real array
+    where the precharge phase belongs to the next cycle)."""
+    bench = cell.read_testbench(vdd, assist=assist, duration=duration)
+    return operation_energy(bench, options=options)

@@ -1,0 +1,107 @@
+"""Hold-state leakage breakdown: which transistor burns the power.
+
+Attributes the cell's static current to individual devices at the hold
+operating point — the tool that makes Section 3's "the outward access
+transistor is reverse-biased" argument quantitative, and that a
+designer would reach for first when a cell leaks more than expected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.power import POWER_SOLVER
+from repro.circuit.dcop import SolverOptions, solve_dc
+from repro.circuit.results import OperatingPoint
+from repro.circuit.transient import TransientOptions, simulate_transient
+from repro.sram.testbench import Testbench
+
+__all__ = ["DeviceLeakage", "LeakageBreakdown", "leakage_breakdown"]
+
+
+@dataclass(frozen=True)
+class DeviceLeakage:
+    """One transistor's contribution to the hold current."""
+
+    name: str
+    drain_current: float
+    """Signed channel current (A), drain to source."""
+
+    dissipation: float
+    """Power dissipated in the channel (W), always >= 0."""
+
+    vgs: float
+    vds: float
+
+    @property
+    def is_reverse_biased(self) -> bool:
+        """True when the device conducts against its forward direction.
+
+        For the n-reference frame used internally this is simply a
+        negative effective V_DS with non-negligible current.
+        """
+        return self.vds < -1e-6 and abs(self.drain_current) > 0.0
+
+
+@dataclass(frozen=True)
+class LeakageBreakdown:
+    """Per-device attribution of a cell's hold power."""
+
+    operating_point: OperatingPoint
+    devices: tuple[DeviceLeakage, ...]
+
+    @property
+    def total_dissipation(self) -> float:
+        return sum(d.dissipation for d in self.devices)
+
+    def dominant(self) -> DeviceLeakage:
+        """The single most dissipative transistor."""
+        return max(self.devices, key=lambda d: d.dissipation)
+
+    def fraction(self, name: str) -> float:
+        """Share of the total dissipation carried by the named device."""
+        total = self.total_dissipation
+        if total == 0.0:
+            return 0.0
+        for d in self.devices:
+            if d.name == name:
+                return d.dissipation / total
+        raise KeyError(f"unknown device {name!r}")
+
+
+def leakage_breakdown(
+    bench: Testbench, options: SolverOptions | None = None
+) -> LeakageBreakdown:
+    """Solve the hold state and attribute the leakage per transistor."""
+    options = options or POWER_SOLVER
+    settle = simulate_transient(
+        bench.circuit,
+        2e-10,
+        initial_conditions=bench.initial_conditions,
+        options=TransientOptions(solver=options),
+    )
+    guess = {name: settle.final(name) for name in bench.circuit.node_names}
+    op = solve_dc(bench.circuit, initial_guess=guess, options=options)
+
+    devices = []
+    for t in bench.circuit.transistors:
+        vd = op.x[t.drain] if t.drain >= 0 else 0.0
+        vg = op.x[t.gate] if t.gate >= 0 else 0.0
+        vs = op.x[t.source] if t.source >= 0 else 0.0
+        sign = 1.0 if t.polarity == "n" else -1.0
+        vgs_eff = sign * (vg - vs)
+        vds_eff = sign * (vd - vs)
+        density = float(np.asarray(t.model.current_density(vgs_eff, vds_eff)))
+        i_d = sign * t.width_um * density
+        devices.append(
+            DeviceLeakage(
+                name=t.name,
+                drain_current=i_d,
+                dissipation=abs(i_d * (vd - vs)),
+                vgs=vgs_eff,
+                vds=vds_eff,
+            )
+        )
+    return LeakageBreakdown(operating_point=op, devices=tuple(devices))

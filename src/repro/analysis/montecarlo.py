@@ -1,0 +1,133 @@
+"""Monte-Carlo process-variation engine (Section 4.3).
+
+Each sample draws an independent gate-insulator thickness for every
+transistor position, regenerates (or fetches from cache) the
+corresponding device tables, rebuilds the cell, and evaluates a metric.
+Infinite metric values (write failures) are kept, not dropped — the
+failure count is itself a paper result (wordline-lowering WA fails
+under variation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.devices.library import tfet_device
+from repro.devices.variation import OxideVariation
+from repro.sram.cell import TfetDeviceSet
+
+__all__ = ["MonteCarloResult", "MonteCarloStudy", "varied_device_set"]
+
+
+def varied_device_set(scales) -> TfetDeviceSet:
+    """Device cards for one sample's per-transistor thickness scales.
+
+    ``scales`` is indexed in :attr:`TfetDeviceSet.POSITIONS` order; a
+    short array leaves the remaining positions at nominal.
+    """
+    scales = list(np.atleast_1d(np.asarray(scales, dtype=float)))
+    cards = {}
+    for position in TfetDeviceSet.POSITIONS:
+        scale = scales.pop(0) if scales else 1.0
+        cards[position] = tfet_device(scale)
+    return TfetDeviceSet(**cards)
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Metric samples from one Monte-Carlo study."""
+
+    metric_name: str
+    samples: np.ndarray
+
+    @property
+    def finite(self) -> np.ndarray:
+        return self.samples[np.isfinite(self.samples)]
+
+    @property
+    def failure_count(self) -> int:
+        """Samples where the metric diverged (e.g. write failure)."""
+        return int(np.sum(~np.isfinite(self.samples)))
+
+    @property
+    def failure_fraction(self) -> float:
+        return self.failure_count / len(self.samples) if len(self.samples) else 0.0
+
+    def mean(self) -> float:
+        return float(np.mean(self.finite)) if self.finite.size else math.inf
+
+    def std(self) -> float:
+        return float(np.std(self.finite)) if self.finite.size else math.nan
+
+    def spread(self) -> float:
+        """Relative spread std/mean of the finite samples."""
+        m = self.mean()
+        return self.std() / m if math.isfinite(m) and m != 0.0 else math.nan
+
+    def histogram(self, bins: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        """(counts, bin edges) over the finite samples."""
+        if self.finite.size == 0:
+            return np.zeros(bins, dtype=int), np.linspace(0.0, 1.0, bins + 1)
+        counts, edges = np.histogram(self.finite, bins=bins)
+        return counts, edges
+
+    def yield_above(self, limit: float) -> float:
+        """Fraction of samples with metric > limit (failures count as pass
+        only if the metric diverging upward is desirable — it is not, so
+        non-finite samples count against the yield)."""
+        if len(self.samples) == 0:
+            return math.nan
+        return float(np.mean(np.isfinite(self.samples) & (self.samples > limit)))
+
+    def yield_below(self, limit: float) -> float:
+        """Fraction of samples with a finite metric < limit."""
+        if len(self.samples) == 0:
+            return math.nan
+        return float(np.mean(np.isfinite(self.samples) & (self.samples < limit)))
+
+    def gaussian_yield_below(self, limit: float) -> float:
+        """Parametric yield from a normal fit to the finite samples.
+
+        A Gaussian tail extrapolates the small-sample histogram the way
+        SRAM margining traditionally does; write failures (non-finite
+        samples) are subtracted from the fitted yield.
+        """
+        from scipy.stats import norm
+
+        finite = self.finite
+        if finite.size < 2:
+            return math.nan
+        fitted = float(norm.cdf(limit, loc=np.mean(finite), scale=max(np.std(finite), 1e-30)))
+        return fitted * (1.0 - self.failure_fraction)
+
+
+@dataclass
+class MonteCarloStudy:
+    """Runs a metric over sampled device sets.
+
+    ``cell_factory(device_set)`` builds the cell under study;
+    ``metric(cell)`` evaluates it (returning a float, possibly inf).
+    """
+
+    cell_factory: Callable[[TfetDeviceSet], object]
+    metric: Callable[[object], float]
+    metric_name: str = "metric"
+    variation: OxideVariation = field(default_factory=OxideVariation)
+    transistor_count: int = 6
+
+    def run(self, sample_count: int, seed: int = 2011) -> MonteCarloResult:
+        if sample_count <= 0:
+            raise ValueError("sample_count must be positive")
+        rng = np.random.default_rng(seed)
+        scales = self.variation.sample_per_transistor(
+            rng, sample_count, self.transistor_count
+        )
+        values = np.empty(sample_count)
+        for k in range(sample_count):
+            cell = self.cell_factory(varied_device_set(scales[k]))
+            values[k] = self.metric(cell)
+        return MonteCarloResult(self.metric_name, values)

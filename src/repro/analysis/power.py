@@ -1,0 +1,50 @@
+"""Static (hold) power measurement.
+
+The whole point of TFET SRAM is the hold-state leakage, which sits
+13 orders of magnitude below the on current — so the operating point is
+solved with an essentially disabled gmin floor (the default 1e-12 S
+shunt would swamp a 1e-17 A cell).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.dcop import SolverOptions, solve_dc
+from repro.circuit.transient import TransientOptions, simulate_transient
+from repro.sram.testbench import Testbench
+
+__all__ = ["static_power", "hold_power"]
+
+POWER_SOLVER = SolverOptions(gmin=1e-19, residual_tolerance=1e-12)
+
+
+def static_power(bench: Testbench, options: SolverOptions | None = None) -> float:
+    """Total power delivered by all sources in the hold state (watts).
+
+    The bistable state is selected by a short settling transient from
+    the testbench's initial conditions, then the leakage is read from
+    the converged rail currents.
+    """
+    options = options or POWER_SOLVER
+    settle = simulate_transient(
+        bench.circuit,
+        2e-10,
+        initial_conditions=bench.initial_conditions,
+        options=TransientOptions(solver=options),
+    )
+    guess = {name: settle.final(name) for name in bench.circuit.node_names}
+    op = solve_dc(bench.circuit, initial_guess=guess, options=options)
+    return op.total_source_power()
+
+
+def hold_power(cell, vdd: float, average_states: bool = True) -> float:
+    """Hold power of a cell at the given supply.
+
+    With ``average_states`` the two stored values are averaged — the
+    asymmetric cell's leakage is strongly state-dependent (its outward
+    access transistor is only reverse-biased when its node stores 0).
+    """
+    p_one = static_power(cell.hold_testbench(vdd, stored_one=True))
+    if not average_states:
+        return p_one
+    p_zero = static_power(cell.hold_testbench(vdd, stored_one=False))
+    return 0.5 * (p_one + p_zero)

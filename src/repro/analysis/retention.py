@@ -1,0 +1,65 @@
+"""Data-retention voltage (DRV): how far the standby rail can drop.
+
+The paper's motivation is standby power; the standard next question is
+how much further a sleep mode can scale V_DD while the cells still hold
+their data.  The DRV is found by bisection on the supply: at each
+candidate V_DD the cell's hold-state static noise margin decides
+whether both states survive.
+
+A non-obvious result falls out: the TFET cell's DRV is *worse* than
+the CMOS cell's.  The tunneling turn-on is steep but *late* (the
+window only opens a few hundred millivolts up the gate axis), so below
+~0.2 V the TFET inverters lose loop gain entirely, while the MOSFET's
+subthreshold exponential keeps regenerating down to ~0.1 V.  The TFET
+cell wins standby power through its leakage floor, not through V_DD
+scaling.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.snm import static_noise_margin
+from repro.circuit.dcop import ConvergenceError
+
+__all__ = ["holds_state_at", "retention_voltage"]
+
+DEFAULT_MARGIN = 0.02
+"""Required hold SNM (V) for the state to count as retained."""
+
+
+def holds_state_at(cell, vdd: float, margin: float = DEFAULT_MARGIN, points: int = 21) -> bool:
+    """Whether the cell retains data at the given standby supply."""
+    try:
+        snm = static_noise_margin(cell, vdd, read_condition=False, points=points)
+    except ConvergenceError:
+        return False
+    return snm >= margin
+
+
+def retention_voltage(
+    cell,
+    vdd_max: float = 0.8,
+    vdd_min: float = 0.02,
+    tolerance: float = 0.01,
+    margin: float = DEFAULT_MARGIN,
+    points: int = 21,
+) -> float:
+    """Minimum standby V_DD (volts) at which the cell still holds.
+
+    Returns ``vdd_min`` when the cell holds all the way down, and
+    ``vdd_max`` when it does not even hold at the nominal supply.
+    """
+    if not vdd_min < vdd_max:
+        raise ValueError("need vdd_min < vdd_max")
+    if not holds_state_at(cell, vdd_max, margin, points):
+        return vdd_max
+    if holds_state_at(cell, vdd_min, margin, points):
+        return vdd_min
+
+    lo, hi = vdd_min, vdd_max  # lo fails, hi holds
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if holds_state_at(cell, mid, margin, points):
+            hi = mid
+        else:
+            lo = mid
+    return hi

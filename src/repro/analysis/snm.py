@@ -1,0 +1,138 @@
+"""Static noise margins (butterfly curves) — the classical alternative.
+
+The paper measures stability *dynamically* (DRNM, WL_crit), arguing
+that static margins miss the cell dynamics.  This module implements the
+classical static analysis so the two can be compared: the butterfly
+plot of the two cross-coupled inverter transfer curves, and the static
+noise margin as the side of the largest square inscribed in a lobe
+(Seevinck's construction, evaluated on the 45-degree-rotated curves).
+
+For the read condition the access transistors are enabled with the
+bitlines clamped at their precharge level, which is exactly the
+worst-case static read disturb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.dcop import SolverOptions, solve_dc
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import Constant
+
+__all__ = ["ButterflyCurves", "static_noise_margin", "butterfly_curves"]
+
+
+@dataclass(frozen=True)
+class ButterflyCurves:
+    """Sampled inverter transfer curves of a cell.
+
+    ``forward`` is v(qb) as a function of the swept v(q); ``reverse``
+    is v(q) as a function of the swept v(qb).  Both are sampled on the
+    same input grid.
+    """
+
+    inputs: np.ndarray
+    forward: np.ndarray
+    reverse: np.ndarray
+
+    def noise_margin(self) -> float:
+        """Seevinck static noise margin (volts).
+
+        The margin is the maximum over the two butterfly lobes of the
+        largest inscribed square's side, computed via the 45-degree
+        rotation u = (x - y)/sqrt(2): the square side equals the
+        maximum vertical separation of the rotated curves divided by
+        sqrt(2), taken per lobe.
+        """
+        x = self.inputs
+        # Curve A: (x, forward(x)); curve B as a function of the same
+        # axis: reflect the reverse curve, i.e. points (reverse(y), y).
+        ya = self.forward
+        xb = self.reverse
+        yb = x
+
+        # Diagonal coordinates of both curves.
+        ua = (x - ya) / np.sqrt(2.0)
+        va = (x + ya) / np.sqrt(2.0)
+        ub = (xb - yb) / np.sqrt(2.0)
+        vb = (xb + yb) / np.sqrt(2.0)
+
+        order_b = np.argsort(ub)
+        margins = []
+        for sign in (1.0, -1.0):
+            # For each point of curve A, the separation to curve B at
+            # the same diagonal position; one lobe per sign.
+            vb_at_ua = np.interp(ua, ub[order_b], vb[order_b])
+            separation = sign * (vb_at_ua - va)
+            margins.append(np.max(separation))
+        smallest_lobe = min(margins)
+        return float(max(smallest_lobe, 0.0) * np.sqrt(2.0) / 2.0)
+
+
+def _half_cell_circuit(cell, vdd: float, read_condition: bool) -> tuple[Circuit, str, str]:
+    """A copy of the cell with the feedback loop cut at q.
+
+    The q node becomes an input driven by a source; the qb inverter
+    output is observed.  In the read condition the wordline is active
+    and both bitlines are clamped at V_DD.
+    """
+    bench = cell.hold_testbench(vdd)
+    circuit = bench.circuit
+    if read_condition:
+        m = circuit.source_index("wl")
+        original = circuit.voltage_sources[m]
+        circuit.voltage_sources[m] = type(original)(
+            original.a, original.b, Constant(cell.wl_active(vdd)), original.name
+        )
+    circuit.add_voltage_source("sweep", "q", "0", 0.0)
+    return circuit, "q", "qb"
+
+
+def butterfly_curves(
+    cell,
+    vdd: float,
+    read_condition: bool = True,
+    points: int = 41,
+    options: SolverOptions | None = None,
+) -> ButterflyCurves:
+    """Sample both inverter transfer curves of a (symmetric) cell.
+
+    The cell is electrically symmetric under q <-> qb for every design
+    studied here except the asymmetric cell, for which the forward and
+    reverse curves genuinely differ; both are measured by sweeping each
+    side in turn.
+    """
+    inputs = np.linspace(0.0, vdd, points)
+
+    def sweep(drive_node: str, sense_node: str) -> np.ndarray:
+        circuit, _, _ = _half_cell_circuit(cell, vdd, read_condition)
+        m = circuit.source_index("sweep")
+        original = circuit.voltage_sources[m]
+        # Re-point the sweep source at the requested storage node.
+        circuit.voltage_sources[m] = type(original)(
+            circuit.index_of(drive_node), original.b, Constant(0.0), original.name
+        )
+        outputs = np.empty_like(inputs)
+        guess = {sense_node: vdd}
+        for k, v in enumerate(inputs):
+            circuit.voltage_sources[m] = type(original)(
+                circuit.index_of(drive_node), original.b, Constant(float(v)), "sweep"
+            )
+            op = solve_dc(circuit, initial_guess=guess, options=options)
+            outputs[k] = op.voltage(sense_node)
+            guess = {name: op.voltage(name) for name in circuit.node_names}
+        return outputs
+
+    forward = sweep("q", "qb")
+    reverse = sweep("qb", "q")
+    return ButterflyCurves(inputs=inputs, forward=forward, reverse=reverse)
+
+
+def static_noise_margin(
+    cell, vdd: float, read_condition: bool = True, points: int = 41
+) -> float:
+    """Static (read) noise margin in volts."""
+    return butterfly_curves(cell, vdd, read_condition, points).noise_margin()

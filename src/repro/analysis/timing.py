@@ -1,0 +1,86 @@
+"""Write and read delay measurements (the paper's Fig. 11 metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.transient import TransientOptions, simulate_transient
+from repro.sram.assist import Assist
+from repro.sram.testbench import Testbench
+
+__all__ = ["write_delay", "read_delay", "SENSE_THRESHOLD"]
+
+SENSE_THRESHOLD = 0.05
+"""Bitline differential (V) at which the sense amplifier fires."""
+
+WRITE_PULSE_FACTOR = 10.0
+"""Write delay is measured with a comfortably wide wordline pulse."""
+
+
+def write_delay(
+    cell,
+    vdd: float,
+    assist: Assist | None = None,
+    pulse_width: float = 2.0e-9,
+    options: TransientOptions | None = None,
+) -> float:
+    """Time from wordline activation to the storage-node crossing.
+
+    Returns ``math.inf`` when the cell never flips within the pulse.
+    """
+    bench = cell.write_testbench(vdd, pulse_width, assist=assist)
+    result = simulate_transient(
+        bench.circuit,
+        bench.settle_stop(0.5e-9),
+        initial_conditions=bench.initial_conditions,
+        options=options,
+    )
+    crossing = result.crossing_time(
+        bench.one_node, bench.zero_node, after=bench.window.t_on
+    )
+    if crossing is None:
+        return float("inf")
+    return crossing - bench.window.t_on
+
+
+def read_delay(
+    cell,
+    vdd: float,
+    assist: Assist | None = None,
+    duration: float = 4.0e-9,
+    threshold: float = SENSE_THRESHOLD,
+    options: TransientOptions | None = None,
+) -> float:
+    """Time from wordline activation until the read signal develops.
+
+    For differential cells the signal is the bitline split
+    ``|v(bl) - v(blb)|``; for the 7T's single-ended port it is the read
+    bitline's droop below its precharge level.  Returns ``math.inf``
+    when the threshold is never reached inside the access window.
+    """
+    bench = cell.read_testbench(vdd, assist=assist, duration=duration)
+    result = simulate_transient(
+        bench.circuit,
+        bench.window.t_off,
+        initial_conditions=bench.initial_conditions,
+        options=options,
+    )
+    signal_node = result.voltage(bench.read_bitline)
+    if bench.read_reference is not None:
+        reference = result.voltage(bench.read_reference)
+    else:
+        reference = np.full_like(signal_node, bench.precharge_level)
+    split = np.abs(reference - signal_node)
+
+    mask = result.times >= bench.window.t_on
+    times = result.times[mask]
+    split = split[mask]
+    above = np.nonzero(split >= threshold)[0]
+    if above.size == 0:
+        return float("inf")
+    k = above[0]
+    if k == 0:
+        return 0.0
+    frac = (threshold - split[k - 1]) / (split[k] - split[k - 1])
+    t_cross = times[k - 1] + frac * (times[k] - times[k - 1])
+    return float(t_cross - bench.window.t_on)

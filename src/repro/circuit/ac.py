@@ -1,0 +1,128 @@
+"""Small-signal AC analysis.
+
+Linearizes the circuit at a DC operating point and solves the complex
+nodal system ``(G + j omega C) x = b`` over a frequency sweep.  The
+conductance matrix G is the operating-point Jacobian the Newton solver
+already produces; the capacitance matrix C comes from the same charge
+functions the transient integrator uses, so AC and transient are
+guaranteed consistent.
+
+This layer is what cell-level loop-gain and Miller-coupling analyses
+(see ``repro.experiments.ext_miller_coupling``) build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.dcop import SolverOptions, solve_dc
+from repro.circuit.elements import GROUND
+from repro.circuit.mna import MnaSystem
+from repro.circuit.netlist import Circuit
+from repro.circuit.results import OperatingPoint
+
+__all__ = ["AcResult", "ac_analysis", "capacitance_matrix"]
+
+
+@dataclass(frozen=True)
+class AcResult:
+    """Complex node responses over a frequency sweep."""
+
+    circuit: Circuit
+    frequencies: np.ndarray
+    responses: np.ndarray
+    """Complex array of shape (n_frequencies, n_unknowns)."""
+
+    def transfer(self, node: str) -> np.ndarray:
+        """Complex transfer function to the named node."""
+        idx = self.circuit.index_of(node)
+        if idx < 0:
+            return np.zeros_like(self.frequencies, dtype=complex)
+        return self.responses[:, idx]
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        """|H| in decibels."""
+        return 20.0 * np.log10(np.abs(self.transfer(node)) + 1e-300)
+
+    def phase_deg(self, node: str) -> np.ndarray:
+        return np.degrees(np.angle(self.transfer(node)))
+
+    def dc_gain(self, node: str) -> float:
+        """Gain magnitude at the lowest swept frequency."""
+        return float(np.abs(self.transfer(node)[0]))
+
+    def bandwidth_3db(self, node: str) -> float:
+        """-3 dB corner frequency (Hz); inf if never reached in sweep."""
+        mag = np.abs(self.transfer(node))
+        target = mag[0] / np.sqrt(2.0)
+        below = np.nonzero(mag <= target)[0]
+        if below.size == 0:
+            return float("inf")
+        k = below[0]
+        if k == 0:
+            return float(self.frequencies[0])
+        # Log-linear interpolation of the crossing.
+        f_lo, f_hi = self.frequencies[k - 1], self.frequencies[k]
+        m_lo, m_hi = mag[k - 1], mag[k]
+        frac = (m_lo - target) / (m_lo - m_hi)
+        return float(f_lo * (f_hi / f_lo) ** frac)
+
+
+def capacitance_matrix(system: MnaSystem, x: np.ndarray) -> np.ndarray:
+    """Nodal capacitance matrix at the solution vector ``x``."""
+    n = system.size
+    c_matrix = np.zeros((n, n))
+    if not len(system._caps):
+        return c_matrix
+    _, caps = system._caps.charges_and_caps(system._cap_voltages(x))
+    a, b = system._caps.a, system._caps.b
+    a_ok = a != GROUND
+    b_ok = b != GROUND
+    both = a_ok & b_ok
+    np.add.at(c_matrix, (a[a_ok], a[a_ok]), caps[a_ok])
+    np.add.at(c_matrix, (b[b_ok], b[b_ok]), caps[b_ok])
+    np.add.at(c_matrix, (a[both], b[both]), -caps[both])
+    np.add.at(c_matrix, (b[both], a[both]), -caps[both])
+    return c_matrix
+
+
+def ac_analysis(
+    circuit: Circuit,
+    input_source: str,
+    frequencies: np.ndarray,
+    operating_point: OperatingPoint | None = None,
+    options: SolverOptions | None = None,
+) -> AcResult:
+    """Sweep a unit AC perturbation on the named voltage source.
+
+    The source keeps its DC level for the operating point; the AC
+    stimulus replaces its right-hand-side entry with a unit phasor, so
+    ``transfer(node)`` is the small-signal gain from that source to the
+    node.
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    if frequencies.ndim != 1 or frequencies.size == 0:
+        raise ValueError("frequencies must be a non-empty 1-D array")
+    if np.any(frequencies <= 0.0):
+        raise ValueError("frequencies must be positive")
+
+    options = options or SolverOptions()
+    op = operating_point or solve_dc(circuit, options=options)
+    system = MnaSystem(circuit)
+
+    # G is the DC Jacobian at the operating point (gmin included so the
+    # matrix stays regular for floating nodes, matching the DC solve).
+    _, g_matrix = system.assemble(op.x, t=0.0, gmin=options.gmin)
+    c_matrix = capacitance_matrix(system, op.x)
+
+    m = circuit.source_index(input_source)
+    rhs = np.zeros(system.size, dtype=complex)
+    rhs[system.n_nodes + m] = 1.0
+
+    responses = np.empty((frequencies.size, system.size), dtype=complex)
+    for k, f in enumerate(frequencies):
+        omega = 2.0 * np.pi * f
+        responses[k] = np.linalg.solve(g_matrix + 1j * omega * c_matrix, rhs)
+    return AcResult(circuit=circuit, frequencies=frequencies, responses=responses)

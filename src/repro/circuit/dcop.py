@@ -1,0 +1,192 @@
+"""DC operating-point solver: damped Newton with homotopy fallbacks.
+
+TFET circuits are numerically nasty for a DC solver — currents span
+13+ decades and the cells under study are deliberately bistable — so
+the solver runs the standard SPICE escalation: plain Newton-Raphson
+(with a per-iteration voltage-step limit), then gmin stepping, then
+source stepping.  Callers seed the bistable state via ``initial_guess``
+and/or :class:`VoltageClamp` entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.mna import MnaSystem, TransientState, VoltageClamp
+from repro.circuit.netlist import Circuit
+from repro.circuit.results import OperatingPoint
+
+__all__ = ["SolverOptions", "ConvergenceError", "newton_solve", "solve_dc"]
+
+
+class ConvergenceError(RuntimeError):
+    """The nonlinear solver failed to converge."""
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Newton-Raphson controls."""
+
+    max_iterations: int = 80
+    voltage_tolerance: float = 1e-7
+    residual_tolerance: float = 1e-10
+    step_limit: float = 0.4
+    """Maximum node-voltage change per Newton iteration (volts)."""
+
+    gmin: float = 1e-12
+    """Permanent node-to-ground conductance floor."""
+
+    line_search_backtracks: int = 6
+    """Maximum residual-norm backtracking halvings per iteration."""
+
+
+def newton_solve(
+    system: MnaSystem,
+    x0: np.ndarray,
+    t: float,
+    options: SolverOptions,
+    transient: TransientState | None = None,
+    clamps: tuple[VoltageClamp, ...] = (),
+    extra_gmin: float = 0.0,
+    source_scale: float = 1.0,
+) -> tuple[np.ndarray, int]:
+    """Damped Newton iteration with backtracking; returns (x, iterations).
+
+    Device characteristics with locally flat regions (e.g. the dip where
+    the TFET's gated reverse component hands over to the p-i-n diode)
+    produce huge raw Newton steps; a residual-norm line search keeps the
+    iteration descending instead of oscillating across the flat spot.
+    """
+    x = x0.copy()
+    n = system.n_nodes
+
+    def residual(xv: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return system.assemble(
+            xv,
+            t,
+            gmin=options.gmin + extra_gmin,
+            transient=transient,
+            clamps=clamps,
+            source_scale=source_scale,
+        )
+
+    f, jac = residual(x)
+    residual_ok_streak = 0
+    trust = options.step_limit
+    for iteration in range(1, options.max_iterations + 1):
+        try:
+            delta = np.linalg.solve(jac, -f)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(f"singular Jacobian at iteration {iteration}") from exc
+        if not np.all(np.isfinite(delta)):
+            raise ConvergenceError(f"non-finite Newton step at iteration {iteration}")
+
+        max_dv = float(np.max(np.abs(delta[:n]))) if n else 0.0
+        if max_dv > trust:
+            delta = delta * (trust / max_dv)
+            max_dv = trust
+
+        norm_old = float(np.linalg.norm(f))
+        scale = 1.0
+        for _ in range(options.line_search_backtracks + 1):
+            x_try = x + scale * delta
+            f_try, jac_try = residual(x_try)
+            if float(np.linalg.norm(f_try)) <= norm_old or norm_old == 0.0:
+                break
+            scale *= 0.5
+        x, f, jac = x_try, f_try, jac_try
+        step = scale * max_dv
+
+        # Trust-region adaptation: a backtracked step means the Newton
+        # direction overshoots (flat, curved residual valley near a
+        # metastable point) — shrink the cap; a clean full step restores it.
+        if scale < 1.0:
+            trust = max(0.25 * trust, 1e-7)
+        else:
+            trust = min(2.0 * trust, options.step_limit)
+
+        max_f = float(np.max(np.abs(f)))
+        if max_f < options.residual_tolerance:
+            residual_ok_streak += 1
+            # Near a metastable/bistable boundary the Jacobian is close
+            # to singular: the step never settles although KCL holds to
+            # the requested current accuracy at every iterate.  Accept
+            # once the residual has stayed converged for a few steps.
+            if step < options.voltage_tolerance or residual_ok_streak >= 3:
+                return x, iteration
+        else:
+            residual_ok_streak = 0
+    raise ConvergenceError(
+        f"Newton did not converge in {options.max_iterations} iterations "
+        f"(last max dV = {step:.3e}, max |f| = {float(np.max(np.abs(f))):.3e})"
+    )
+
+
+def _initial_vector(system: MnaSystem, initial_guess: dict[str, float] | None) -> np.ndarray:
+    x0 = np.zeros(system.size)
+    if initial_guess:
+        for name, value in initial_guess.items():
+            idx = system.circuit.index_of(name)
+            if idx >= 0:
+                x0[idx] = value
+    return x0
+
+
+def solve_dc(
+    circuit: Circuit,
+    initial_guess: dict[str, float] | None = None,
+    clamp_nodes: dict[str, float] | None = None,
+    options: SolverOptions | None = None,
+    t: float = 0.0,
+) -> OperatingPoint:
+    """DC operating point with gmin- and source-stepping fallbacks.
+
+    ``clamp_nodes`` adds stiff Norton clamps pinning nodes at the given
+    voltages — the supported way to select one state of a bistable
+    cell.  The clamps stay active in the returned solution, so release
+    them (or hand the solution to the transient integrator, which does)
+    before interpreting branch currents that the clamps might carry.
+    """
+    options = options or SolverOptions()
+    system = MnaSystem(circuit)
+    clamps = tuple(
+        VoltageClamp(circuit.index_of(name), target)
+        for name, target in (clamp_nodes or {}).items()
+        if circuit.index_of(name) >= 0
+    )
+    x0 = _initial_vector(system, initial_guess)
+
+    try:
+        x, _ = newton_solve(system, x0, t, options, clamps=clamps)
+        return OperatingPoint(circuit, x, options.gmin)
+    except ConvergenceError:
+        pass
+
+    # A bad warm start can trap the iteration in a local residual
+    # minimum of the TFET reverse branch (node driven above a rail);
+    # the all-zeros start approaches every junction from the forward
+    # side and avoids the pocket.
+    if np.any(x0 != 0.0):
+        try:
+            x, _ = newton_solve(system, np.zeros(system.size), t, options, clamps=clamps)
+            return OperatingPoint(circuit, x, options.gmin)
+        except ConvergenceError:
+            pass
+
+    # gmin stepping: relax with a strong shunt, then tighten it away.
+    x = x0.copy()
+    try:
+        for extra in np.geomspace(1e-2, 1e-12, 11):
+            x, _ = newton_solve(system, x, t, options, clamps=clamps, extra_gmin=extra)
+        x, _ = newton_solve(system, x, t, options, clamps=clamps)
+        return OperatingPoint(circuit, x, options.gmin)
+    except ConvergenceError:
+        pass
+
+    # Source stepping: ramp all independent sources from zero.
+    x = np.zeros(system.size)
+    for scale in np.linspace(0.1, 1.0, 10):
+        x, _ = newton_solve(system, x, t, options, clamps=clamps, source_scale=scale)
+    return OperatingPoint(circuit, x, options.gmin)

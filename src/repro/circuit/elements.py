@@ -1,0 +1,156 @@
+"""Circuit elements understood by the MNA assembler.
+
+Elements are passive data holders; the assembler in
+:mod:`repro.circuit.mna` knows how to stamp each type.  Node references
+are integer indices handed out by :class:`repro.circuit.netlist.Circuit`
+(``GROUND`` for the reference node).
+
+Sign conventions (documented once, used everywhere):
+
+* A transistor's drain current ``i_d`` flows from the drain terminal
+  through the channel to the source terminal; it is positive for a
+  forward-conducting n-type device.
+* A voltage source's branch current flows from node ``a`` through the
+  source to node ``b``; the current the source *delivers* into the
+  circuit at ``a`` is its negative.
+* A current source drives its ``value`` from node ``a`` to node ``b``
+  through itself (it removes current from ``a`` and injects it at ``b``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.circuit.waveforms import Constant, Waveform
+from repro.devices.charges import ChargeFunction
+
+__all__ = [
+    "GROUND",
+    "TransistorModel",
+    "Polarity",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "Transistor",
+]
+
+GROUND = -1
+"""Node index of the reference (ground) node."""
+
+
+class TransistorModel(Protocol):
+    """What the assembler needs from a device model (n-type reference)."""
+
+    def evaluate_density(
+        self, vgs: np.ndarray | float, vds: np.ndarray | float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (current density, d/dV_GS, d/dV_DS) in A/um and S/um."""
+        ...
+
+
+Polarity = str  # "n" or "p"
+
+
+def _check_node(node: int, label: str) -> None:
+    if node < GROUND:
+        raise ValueError(f"{label} node index {node} is invalid")
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """A linear resistor between nodes ``a`` and ``b``."""
+
+    a: int
+    b: int
+    resistance: float
+
+    def __post_init__(self) -> None:
+        _check_node(self.a, "resistor a")
+        _check_node(self.b, "resistor b")
+        if self.resistance <= 0.0:
+            raise ValueError(f"resistance must be positive, got {self.resistance}")
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """A (possibly nonlinear) capacitor defined by a charge function.
+
+    ``scale`` multiplies the charge — used for per-um-width device
+    charge functions scaled by the transistor width.
+    """
+
+    a: int
+    b: int
+    charge: ChargeFunction
+    scale: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        _check_node(self.a, "capacitor a")
+        _check_node(self.b, "capacitor b")
+        if self.scale < 0.0:
+            raise ValueError("capacitor scale cannot be negative")
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """An independent voltage source; adds one MNA branch unknown."""
+
+    a: int
+    b: int
+    waveform: Waveform
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        _check_node(self.a, "source a")
+        _check_node(self.b, "source b")
+
+    @staticmethod
+    def dc(a: int, b: int, level: float, name: str = "") -> "VoltageSource":
+        return VoltageSource(a, b, Constant(level), name)
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """An independent current source driving ``value`` from a to b."""
+
+    a: int
+    b: int
+    waveform: Waveform
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        _check_node(self.a, "source a")
+        _check_node(self.b, "source b")
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """A 3-terminal FET instance (drain, gate, source).
+
+    ``model`` is the n-type reference characteristic; ``polarity`` "p"
+    mirrors it (I_p(V_GS, V_DS) = -I_n(-V_GS, -V_DS)), which is exactly
+    how the paper's complementary TFET pair is constructed.  ``width_um``
+    scales the current density and the attached charge functions.
+    """
+
+    drain: int
+    gate: int
+    source: int
+    model: TransistorModel
+    polarity: Polarity = "n"
+    width_um: float = 0.1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        _check_node(self.drain, "drain")
+        _check_node(self.gate, "gate")
+        _check_node(self.source, "source")
+        if self.polarity not in ("n", "p"):
+            raise ValueError(f"polarity must be 'n' or 'p', got {self.polarity!r}")
+        if self.width_um <= 0.0:
+            raise ValueError(f"width must be positive, got {self.width_um}")

@@ -1,0 +1,176 @@
+"""Waveform measurements — the ``.measure`` statements of this simulator.
+
+Standard post-processing of :class:`TransientResult` waveforms: edge
+crossings, rise/fall times, propagation delay, overshoot, settling
+time, and pulse width.  All functions interpolate linearly between
+samples, so measurements are consistent under step-size changes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuit.results import TransientResult
+
+__all__ = [
+    "cross_time",
+    "rise_time",
+    "fall_time",
+    "propagation_delay",
+    "overshoot",
+    "settling_time",
+    "pulse_width",
+]
+
+
+def _crossings(times: np.ndarray, values: np.ndarray, level: float) -> np.ndarray:
+    """All interpolated times at which the waveform crosses ``level``."""
+    above = values >= level
+    flips = np.nonzero(above[1:] != above[:-1])[0]
+    if flips.size == 0:
+        return np.empty(0)
+    v0 = values[flips]
+    v1 = values[flips + 1]
+    frac = (level - v0) / (v1 - v0)
+    return times[flips] + frac * (times[flips + 1] - times[flips])
+
+
+def cross_time(
+    result: TransientResult,
+    node: str,
+    level: float,
+    occurrence: int = 1,
+    direction: str = "any",
+    after: float = 0.0,
+) -> float:
+    """Time of the n-th crossing of ``level`` (math.inf if it never happens).
+
+    ``direction`` restricts the edge: "rise", "fall", or "any".
+    """
+    if occurrence < 1:
+        raise ValueError("occurrence counts from 1")
+    if direction not in ("rise", "fall", "any"):
+        raise ValueError(f"unknown direction {direction!r}")
+    v = result.voltage(node)
+    t = result.times
+    crossings = _crossings(t, v, level)
+    crossings = crossings[crossings >= after]
+    if direction != "any" and crossings.size:
+        keep = []
+        for tc in crossings:
+            slope = np.interp(tc + 1e-15, t, v) - np.interp(tc - 1e-15, t, v)
+            before = np.interp(max(tc - 1e-13, t[0]), t, v)
+            after_v = np.interp(min(tc + 1e-13, t[-1]), t, v)
+            rising = after_v > before
+            if (direction == "rise") == rising:
+                keep.append(tc)
+        crossings = np.array(keep)
+    if crossings.size < occurrence:
+        return math.inf
+    return float(crossings[occurrence - 1])
+
+
+def _edge_time(result, node, low_level, high_level, after, rising: bool) -> float:
+    first, second = (low_level, high_level) if rising else (high_level, low_level)
+    direction = "rise" if rising else "fall"
+    t1 = cross_time(result, node, first, direction=direction, after=after)
+    if math.isinf(t1):
+        return math.inf
+    t2 = cross_time(result, node, second, direction=direction, after=t1)
+    if math.isinf(t2):
+        return math.inf
+    return t2 - t1
+
+
+def rise_time(
+    result: TransientResult,
+    node: str,
+    low: float,
+    high: float,
+    fraction: tuple[float, float] = (0.1, 0.9),
+    after: float = 0.0,
+) -> float:
+    """10 %→90 % (by default) rise time between the given rails."""
+    span = high - low
+    return _edge_time(
+        result, node, low + fraction[0] * span, low + fraction[1] * span, after, True
+    )
+
+
+def fall_time(
+    result: TransientResult,
+    node: str,
+    low: float,
+    high: float,
+    fraction: tuple[float, float] = (0.1, 0.9),
+    after: float = 0.0,
+) -> float:
+    """90 %→10 % (by default) fall time between the given rails."""
+    span = high - low
+    return _edge_time(
+        result, node, low + fraction[0] * span, low + fraction[1] * span, after, False
+    )
+
+
+def propagation_delay(
+    result: TransientResult,
+    input_node: str,
+    output_node: str,
+    input_level: float,
+    output_level: float,
+    after: float = 0.0,
+) -> float:
+    """Delay from the input crossing its level to the output crossing its own."""
+    t_in = cross_time(result, input_node, input_level, after=after)
+    if math.isinf(t_in):
+        return math.inf
+    t_out = cross_time(result, output_node, output_level, after=t_in)
+    if math.isinf(t_out):
+        return math.inf
+    return t_out - t_in
+
+
+def overshoot(
+    result: TransientResult, node: str, target: float, after: float = 0.0
+) -> float:
+    """Peak excursion above a settling target (0 when it never exceeds)."""
+    mask = result.times >= after
+    peak = float(np.max(result.voltage(node)[mask]))
+    return max(peak - target, 0.0)
+
+
+def settling_time(
+    result: TransientResult,
+    node: str,
+    target: float,
+    tolerance: float,
+    after: float = 0.0,
+) -> float:
+    """Time after which the waveform stays within ``target ± tolerance``."""
+    if tolerance <= 0.0:
+        raise ValueError("tolerance must be positive")
+    mask = result.times >= after
+    t = result.times[mask]
+    v = result.voltage(node)[mask]
+    outside = np.abs(v - target) > tolerance
+    if not np.any(outside):
+        return float(t[0]) - after if t.size else math.inf
+    last_outside = np.nonzero(outside)[0][-1]
+    if last_outside == t.size - 1:
+        return math.inf
+    return float(t[last_outside + 1]) - after
+
+
+def pulse_width(
+    result: TransientResult, node: str, level: float, after: float = 0.0
+) -> float:
+    """Width of the first excursion across ``level`` (inf if unclosed)."""
+    t1 = cross_time(result, node, level, occurrence=1, after=after)
+    if math.isinf(t1):
+        return math.inf
+    t2 = cross_time(result, node, level, occurrence=1, after=t1 + 1e-15)
+    if math.isinf(t2):
+        return math.inf
+    return t2 - t1

@@ -1,0 +1,153 @@
+"""Netlist container: named nodes plus a flat element list.
+
+A :class:`Circuit` is cheap to build and immutable-by-convention once
+handed to a solver; cell builders in :mod:`repro.sram` construct a
+fresh circuit per simulation, which keeps Monte-Carlo sampling (one
+device card per transistor per sample) trivially correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.elements import (
+    GROUND,
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    Transistor,
+    VoltageSource,
+)
+from repro.circuit.waveforms import Constant, Waveform
+from repro.devices.charges import ChargeFunction, LinearCharge
+
+__all__ = ["Circuit"]
+
+_GROUND_NAMES = ("0", "gnd", "GND", "vss!")
+
+
+@dataclass
+class Circuit:
+    """A flat netlist with named nodes."""
+
+    title: str = ""
+    _node_index: dict[str, int] = field(default_factory=dict)
+    resistors: list[Resistor] = field(default_factory=list)
+    capacitors: list[Capacitor] = field(default_factory=list)
+    voltage_sources: list[VoltageSource] = field(default_factory=list)
+    current_sources: list[CurrentSource] = field(default_factory=list)
+    transistors: list[Transistor] = field(default_factory=list)
+
+    # -- nodes ---------------------------------------------------------------
+
+    def node(self, name: str) -> int:
+        """Index for a named node, creating it on first use."""
+        if name in _GROUND_NAMES:
+            return GROUND
+        if name not in self._node_index:
+            self._node_index[name] = len(self._node_index)
+        return self._node_index[name]
+
+    @property
+    def node_names(self) -> list[str]:
+        """Non-ground node names ordered by index."""
+        return sorted(self._node_index, key=self._node_index.get)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._node_index)
+
+    def index_of(self, name: str) -> int:
+        """Index of an existing node (ground allowed); raises if unknown."""
+        if name in _GROUND_NAMES:
+            return GROUND
+        if name not in self._node_index:
+            raise KeyError(f"unknown node {name!r}")
+        return self._node_index[name]
+
+    # -- element helpers -------------------------------------------------------
+
+    def add_resistor(self, a: str, b: str, resistance: float) -> Resistor:
+        element = Resistor(self.node(a), self.node(b), resistance)
+        self.resistors.append(element)
+        return element
+
+    def add_capacitor(
+        self,
+        a: str,
+        b: str,
+        charge: ChargeFunction | float,
+        scale: float = 1.0,
+        name: str = "",
+    ) -> Capacitor:
+        """Add a capacitor; a bare float is a constant capacitance in farads."""
+        if isinstance(charge, (int, float)):
+            charge = LinearCharge(float(charge))
+        element = Capacitor(self.node(a), self.node(b), charge, scale, name)
+        self.capacitors.append(element)
+        return element
+
+    def add_voltage_source(
+        self, name: str, a: str, b: str, waveform: Waveform | float
+    ) -> VoltageSource:
+        if isinstance(waveform, (int, float)):
+            waveform = Constant(float(waveform))
+        element = VoltageSource(self.node(a), self.node(b), waveform, name)
+        self.voltage_sources.append(element)
+        return element
+
+    def add_current_source(
+        self, name: str, a: str, b: str, waveform: Waveform | float
+    ) -> CurrentSource:
+        if isinstance(waveform, (int, float)):
+            waveform = Constant(float(waveform))
+        element = CurrentSource(self.node(a), self.node(b), waveform, name)
+        self.current_sources.append(element)
+        return element
+
+    def add_transistor(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        model,
+        polarity: str = "n",
+        width_um: float = 0.1,
+    ) -> Transistor:
+        element = Transistor(
+            drain=self.node(drain),
+            gate=self.node(gate),
+            source=self.node(source),
+            model=model,
+            polarity=polarity,
+            width_um=width_um,
+            name=name,
+        )
+        self.transistors.append(element)
+        return element
+
+    # -- introspection ---------------------------------------------------------
+
+    def source_names(self) -> list[str]:
+        return [s.name for s in self.voltage_sources]
+
+    def source_index(self, name: str) -> int:
+        for i, source in enumerate(self.voltage_sources):
+            if source.name == name:
+                return i
+        raise KeyError(f"unknown voltage source {name!r}")
+
+    def breakpoints(self) -> list[float]:
+        """Union of all waveform breakpoints, sorted."""
+        points: set[float] = set()
+        for source in self.voltage_sources:
+            points.update(source.waveform.breakpoints())
+        for source in self.current_sources:
+            points.update(source.waveform.breakpoints())
+        return sorted(points)
+
+    @property
+    def unknown_count(self) -> int:
+        """Node voltages plus voltage-source branch currents."""
+        return self.node_count + len(self.voltage_sources)

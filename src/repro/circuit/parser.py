@@ -1,0 +1,189 @@
+"""SPICE-subset netlist parser.
+
+Round-trips with :func:`repro.circuit.report.format_netlist` in spirit:
+decks written by hand (or exported from other tools) can be loaded into
+a :class:`Circuit`.  Supported card types:
+
+* ``R<name> n1 n2 value`` — resistor;
+* ``C<name> n1 n2 value`` — linear capacitor;
+* ``V<name> n+ n- DC value`` / ``... PULSE(v1 v2 td width [tedge])`` /
+  ``... PWL(t1 v1 t2 v2 ...)`` — voltage source;
+* ``I<name> n+ n- DC value`` — current source;
+* ``M<name> d g s model [W=value]`` — transistor; ``model`` is looked
+  up in the device registry (``ntfet``, ``ptfet``, ``nmos``, ``pmos``
+  by default, extendable via ``extra_models``);
+* ``*`` comments, blank lines, and a terminating ``.end``; the first
+  comment line of the deck becomes the circuit title.
+
+Engineering suffixes are understood (``f p n u m k meg g t``), e.g.
+``10k``, ``1.5f``, ``0.8``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import Constant, PiecewiseLinear, Pulse
+
+__all__ = ["NetlistSyntaxError", "parse_netlist", "parse_value"]
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_VALUE_RE = re.compile(r"^([+-]?\d*\.?\d+(?:[eE][+-]?\d+)?)(meg|[tgkmunpf])?$", re.IGNORECASE)
+
+
+class NetlistSyntaxError(ValueError):
+    """A netlist card could not be parsed; carries the line number."""
+
+    def __init__(self, line_number: int, line: str, reason: str):
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+        self.line_number = line_number
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number with an optional engineering suffix."""
+    match = _VALUE_RE.match(token.strip())
+    if not match:
+        raise ValueError(f"cannot parse value {token!r}")
+    base = float(match.group(1))
+    suffix = (match.group(2) or "").lower()
+    return base * _SUFFIXES.get(suffix, 1.0)
+
+
+def _default_models() -> dict:
+    from repro.devices.library import nmos_device, pmos_device, tfet_device
+
+    tfet = tfet_device()
+    return {
+        "ntfet": (tfet, "n"),
+        "ptfet": (tfet, "p"),
+        "nmos": (nmos_device(), "n"),
+        "pmos": (pmos_device(), "p"),
+    }
+
+
+def _split_functional(tokens: list[str]) -> list[str]:
+    """Re-join tokens so PULSE( ... ) / PWL( ... ) become one token."""
+    joined = " ".join(tokens)
+    out = []
+    pos = 0
+    while pos < len(joined):
+        m = re.match(r"(pulse|pwl)\s*\(", joined[pos:], re.IGNORECASE)
+        if m:
+            depth = 0
+            start = pos
+            k = pos + m.end() - 1
+            while k < len(joined):
+                if joined[k] == "(":
+                    depth += 1
+                elif joined[k] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            if depth != 0:
+                raise ValueError("unbalanced parentheses")
+            out.append(joined[start : k + 1])
+            pos = k + 1
+        else:
+            m2 = re.match(r"\s*(\S+)", joined[pos:])
+            if not m2:
+                break
+            out.append(m2.group(1))
+            pos += m2.end()
+    return out
+
+
+def _parse_source_waveform(tokens: list[str]):
+    spec = " ".join(tokens)
+    m = re.match(r"(pulse|pwl)\s*\((.*)\)$", spec, re.IGNORECASE)
+    if m:
+        kind = m.group(1).lower()
+        args = [parse_value(v) for v in m.group(2).replace(",", " ").split()]
+        if kind == "pulse":
+            if len(args) not in (4, 5):
+                raise ValueError("PULSE needs (v1 v2 tstart width [tedge])")
+            edge = args[4] if len(args) == 5 else 5e-12
+            return Pulse(base=args[0], active=args[1], t_start=args[2],
+                         width=args[3], t_edge=edge)
+        if len(args) < 2 or len(args) % 2:
+            raise ValueError("PWL needs time/value pairs")
+        return PiecewiseLinear(tuple(args[0::2]), tuple(args[1::2]))
+    if tokens and tokens[0].lower() == "dc":
+        tokens = tokens[1:]
+    if len(tokens) != 1:
+        raise ValueError("expected a single DC value")
+    return Constant(parse_value(tokens[0]))
+
+
+def parse_netlist(text: str, extra_models: dict | None = None) -> Circuit:
+    """Build a :class:`Circuit` from a SPICE-subset deck."""
+    models = _default_models()
+    if extra_models:
+        models.update(extra_models)
+
+    circuit = Circuit()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.lstrip()
+        if stripped.startswith("*"):
+            if not circuit.title:
+                circuit.title = stripped.lstrip("* ").strip()
+            continue
+        line = raw.split("*", 1)[0].strip()
+        if not line:
+            continue
+        if line.lower() == ".end":
+            break
+        if line.startswith("."):
+            raise NetlistSyntaxError(line_number, raw, "unsupported dot-card")
+
+        try:
+            tokens = _split_functional(line.split())
+            kind = tokens[0][0].upper()
+            name = tokens[0]
+            if kind == "R":
+                circuit.add_resistor(tokens[1], tokens[2], parse_value(tokens[3]))
+            elif kind == "C":
+                circuit.add_capacitor(tokens[1], tokens[2], parse_value(tokens[3]))
+            elif kind == "V":
+                circuit.add_voltage_source(
+                    name, tokens[1], tokens[2], _parse_source_waveform(tokens[3:])
+                )
+            elif kind == "I":
+                circuit.add_current_source(
+                    name, tokens[1], tokens[2], _parse_source_waveform(tokens[3:])
+                )
+            elif kind == "M":
+                model_name = tokens[4].lower()
+                if model_name not in models:
+                    known = ", ".join(sorted(models))
+                    raise ValueError(f"unknown model {model_name!r} (known: {known})")
+                model, polarity = models[model_name]
+                width = 0.1
+                for extra in tokens[5:]:
+                    key, _, value = extra.partition("=")
+                    if key.lower() == "w":
+                        width = parse_value(value) * 1e6  # metres -> um
+                    else:
+                        raise ValueError(f"unknown transistor parameter {extra!r}")
+                circuit.add_transistor(
+                    name, tokens[1], tokens[2], tokens[3], model, polarity, width
+                )
+            else:
+                raise ValueError(f"unknown card type {kind!r}")
+        except NetlistSyntaxError:
+            raise
+        except (ValueError, IndexError) as exc:
+            raise NetlistSyntaxError(line_number, raw, str(exc)) from exc
+    return circuit

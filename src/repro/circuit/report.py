@@ -1,0 +1,85 @@
+"""Human-readable netlist and operating-point reports.
+
+SPICE users debug with ``.print`` and netlist listings; these helpers
+are the equivalent for this simulator — used in tests, examples, and
+whenever a cell misbehaves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.results import OperatingPoint
+from repro.circuit.waveforms import Constant
+
+__all__ = ["format_netlist", "format_operating_point"]
+
+
+def _node_name(circuit: Circuit, index: int) -> str:
+    if index < 0:
+        return "0"
+    return circuit.node_names[index]
+
+
+def _waveform_label(waveform) -> str:
+    if isinstance(waveform, Constant):
+        return f"DC {waveform.level:g}V"
+    label = type(waveform).__name__
+    breakpoints = waveform.breakpoints()
+    if breakpoints:
+        label += f" ({len(breakpoints)} corners, first at {breakpoints[0]:.3g}s)"
+    return label
+
+
+def format_netlist(circuit: Circuit) -> str:
+    """A SPICE-deck-style listing of the circuit."""
+    lines = [f"* {circuit.title or 'untitled circuit'}"]
+    lines.append(
+        f"* {circuit.node_count} nodes, {len(circuit.transistors)} transistors, "
+        f"{len(circuit.capacitors)} capacitors, "
+        f"{len(circuit.voltage_sources)} voltage sources"
+    )
+    for k, t in enumerate(circuit.transistors):
+        lines.append(
+            f"M{k} {_node_name(circuit, t.drain)} {_node_name(circuit, t.gate)} "
+            f"{_node_name(circuit, t.source)} {t.polarity}type W={t.width_um:g}u "
+            f"* {t.name}"
+        )
+    for k, r in enumerate(circuit.resistors):
+        lines.append(
+            f"R{k} {_node_name(circuit, r.a)} {_node_name(circuit, r.b)} "
+            f"{r.resistance:g}"
+        )
+    for k, c in enumerate(circuit.capacitors):
+        nominal = float(np.asarray(c.charge.capacitance(0.0))) * c.scale
+        lines.append(
+            f"C{k} {_node_name(circuit, c.a)} {_node_name(circuit, c.b)} "
+            f"{nominal:.4g} * {c.name or type(c.charge).__name__}"
+        )
+    for k, v in enumerate(circuit.voltage_sources):
+        lines.append(
+            f"V{k} {_node_name(circuit, v.a)} {_node_name(circuit, v.b)} "
+            f"{_waveform_label(v.waveform)} * {v.name}"
+        )
+    for k, i in enumerate(circuit.current_sources):
+        lines.append(
+            f"I{k} {_node_name(circuit, i.a)} {_node_name(circuit, i.b)} "
+            f"{_waveform_label(i.waveform)} * {i.name}"
+        )
+    lines.append(".end")
+    return "\n".join(lines)
+
+
+def format_operating_point(op: OperatingPoint) -> str:
+    """Node voltages and source currents of a DC solution."""
+    lines = ["* operating point"]
+    for name in op.circuit.node_names:
+        lines.append(f"v({name}) = {op.voltage(name):+.6f} V")
+    for source in op.circuit.voltage_sources:
+        lines.append(
+            f"i({source.name}) = {op.branch_current(source.name):+.4e} A  "
+            f"(delivers {op.source_power(source.name):+.4e} W)"
+        )
+    lines.append(f"total delivered power = {op.total_source_power():.4e} W")
+    return "\n".join(lines)

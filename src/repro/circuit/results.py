@@ -1,0 +1,108 @@
+"""Result containers for DC and transient analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+
+__all__ = ["OperatingPoint", "TransientResult"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A converged DC solution."""
+
+    circuit: Circuit
+    x: np.ndarray
+    gmin: float = 0.0
+
+    def voltage(self, name: str) -> float:
+        """Node voltage in volts (0.0 for ground)."""
+        idx = self.circuit.index_of(name)
+        return 0.0 if idx < 0 else float(self.x[idx])
+
+    def voltages(self) -> dict[str, float]:
+        return {name: self.voltage(name) for name in self.circuit.node_names}
+
+    def branch_current(self, source_name: str) -> float:
+        """Current flowing from node a through the source to node b."""
+        m = self.circuit.source_index(source_name)
+        return float(self.x[self.circuit.node_count + m])
+
+    def source_power(self, source_name: str) -> float:
+        """Power delivered *into the circuit* by the named source (watts)."""
+        m = self.circuit.source_index(source_name)
+        src = self.circuit.voltage_sources[m]
+        va = 0.0 if src.a < 0 else float(self.x[src.a])
+        vb = 0.0 if src.b < 0 else float(self.x[src.b])
+        return -(va - vb) * self.branch_current(source_name)
+
+    def total_source_power(self) -> float:
+        """Total power delivered by all sources (equals dissipation)."""
+        return sum(self.source_power(s.name) for s in self.circuit.voltage_sources)
+
+
+class TransientResult:
+    """Sampled waveforms from a transient run."""
+
+    def __init__(self, circuit: Circuit, times: np.ndarray, states: np.ndarray):
+        if states.shape[0] != times.shape[0]:
+            raise ValueError("time and state arrays disagree in length")
+        self.circuit = circuit
+        self.times = times
+        self.states = states
+
+    def voltage(self, name: str) -> np.ndarray:
+        """Waveform of a node voltage (zeros for ground)."""
+        idx = self.circuit.index_of(name)
+        if idx < 0:
+            return np.zeros_like(self.times)
+        return self.states[:, idx]
+
+    def branch_current(self, source_name: str) -> np.ndarray:
+        m = self.circuit.source_index(source_name)
+        return self.states[:, self.circuit.node_count + m]
+
+    def at(self, name: str, t: float) -> float:
+        """Node voltage at time ``t`` (linear interpolation)."""
+        return float(np.interp(t, self.times, self.voltage(name)))
+
+    def final(self, name: str) -> float:
+        return float(self.voltage(name)[-1])
+
+    def window(self, t0: float, t1: float) -> np.ndarray:
+        """Boolean mask selecting samples with t0 <= t <= t1."""
+        if t1 < t0:
+            raise ValueError("window end precedes start")
+        return (self.times >= t0) & (self.times <= t1)
+
+    def min_difference(self, a: str, b: str, t0: float, t1: float) -> float:
+        """Minimum of v(a) - v(b) over the window — the DRNM integrand."""
+        mask = self.window(t0, t1)
+        if not np.any(mask):
+            raise ValueError("window contains no samples")
+        diff = self.voltage(a)[mask] - self.voltage(b)[mask]
+        return float(np.min(diff))
+
+    def crossing_time(self, a: str, b: str, after: float = 0.0) -> float | None:
+        """First time after ``after`` at which v(a) - v(b) changes sign.
+
+        Returns None when the two waveforms never cross — e.g. a write
+        that fails to flip the cell.
+        """
+        diff = self.voltage(a) - self.voltage(b)
+        valid = self.times >= after
+        d = diff[valid]
+        t = self.times[valid]
+        if d.size < 2:
+            return None
+        sign_change = np.nonzero(np.diff(np.signbit(d)))[0]
+        if sign_change.size == 0:
+            return None
+        k = sign_change[0]
+        # Linear interpolation of the zero crossing inside the interval.
+        frac = d[k] / (d[k] - d[k + 1])
+        return float(t[k] + frac * (t[k + 1] - t[k]))

@@ -1,0 +1,47 @@
+"""DC sweeps: solve a family of operating points along a source ramp.
+
+Used for static transfer curves (inverter VTC, butterfly/SNM plots) —
+each point warm-starts from the previous one, which keeps the bistable
+branches continuous instead of hopping between them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.dcop import SolverOptions, solve_dc
+from repro.circuit.netlist import Circuit
+from repro.circuit.results import OperatingPoint
+from repro.circuit.waveforms import Constant
+
+__all__ = ["dc_sweep"]
+
+
+def dc_sweep(
+    circuit: Circuit,
+    source_name: str,
+    values: np.ndarray,
+    initial_guess: dict[str, float] | None = None,
+    options: SolverOptions | None = None,
+) -> list[OperatingPoint]:
+    """Sweep a voltage source through ``values``.
+
+    The named source's waveform is replaced by each constant level in
+    turn (the circuit is restored afterwards).  Returns one operating
+    point per value, each seeded by the previous solution.
+    """
+    m = circuit.source_index(source_name)
+    original = circuit.voltage_sources[m]
+    results: list[OperatingPoint] = []
+    guess = initial_guess
+    try:
+        for value in np.asarray(values, dtype=float):
+            circuit.voltage_sources[m] = type(original)(
+                original.a, original.b, Constant(float(value)), original.name
+            )
+            op = solve_dc(circuit, initial_guess=guess, options=options)
+            results.append(op)
+            guess = {name: op.voltage(name) for name in circuit.node_names}
+    finally:
+        circuit.voltage_sources[m] = original
+    return results

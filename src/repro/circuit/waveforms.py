@@ -1,0 +1,111 @@
+"""Time-domain stimulus waveforms for independent sources.
+
+Waveforms expose their corner times as *breakpoints* so the transient
+integrator can land a time step exactly on every edge — skipping over a
+narrow wordline pulse is how a WL_crit bisection silently lies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Waveform", "Constant", "PiecewiseLinear", "Pulse", "pulse_train"]
+
+
+class Waveform:
+    """Interface: signal value as a function of time."""
+
+    def value(self, t: float) -> float:
+        raise NotImplementedError
+
+    def breakpoints(self) -> tuple[float, ...]:
+        """Times at which the derivative is discontinuous."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Constant(Waveform):
+    """A DC level."""
+
+    level: float
+
+    def value(self, t: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear(Waveform):
+    """SPICE-style PWL source: linear between (time, value) corners."""
+
+    times: tuple[float, ...]
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.values):
+            raise ValueError("times and values must have the same length")
+        if len(self.times) < 1:
+            raise ValueError("PWL waveform needs at least one corner")
+        if any(b <= a for a, b in zip(self.times, self.times[1:])):
+            raise ValueError("PWL corner times must be strictly increasing")
+
+    def value(self, t: float) -> float:
+        return float(np.interp(t, self.times, self.values))
+
+    def breakpoints(self) -> tuple[float, ...]:
+        return self.times
+
+
+@dataclass(frozen=True)
+class Pulse(Waveform):
+    """A single trapezoidal pulse from ``base`` to ``active``.
+
+    The signal sits at ``base``, ramps to ``active`` at ``t_start`` over
+    ``t_edge``, holds for ``width``, and ramps back.
+    """
+
+    base: float
+    active: float
+    t_start: float
+    width: float
+    t_edge: float = 5e-12
+
+    def __post_init__(self) -> None:
+        if self.width < 0.0:
+            raise ValueError("pulse width cannot be negative")
+        if self.t_edge <= 0.0:
+            raise ValueError("edge time must be positive")
+
+    def _corners(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        t0 = self.t_start
+        times = (t0, t0 + self.t_edge, t0 + self.t_edge + self.width,
+                 t0 + 2.0 * self.t_edge + self.width)
+        values = (self.base, self.active, self.active, self.base)
+        return times, values
+
+    def value(self, t: float) -> float:
+        times, values = self._corners()
+        return float(np.interp(t, times, values))
+
+    def breakpoints(self) -> tuple[float, ...]:
+        return self._corners()[0]
+
+
+def pulse_train(
+    base: float, levels_and_times: list[tuple[float, float]], t_edge: float = 5e-12
+) -> PiecewiseLinear:
+    """Build a PWL from a list of (target_level, time_reached) pairs.
+
+    Each entry ramps from the previous level starting ``t_edge`` before
+    ``time_reached``.  Convenient for assist-technique schedules.
+    """
+    times = [0.0]
+    values = [base]
+    for level, t in levels_and_times:
+        start = t - t_edge
+        if start <= times[-1]:
+            raise ValueError("pulse_train corners overlap; space them out")
+        times.extend([start, t])
+        values.extend([values[-1], level])
+    return PiecewiseLinear(tuple(times), tuple(values))

@@ -1,0 +1,154 @@
+"""Top-level command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``device-info`` — headline figures of merit of the calibrated devices;
+* ``cell <design> [--vdd V]`` — hold power, margins, and delays of one
+  of the studied cells;
+* ``experiment <id>`` — regenerate a paper figure/table (alias of
+  ``python -m repro.experiments``);
+* ``netlist <deck.sp> [--op | --tran T]`` — parse a SPICE-subset deck
+  and print its DC operating point or run a transient.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+__all__ = ["main"]
+
+CELL_CHOICES = ("proposed", "cmos", "asym", "7t", "inward_n", "outward_n")
+
+
+def _cmd_device_info(_args) -> int:
+    import numpy as np
+
+    from repro.devices.library import nmos_device, nominal_tfet_physics, tfet_device
+
+    physics = nominal_tfet_physics()
+    device = tfet_device()
+    nmos = nmos_device()
+    print("Si TFET (calibrated, Section 2 anchors):")
+    print(f"  I_on  (1 V) : {device.on_current(1.0):.3e} A/um")
+    print(f"  I_off (1 V) : {device.off_current(1.0):.3e} A/um")
+    print(f"  min SS      : {physics.subthreshold_swing_mv_per_dec():.1f} mV/dec")
+    print(f"  reverse@-1V : {abs(float(np.asarray(device.current_density(0.0, -1.0)))):.3e} A/um")
+    print("32 nm MOSFET baseline:")
+    print(f"  I_on  (0.8V): {nmos.on_current(0.8):.3e} A/um")
+    print(f"  I_off (0.8V): {nmos.off_current(0.8):.3e} A/um")
+    print(f"  SS          : {nmos.subthreshold_swing_mv_per_dec():.1f} mV/dec")
+    return 0
+
+
+def _build_cell(name: str):
+    from repro.experiments.designs import (
+        asym_cell,
+        cmos_cell,
+        proposed_cell,
+        proposed_read_assist,
+        seven_t_cell,
+    )
+    from repro.sram import AccessConfig, CellSizing, Tfet6TCell
+
+    if name == "proposed":
+        return proposed_cell(), proposed_read_assist()
+    if name == "cmos":
+        return cmos_cell(), None
+    if name == "asym":
+        return asym_cell(), None
+    if name == "7t":
+        return seven_t_cell(), None
+    if name == "inward_n":
+        return Tfet6TCell(CellSizing().with_beta(0.6), AccessConfig.INWARD_N), None
+    if name == "outward_n":
+        return Tfet6TCell(CellSizing().with_beta(0.6), AccessConfig.OUTWARD_N), None
+    raise ValueError(f"unknown cell {name!r}")
+
+
+def _cmd_cell(args) -> int:
+    from repro.analysis import (
+        critical_wordline_pulse,
+        dynamic_read_noise_margin,
+        hold_power,
+        read_delay,
+        write_delay,
+    )
+    from repro.analysis.area import cell_area_um2
+
+    cell, assist = _build_cell(args.design)
+    vdd = args.vdd
+    print(f"{cell.name} at V_DD = {vdd} V")
+    print(f"  hold power : {hold_power(cell, vdd):.3e} W")
+    drnm = dynamic_read_noise_margin(cell.read_testbench(vdd, assist=assist))
+    print(f"  DRNM       : {drnm * 1e3:.1f} mV" + ("  (with read assist)" if assist else ""))
+    if args.design != "asym":
+        wl = critical_wordline_pulse(cell, vdd)
+        print(f"  WL_crit    : {'inf' if math.isinf(wl) else f'{wl * 1e12:.1f} ps'}")
+    else:
+        print("  WL_crit    : undefined (no separatrix)")
+    wd = write_delay(cell, vdd, pulse_width=6e-9)
+    rd = read_delay(cell, vdd, assist=assist, duration=8e-9)
+    print(f"  write delay: {'inf' if math.isinf(wd) else f'{wd * 1e12:.1f} ps'}")
+    print(f"  read delay : {'inf' if math.isinf(rd) else f'{rd * 1e12:.1f} ps'}")
+    print(f"  area       : {cell_area_um2(cell):.3f} um^2")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments.runner import main as experiments_main
+
+    return experiments_main([args.experiment_id])
+
+
+def _cmd_netlist(args) -> int:
+    from pathlib import Path
+
+    from repro.circuit.dcop import solve_dc
+    from repro.circuit.parser import parse_netlist
+    from repro.circuit.report import format_netlist, format_operating_point
+    from repro.circuit.transient import simulate_transient
+
+    circuit = parse_netlist(Path(args.deck).read_text())
+    print(format_netlist(circuit))
+    if args.tran is not None:
+        result = simulate_transient(circuit, args.tran)
+        print(f"\n* transient to {args.tran:g} s ({len(result.times)} points)")
+        for name in circuit.node_names:
+            print(f"v({name}) final = {result.final(name):+.6f} V")
+    else:
+        print()
+        print(format_operating_point(solve_dc(circuit)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("device-info", help="calibrated device figures of merit")
+
+    cell = sub.add_parser("cell", help="metrics of one studied SRAM cell")
+    cell.add_argument("design", choices=CELL_CHOICES)
+    cell.add_argument("--vdd", type=float, default=0.8)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp.add_argument("experiment_id")
+
+    net = sub.add_parser("netlist", help="parse and solve a SPICE-subset deck")
+    net.add_argument("deck")
+    net.add_argument("--tran", type=float, default=None, help="transient stop time (s)")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "device-info": _cmd_device_info,
+        "cell": _cmd_cell,
+        "experiment": _cmd_experiment,
+        "netlist": _cmd_netlist,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

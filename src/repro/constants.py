@@ -1,0 +1,95 @@
+"""Physical constants and material parameters used across the library.
+
+All quantities are SI unless the name says otherwise.  Device widths are
+expressed in micrometres throughout the library (the paper quotes every
+current density in A/um), so the per-width current helpers here return
+A/um.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# --- Fundamental constants -------------------------------------------------
+
+ELECTRON_CHARGE = 1.602176634e-19
+"""Elementary charge q in coulombs."""
+
+BOLTZMANN = 1.380649e-23
+"""Boltzmann constant k_B in J/K."""
+
+VACUUM_PERMITTIVITY = 8.8541878128e-12
+"""Vacuum permittivity eps_0 in F/m."""
+
+PLANCK = 6.62607015e-34
+"""Planck constant h in J*s."""
+
+ELECTRON_MASS = 9.1093837015e-31
+"""Electron rest mass m_0 in kg."""
+
+ROOM_TEMPERATURE = 300.0
+"""Default simulation temperature in kelvin."""
+
+
+def thermal_voltage(temperature: float = ROOM_TEMPERATURE) -> float:
+    """Thermal voltage kT/q in volts at the given temperature."""
+    return BOLTZMANN * temperature / ELECTRON_CHARGE
+
+
+THERMAL_VOLTAGE_300K = thermal_voltage(ROOM_TEMPERATURE)
+
+MOSFET_SS_LIMIT_MV_PER_DEC = 1e3 * THERMAL_VOLTAGE_300K * math.log(10.0)
+"""The 60 mV/dec room-temperature subthreshold-swing limit of MOSFETs."""
+
+
+# --- Material parameters ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Semiconductor:
+    """Bulk semiconductor parameters relevant to tunneling devices."""
+
+    name: str
+    bandgap_ev: float
+    relative_permittivity: float
+    intrinsic_density_cm3: float
+    effective_mass_tunnel: float
+    """Reduced tunneling effective mass in units of m_0."""
+
+    @property
+    def permittivity(self) -> float:
+        """Absolute permittivity in F/m."""
+        return self.relative_permittivity * VACUUM_PERMITTIVITY
+
+
+SILICON = Semiconductor(
+    name="Si",
+    bandgap_ev=1.12,
+    relative_permittivity=11.7,
+    intrinsic_density_cm3=1.0e10,
+    effective_mass_tunnel=0.20,
+)
+
+
+@dataclass(frozen=True)
+class Dielectric:
+    """Gate dielectric parameters."""
+
+    name: str
+    relative_permittivity: float
+
+    @property
+    def permittivity(self) -> float:
+        """Absolute permittivity in F/m."""
+        return self.relative_permittivity * VACUUM_PERMITTIVITY
+
+    def capacitance_per_area(self, thickness_m: float) -> float:
+        """Parallel-plate capacitance in F/m^2 for the given thickness."""
+        if thickness_m <= 0.0:
+            raise ValueError(f"dielectric thickness must be positive, got {thickness_m}")
+        return self.permittivity / thickness_m
+
+
+HFO2 = Dielectric(name="HfO2", relative_permittivity=25.0)
+SIO2 = Dielectric(name="SiO2", relative_permittivity=3.9)

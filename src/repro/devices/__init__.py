@@ -1,0 +1,29 @@
+"""Device models: TFET physics, table-based TFET, analytic MOSFET,
+and variation sampling.
+
+Process-corner cards live in :mod:`repro.devices.corners`; they are not
+re-exported here because they build on the SRAM cell's device-set type
+(importing them at package level would be circular).
+"""
+
+from repro.devices.library import (
+    nmos_device,
+    nominal_tfet_physics,
+    pmos_device,
+    tfet_device,
+)
+from repro.devices.mosfet import MosfetModel, nmos_32nm, pmos_32nm
+from repro.devices.tfet import TfetTableModel
+from repro.devices.variation import OxideVariation
+
+__all__ = [
+    "nmos_device",
+    "nominal_tfet_physics",
+    "pmos_device",
+    "tfet_device",
+    "MosfetModel",
+    "nmos_32nm",
+    "pmos_32nm",
+    "TfetTableModel",
+    "OxideVariation",
+]

@@ -1,0 +1,122 @@
+"""Charge-based capacitance primitives for device C-V models.
+
+Transient analysis integrates terminal *charges*, not capacitances, so
+every capacitive element exposes ``charge(v)`` and its derivative
+``capacitance(v)``.  Using charges keeps the integrator
+charge-conserving regardless of how nonlinear the C-V curve is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ChargeFunction",
+    "LinearCharge",
+    "SmoothStepCharge",
+    "CompositeCharge",
+    "MirroredCharge",
+]
+
+
+class ChargeFunction:
+    """Interface: terminal charge as a function of branch voltage."""
+
+    def charge(self, v: np.ndarray | float) -> np.ndarray | float:
+        raise NotImplementedError
+
+    def capacitance(self, v: np.ndarray | float) -> np.ndarray | float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LinearCharge(ChargeFunction):
+    """A constant capacitance: q = C v."""
+
+    capacitance_farads: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance_farads < 0.0:
+            raise ValueError("capacitance cannot be negative")
+
+    def charge(self, v: np.ndarray | float) -> np.ndarray | float:
+        return self.capacitance_farads * np.asarray(v, dtype=float)
+
+    def capacitance(self, v: np.ndarray | float) -> np.ndarray | float:
+        return np.full_like(np.asarray(v, dtype=float), self.capacitance_farads)
+
+
+@dataclass(frozen=True)
+class SmoothStepCharge(ChargeFunction):
+    """Capacitance stepping from ``c_low`` to ``c_high`` around ``v_step``.
+
+    The capacitance is a logistic step; the charge is its closed-form
+    integral (a softplus), so charge and capacitance are exactly
+    consistent.  This captures the bias dependence of MOS channel
+    charge: below threshold only overlap/fringe capacitance remains,
+    above it the full channel capacitance couples in.
+    """
+
+    c_low: float
+    c_high: float
+    v_step: float
+    width: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.c_low < 0.0 or self.c_high < 0.0:
+            raise ValueError("capacitances cannot be negative")
+        if self.width <= 0.0:
+            raise ValueError("step width must be positive")
+
+    def charge(self, v: np.ndarray | float) -> np.ndarray | float:
+        v = np.asarray(v, dtype=float)
+        x = (v - self.v_step) / self.width
+        softplus = self.width * np.logaddexp(0.0, x)
+        return self.c_low * v + (self.c_high - self.c_low) * softplus
+
+    def capacitance(self, v: np.ndarray | float) -> np.ndarray | float:
+        v = np.asarray(v, dtype=float)
+        x = np.clip((v - self.v_step) / self.width, -200.0, 200.0)
+        sigmoid = 1.0 / (1.0 + np.exp(-x))
+        return self.c_low + (self.c_high - self.c_low) * sigmoid
+
+
+@dataclass(frozen=True)
+class MirroredCharge(ChargeFunction):
+    """Polarity mirror: q_p(v) = -q_n(-v).
+
+    A p-type device's C-V curve is the point reflection of the n-type
+    reference, exactly like its I-V curve.  The capacitance mirrors as
+    c_p(v) = c_n(-v).
+    """
+
+    reference: ChargeFunction
+
+    def charge(self, v: np.ndarray | float) -> np.ndarray | float:
+        return -self.reference.charge(-np.asarray(v, dtype=float))
+
+    def capacitance(self, v: np.ndarray | float) -> np.ndarray | float:
+        return self.reference.capacitance(-np.asarray(v, dtype=float))
+
+
+@dataclass(frozen=True)
+class CompositeCharge(ChargeFunction):
+    """Sum of several charge functions sharing the same branch voltage."""
+
+    parts: tuple[ChargeFunction, ...]
+
+    def charge(self, v: np.ndarray | float) -> np.ndarray | float:
+        v = np.asarray(v, dtype=float)
+        total = np.zeros_like(v)
+        for part in self.parts:
+            total = total + part.charge(v)
+        return total
+
+    def capacitance(self, v: np.ndarray | float) -> np.ndarray | float:
+        v = np.asarray(v, dtype=float)
+        total = np.zeros_like(v)
+        for part in self.parts:
+            total = total + part.capacitance(v)
+        return total

@@ -1,0 +1,84 @@
+"""Process-corner device cards.
+
+The Monte-Carlo engine samples the +/-5 % gate-insulator band
+statistically; corner cards pin the band's extremes for worst-case
+sign-off the way a PDK does.  A *fast* TFET has the thinnest oxide
+(strongest gate coupling, highest on-current); a *slow* one the
+thickest.  Mixed corners (fast pull-downs with slow access transistors
+and vice versa) stress the write and read contests directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.library import tfet_device
+from repro.devices.tfet import TfetTableModel
+from repro.sram.cell import TfetDeviceSet
+
+__all__ = ["Corner", "CORNERS", "corner_device", "corner_device_set"]
+
+CORNER_SPREAD = 0.05
+"""The paper's +/-5 % gate-insulator thickness control band."""
+
+
+@dataclass(frozen=True)
+class Corner:
+    """A named process corner as oxide-thickness scales."""
+
+    name: str
+    inverter_scale: float
+    """t_ox scale for the cross-coupled inverter devices."""
+
+    access_scale: float
+    """t_ox scale for the access transistors (and read buffer)."""
+
+    def describe(self) -> str:
+        def label(scale: float) -> str:
+            if scale < 1.0:
+                return "fast"
+            if scale > 1.0:
+                return "slow"
+            return "typical"
+
+        return (
+            f"{self.name}: {label(self.inverter_scale)} inverters, "
+            f"{label(self.access_scale)} access"
+        )
+
+
+CORNERS: dict[str, Corner] = {
+    "tt": Corner("tt", 1.0, 1.0),
+    "ff": Corner("ff", 1.0 - CORNER_SPREAD, 1.0 - CORNER_SPREAD),
+    "ss": Corner("ss", 1.0 + CORNER_SPREAD, 1.0 + CORNER_SPREAD),
+    # Write worst case: strong pull-downs fighting a weak access device.
+    "fs": Corner("fs", 1.0 - CORNER_SPREAD, 1.0 + CORNER_SPREAD),
+    # Read worst case: a strong access device disturbing weak pull-downs.
+    "sf": Corner("sf", 1.0 + CORNER_SPREAD, 1.0 - CORNER_SPREAD),
+}
+
+
+def corner_device(scale: float) -> TfetTableModel:
+    """The (cached) TFET card at one oxide-thickness scale."""
+    return tfet_device(scale)
+
+
+def corner_device_set(corner: Corner | str) -> TfetDeviceSet:
+    """Device cards for a whole cell at the named corner."""
+    if isinstance(corner, str):
+        try:
+            corner = CORNERS[corner]
+        except KeyError:
+            known = ", ".join(sorted(CORNERS))
+            raise KeyError(f"unknown corner {corner!r}; known: {known}") from None
+    inverter = corner_device(corner.inverter_scale)
+    access = corner_device(corner.access_scale)
+    return TfetDeviceSet(
+        pulldown_left=inverter,
+        pulldown_right=inverter,
+        pullup_left=inverter,
+        pullup_right=inverter,
+        access_left=access,
+        access_right=access,
+        read_buffer=access,
+    )

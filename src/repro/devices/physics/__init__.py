@@ -1,0 +1,29 @@
+"""TCAD-lite device physics for silicon tunneling FETs.
+
+The paper simulates its devices in Sentaurus TCAD with a non-local
+band-to-band tunneling model and consumes the results as I-V / C-V
+lookup tables.  This package is the reproduction's substitute for the
+TCAD step: a quasi-1D electrostatics solver feeding Kane's tunneling
+expression, a gated p-i-n model for the reverse-bias branch, and a
+calibration layer that pins the device to the anchors the paper quotes
+(I_on = 1e-4 A/um and I_off = 1e-17 A/um at |V_DS| = 1 V).
+"""
+
+from repro.devices.physics.calibration import CalibrationTargets, calibrate_tfet
+from repro.devices.physics.electrostatics import SurfacePotentialSolver
+from repro.devices.physics.geometry import TfetDesign
+from repro.devices.physics.kane import KaneParameters, kane_generation_rate
+from repro.devices.physics.tfet_model import TfetPhysicalModel
+from repro.devices.physics.tablegen import build_current_table, build_charge_model
+
+__all__ = [
+    "CalibrationTargets",
+    "calibrate_tfet",
+    "SurfacePotentialSolver",
+    "TfetDesign",
+    "KaneParameters",
+    "kane_generation_rate",
+    "TfetPhysicalModel",
+    "build_current_table",
+    "build_charge_model",
+]

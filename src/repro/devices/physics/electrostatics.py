@@ -1,0 +1,114 @@
+"""Quasi-1D MOS electrostatics for the gated tunnel junction.
+
+Solves the classic implicit surface-potential equation of the
+charge-sheet model,
+
+    V_G - V_FB = psi_s + sign(psi_s) * gamma * sqrt(F(psi_s)),
+
+for the lightly doped TFET channel.  The solution provides the two
+quantities the tunneling model needs: the surface potential that sets
+the source-junction band bending, and the gate charge used by the C-V
+model.  Inversion charge is referenced to a channel quasi-Fermi level
+(electrons supplied from the drain reservoir), which is what pins the
+surface potential — and therefore bends the transfer characteristic —
+at high gate bias.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import ELECTRON_CHARGE, thermal_voltage
+from repro.devices.physics.geometry import TfetDesign
+
+__all__ = ["SurfacePotentialSolver"]
+
+_MAX_EXP_ARG = 80.0
+
+
+def _safe_exp(x: np.ndarray) -> np.ndarray:
+    return np.exp(np.clip(x, -_MAX_EXP_ARG, _MAX_EXP_ARG))
+
+
+class SurfacePotentialSolver:
+    """Vectorized safeguarded-Newton solver for the surface potential."""
+
+    def __init__(
+        self,
+        design: TfetDesign,
+        flat_band_voltage: float = 0.0,
+        channel_qfl: float = 0.8,
+        temperature: float = 300.0,
+    ):
+        self.design = design
+        self.flat_band_voltage = flat_band_voltage
+        self.channel_qfl = channel_qfl
+        self.vt = thermal_voltage(temperature)
+
+        doping_m3 = design.channel_doping_cm3 * 1e6
+        ni_m3 = design.semiconductor.intrinsic_density_cm3 * 1e6
+        eps = design.semiconductor.permittivity
+        cox = design.oxide_capacitance_per_area
+        self.gamma = math.sqrt(2.0 * ELECTRON_CHARGE * eps * doping_m3) / cox
+        self.minority_ratio_sq = (ni_m3 / doping_m3) ** 2
+
+    def _charge_function(self, psi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """The charge-sheet F(psi) (in volts) and its derivative dF/dpsi."""
+        u = psi / self.vt
+        inv_scale = self.minority_ratio_sq * _safe_exp(-self.channel_qfl / self.vt)
+        exp_neg = _safe_exp(-u)
+        exp_pos = _safe_exp(u)
+        f = self.vt * (exp_neg + u - 1.0) + self.vt * inv_scale * (exp_pos - u - 1.0)
+        df = (1.0 - exp_neg) + inv_scale * (exp_pos - 1.0)
+        return f, df
+
+    def _residual(self, psi: np.ndarray, vg: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        f, df = self._charge_function(psi)
+        f = np.maximum(f, 0.0)
+        root = np.sqrt(f + 1e-30)
+        sign = np.sign(psi)
+        residual = psi + sign * self.gamma * root - (vg - self.flat_band_voltage)
+        jacobian = 1.0 + sign * self.gamma * df / (2.0 * root)
+        return residual, jacobian
+
+    def surface_potential(self, vg: np.ndarray | float) -> np.ndarray:
+        """Surface potential psi_s for the given gate voltage(s)."""
+        vg = np.asarray(vg, dtype=float)
+        scalar_input = vg.ndim == 0
+        vg = np.atleast_1d(vg)
+        vov = vg - self.flat_band_voltage
+
+        # Bracket the monotone residual, then bisect with Newton polish.
+        lo = np.minimum(vov - 1.0, -1.0)
+        hi = np.maximum(vov + 1.0, 1.0)
+        psi = np.clip(vov, lo, hi)
+        for _ in range(80):
+            residual, jacobian = self._residual(psi, vg)
+            if np.max(np.abs(residual)) < 1e-12:
+                break
+            hi = np.where(residual > 0.0, psi, hi)
+            lo = np.where(residual <= 0.0, psi, lo)
+            newton = psi - residual / np.maximum(jacobian, 1e-12)
+            converged = np.abs(residual) < 1e-12
+            inside = ((newton > lo) & (newton < hi)) | converged
+            psi = np.where(inside, newton, 0.5 * (lo + hi))
+        return psi[0] if scalar_input else psi
+
+    def gate_charge_per_area(self, vg: np.ndarray | float) -> np.ndarray:
+        """Gate charge density Q_G = C_ox (V_G - V_FB - psi_s) in C/m^2."""
+        vg = np.asarray(vg, dtype=float)
+        psi = self.surface_potential(vg)
+        return self.design.oxide_capacitance_per_area * (
+            vg - self.flat_band_voltage - psi
+        )
+
+    def gate_capacitance_per_area(
+        self, vg: np.ndarray | float, delta: float = 1e-4
+    ) -> np.ndarray:
+        """Small-signal gate capacitance dQ_G/dV_G in F/m^2."""
+        vg = np.asarray(vg, dtype=float)
+        q_hi = self.gate_charge_per_area(vg + delta)
+        q_lo = self.gate_charge_per_area(vg - delta)
+        return (q_hi - q_lo) / (2.0 * delta)

@@ -1,0 +1,85 @@
+"""Device geometry and process parameters for the studied Si TFET.
+
+Defaults follow Section 2 of the paper: 32 nm channel, 2 nm gate
+underlap, 1e20 cm^-3 source/drain doping, 1e15 cm^-3 channel doping,
+and a 2 nm HfO2 gate insulator (relative permittivity 25).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.constants import HFO2, SILICON, Dielectric, Semiconductor
+
+
+@dataclass(frozen=True)
+class TfetDesign:
+    """Structural description of a single-gate Si TFET.
+
+    Lengths are in metres and dopings in cm^-3, matching the unit
+    conventions of the paper's Section 2.
+    """
+
+    channel_length: float = 32e-9
+    gate_underlap: float = 2e-9
+    body_thickness: float = 10e-9
+    oxide_thickness: float = 2e-9
+    source_doping_cm3: float = 1e20
+    drain_doping_cm3: float = 1e20
+    channel_doping_cm3: float = 1e15
+    dielectric: Dielectric = HFO2
+    semiconductor: Semiconductor = SILICON
+
+    def __post_init__(self) -> None:
+        for name in (
+            "channel_length",
+            "body_thickness",
+            "oxide_thickness",
+            "source_doping_cm3",
+            "drain_doping_cm3",
+            "channel_doping_cm3",
+        ):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} must be positive")
+        if self.gate_underlap < 0.0:
+            raise ValueError("gate_underlap cannot be negative")
+
+    @property
+    def oxide_capacitance_per_area(self) -> float:
+        """Gate-oxide capacitance in F/m^2."""
+        return self.dielectric.capacitance_per_area(self.oxide_thickness)
+
+    @property
+    def natural_length(self) -> float:
+        """Electrostatic screening length lambda of the tunnel junction.
+
+        The standard single-gate expression
+        ``sqrt(eps_si / eps_ox * t_si * t_ox)`` sets how efficiently the
+        gate potential is converted into junction field; it is the main
+        geometry lever on subthreshold steepness.
+        """
+        ratio = (
+            self.semiconductor.relative_permittivity
+            / self.dielectric.relative_permittivity
+        )
+        return math.sqrt(ratio * self.body_thickness * self.oxide_thickness)
+
+    @property
+    def gate_area_per_um_width(self) -> float:
+        """Gate area in m^2 per micrometre of device width."""
+        return self.channel_length * 1e-6
+
+    def with_oxide_thickness(self, oxide_thickness: float) -> "TfetDesign":
+        """A copy with a perturbed gate-insulator thickness.
+
+        This is the process-variation knob studied in Section 4.3 of the
+        paper (gate-insulator thickness controlled to within +/-5 %).
+        """
+        return replace(self, oxide_thickness=oxide_thickness)
+
+    def with_oxide_scale(self, scale: float) -> "TfetDesign":
+        """A copy with the gate-insulator thickness multiplied by ``scale``."""
+        if scale <= 0.0:
+            raise ValueError(f"oxide scale must be positive, got {scale}")
+        return self.with_oxide_thickness(self.oxide_thickness * scale)

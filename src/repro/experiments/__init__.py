@@ -1,0 +1,1 @@
+"""Per-figure/table reproduction experiments (see DESIGN.md index)."""

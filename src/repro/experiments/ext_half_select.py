@@ -1,0 +1,60 @@
+"""Extension: half-selected-cell stability (the paper's caveat).
+
+Section 4.3 names the design's drawback: "lowered DRNM for
+half-selected cells due to the small beta" — cells on a selected row
+whose columns are not accessed see the wordline with their bitlines
+still clamped at V_DD, but do *not* receive the column-gated read
+assist.  This experiment measures that row-half-select DRNM with and
+without the (segmented) assist, quantifying how much of the margin the
+segmented-V_GND architecture the paper cites must recover.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stability import dynamic_read_noise_margin
+from repro.circuit.waveforms import Constant
+from repro.experiments.common import ExperimentResult
+from repro.sram import READ_ASSISTS, AccessConfig, CellSizing, Tfet6TCell
+from repro.sram.testbench import Testbench
+
+DEFAULT_BETAS = (0.4, 0.6, 0.8)
+
+
+def _half_select_bench(cell, vdd: float, assist) -> Testbench:
+    """A read bench with the bitlines re-clamped at V_DD (half select)."""
+    bench = cell.read_testbench(vdd, assist=assist)
+    circuit = bench.circuit
+    # Replace the floating precharged bitline capacitors by hard clamps:
+    # a half-selected column keeps its bitlines at the precharge rail.
+    circuit.capacitors = [
+        cap for cap in circuit.capacitors if cap.name not in ("cbl", "cblb")
+    ]
+    circuit.add_voltage_source("bl_clamp", "bl", "0", Constant(vdd))
+    circuit.add_voltage_source("blb_clamp", "blb", "0", Constant(vdd))
+    return bench
+
+
+def run(betas=DEFAULT_BETAS, vdd: float = 0.8) -> ExperimentResult:
+    result = ExperimentResult(
+        "ext_half_select",
+        f"Half-selected-cell DRNM at V_DD = {vdd} V",
+        [
+            "beta",
+            "selected DRNM + RA (mV)",
+            "half-select DRNM, no RA (mV)",
+            "half-select DRNM, segmented RA (mV)",
+        ],
+    )
+    ra = READ_ASSISTS["vgnd_lowering"]
+    for beta in betas:
+        cell = Tfet6TCell(CellSizing().with_beta(beta), access=AccessConfig.INWARD_P)
+        selected = dynamic_read_noise_margin(cell.read_testbench(vdd, assist=ra))
+        half_plain = dynamic_read_noise_margin(_half_select_bench(cell, vdd, None))
+        half_assisted = dynamic_read_noise_margin(_half_select_bench(cell, vdd, ra))
+        result.add_row(beta, 1e3 * selected, 1e3 * half_plain, 1e3 * half_assisted)
+    result.notes.append(
+        "clamped bitlines make the half-select disturb persistent, so the "
+        "unassisted margin drops below the selected case — the segmented "
+        "V_GND architecture (Sharifkhani et al.) recovers it"
+    )
+    return result

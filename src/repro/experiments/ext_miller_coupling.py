@@ -1,0 +1,66 @@
+"""Extension: TFET Miller coupling onto the storage nodes.
+
+TFETs are notorious for enhanced Miller capacitance — the channel
+charge couples predominantly to the drain — and in the 6T cell that
+shows up as a transient *boost* of the high storage node above V_DD
+when the wordline fires (the node cannot bleed the injected charge
+back through the unidirectional pull-up).  The boost strengthens the
+pull-down mid-write and is one reason WL_crit is so sensitive to beta.
+
+This experiment measures the peak storage-node excursion beyond the
+rails during a write access for the TFET cell and the CMOS baseline,
+plus how long the TFET node stays boosted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.transient import simulate_transient
+from repro.experiments.common import ExperimentResult
+from repro.sram import AccessConfig, CellSizing, Cmos6TCell, Tfet6TCell
+
+DEFAULT_BETAS = (0.6, 1.0)
+
+
+def _write_excursion(cell, vdd: float) -> tuple[float, float]:
+    """(peak boost above V_DD in volts, time above V_DD + 10 mV)."""
+    bench = cell.write_testbench(vdd, 1.5e-9)
+    result = simulate_transient(
+        bench.circuit,
+        bench.window.t_off + 5e-10,
+        initial_conditions=bench.initial_conditions,
+    )
+    mask = result.times >= bench.window.t_on
+    q = result.voltage("q")[mask]
+    times = result.times[mask]
+    boost = float(np.max(q) - vdd)
+    above = q > vdd + 0.01
+    dwell = float(np.sum(np.diff(times)[above[:-1]])) if np.any(above) else 0.0
+    return boost, dwell
+
+
+def run(betas=DEFAULT_BETAS, vdd: float = 0.8) -> ExperimentResult:
+    result = ExperimentResult(
+        "ext_miller",
+        f"Storage-node Miller boost during write at V_DD = {vdd} V",
+        [
+            "beta",
+            "TFET peak boost (mV)",
+            "TFET dwell above rail (ps)",
+            "CMOS peak boost (mV)",
+            "CMOS dwell above rail (ps)",
+        ],
+    )
+    for beta in betas:
+        sizing = CellSizing().with_beta(beta)
+        tfet = Tfet6TCell(sizing, access=AccessConfig.INWARD_P)
+        cmos = Cmos6TCell(sizing)
+        t_boost, t_dwell = _write_excursion(tfet, vdd)
+        c_boost, c_dwell = _write_excursion(cmos, vdd)
+        result.add_row(beta, 1e3 * t_boost, 1e12 * t_dwell, 1e3 * c_boost, 1e12 * c_dwell)
+    result.notes.append(
+        "the TFET node stays boosted (the unidirectional pull-up cannot "
+        "drain it); the CMOS node is restored within the access"
+    )
+    return result

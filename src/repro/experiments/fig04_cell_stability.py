@@ -1,0 +1,59 @@
+"""Fig. 4: DRNM and WL_crit vs cell ratio for the candidate cells.
+
+Reproduces the Section 3 comparison: 6T TFET with inward nTFET and
+inward pTFET access vs the 6T CMOS baseline.  The headline shapes:
+
+* inward nTFET: infinite WL_crit at every beta (unwritable);
+* inward pTFET: finite WL_crit only for beta up to ~1, rising steeply;
+* CMOS: small, nearly flat WL_crit;
+* DRNM grows with beta for every cell, with the TFET cell clearly
+  below CMOS at small beta.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stability import (
+    WlCritSearch,
+    critical_wordline_pulse,
+    dynamic_read_noise_margin,
+)
+from repro.experiments.common import ExperimentResult
+from repro.sram import AccessConfig, CellSizing, Cmos6TCell, Tfet6TCell
+
+DEFAULT_BETAS = (0.4, 0.6, 0.8, 1.0, 1.5, 2.0, 3.0)
+
+
+def run(betas=DEFAULT_BETAS, vdd: float = 0.8) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig04",
+        f"DRNM and WL_crit vs beta at V_DD = {vdd} V",
+        [
+            "beta",
+            "DRNM inpTFET (mV)",
+            "DRNM innTFET (mV)",
+            "DRNM CMOS (mV)",
+            "WLcrit inpTFET (ps)",
+            "WLcrit innTFET (ps)",
+            "WLcrit CMOS (ps)",
+        ],
+    )
+    search = WlCritSearch()
+    for beta in betas:
+        sizing = CellSizing().with_beta(beta)
+        cell_p = Tfet6TCell(sizing, access=AccessConfig.INWARD_P)
+        cell_n = Tfet6TCell(sizing, access=AccessConfig.INWARD_N)
+        cell_c = Cmos6TCell(sizing)
+        result.add_row(
+            beta,
+            1e3 * dynamic_read_noise_margin(cell_p.read_testbench(vdd)),
+            1e3 * dynamic_read_noise_margin(cell_n.read_testbench(vdd)),
+            1e3 * dynamic_read_noise_margin(cell_c.read_testbench(vdd)),
+            1e12 * critical_wordline_pulse(cell_p, vdd, search=search),
+            1e12 * critical_wordline_pulse(cell_n, vdd, search=search),
+            1e12 * critical_wordline_pulse(cell_c, vdd, search=search),
+        )
+    result.notes.append(
+        "paper shape: inward nTFET unwritable everywhere; inward pTFET "
+        "writable only at small beta; CMOS flat and fast"
+    )
+    return result

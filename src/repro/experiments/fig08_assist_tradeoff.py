@@ -1,0 +1,75 @@
+"""Fig. 8: the WL_crit vs DRNM trade-off across all eight techniques.
+
+Each write-assist technique is swept over beta > 1 (write assisted,
+read naturally reliable): the point is (DRNM without assist, WL_crit
+with the WA).  Each read-assist technique is swept over beta <= 1
+(write naturally reliable, read assisted): the point is (DRNM with the
+RA, WL_crit without assist).  The paper's conclusion — reproduced
+here — is that **V_GND-lowering RA** owns the lower-right frontier:
+large DRNM at small WL_crit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.stability import (
+    WlCritSearch,
+    critical_wordline_pulse,
+    dynamic_read_noise_margin,
+)
+from repro.experiments.common import ExperimentResult
+from repro.sram import READ_ASSISTS, WRITE_ASSISTS, AccessConfig, CellSizing, Tfet6TCell
+
+DEFAULT_WA_BETAS = (1.2, 1.6, 2.0, 2.5)
+DEFAULT_RA_BETAS = (0.3, 0.5, 0.7, 0.9)
+
+
+def run(
+    wa_betas=DEFAULT_WA_BETAS,
+    ra_betas=DEFAULT_RA_BETAS,
+    vdd: float = 0.8,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig08",
+        f"WL_crit vs DRNM trade-off for all techniques at V_DD = {vdd} V",
+        ["technique", "kind", "beta", "DRNM (mV)", "WLcrit (ps)"],
+    )
+    search = WlCritSearch(upper_bound=8e-9)
+
+    def cell(beta: float) -> Tfet6TCell:
+        return Tfet6TCell(CellSizing().with_beta(beta), access=AccessConfig.INWARD_P)
+
+    for name, assist in WRITE_ASSISTS.items():
+        for beta in wa_betas:
+            drnm = 1e3 * dynamic_read_noise_margin(cell(beta).read_testbench(vdd))
+            wl = 1e12 * critical_wordline_pulse(cell(beta), vdd, assist=assist, search=search)
+            result.add_row(name, "WA", beta, drnm, wl)
+    for name, assist in READ_ASSISTS.items():
+        for beta in ra_betas:
+            drnm = 1e3 * dynamic_read_noise_margin(
+                cell(beta).read_testbench(vdd, assist=assist)
+            )
+            wl = 1e12 * critical_wordline_pulse(cell(beta), vdd, search=search)
+            result.add_row(name, "RA", beta, drnm, wl)
+
+    best = _frontier_winner(result)
+    result.notes.append(f"lower-right frontier winner: {best} (paper: vgnd_lowering RA)")
+    return result
+
+
+def _frontier_winner(result: ExperimentResult) -> str:
+    """Technique with the best (high DRNM, low WL_crit) score.
+
+    Scored by DRNM minus a WL_crit penalty on each technique's best
+    point; any finite-write point beats an unwritable one.
+    """
+    best_name, best_score = "none", -math.inf
+    for row in result.rows:
+        name, _, _, drnm, wl = row
+        if math.isinf(wl):
+            continue
+        score = drnm - 0.15 * wl
+        if score > best_score:
+            best_name, best_score = name, score
+    return best_name

@@ -1,0 +1,61 @@
+"""Fig. 12: WL_crit and DRNM vs V_DD for the compared designs.
+
+The asymmetric cell has no WL_crit column — the paper: "WL_crit for the
+asymmetric 6T TFET SRAM cannot be defined since it does not have the
+separatrix", which our cell model enforces by refusing external-assist
+bisection semantics (its write collapses the cell instead of racing a
+separatrix).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stability import (
+    WlCritSearch,
+    critical_wordline_pulse,
+    dynamic_read_noise_margin,
+)
+from repro.experiments.common import ExperimentResult
+from repro.experiments.designs import (
+    asym_cell,
+    cmos_cell,
+    proposed_cell,
+    proposed_read_assist,
+    seven_t_cell,
+)
+
+DEFAULT_VDDS = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def run(vdds=DEFAULT_VDDS) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig12",
+        "WL_crit (ps) and DRNM (mV) vs V_DD",
+        [
+            "vdd (V)",
+            "WLcrit CMOS",
+            "WLcrit proposed",
+            "WLcrit 7T",
+            "DRNM CMOS",
+            "DRNM proposed+RA",
+            "DRNM asym",
+            "DRNM 7T",
+        ],
+    )
+    ra = proposed_read_assist()
+    search = WlCritSearch(upper_bound=8e-9)
+    for vdd in vdds:
+        result.add_row(
+            vdd,
+            1e12 * critical_wordline_pulse(cmos_cell(), vdd, search=search),
+            1e12 * critical_wordline_pulse(proposed_cell(), vdd, search=search),
+            1e12 * critical_wordline_pulse(seven_t_cell(), vdd, search=search),
+            1e3 * dynamic_read_noise_margin(cmos_cell().read_testbench(vdd)),
+            1e3 * dynamic_read_noise_margin(proposed_cell().read_testbench(vdd, assist=ra)),
+            1e3 * dynamic_read_noise_margin(asym_cell().read_testbench(vdd)),
+            1e3 * dynamic_read_noise_margin(seven_t_cell().read_testbench(vdd)),
+        )
+    result.notes.append(
+        "asym WL_crit undefined (no separatrix); paper shape: every TFET "
+        "cell above CMOS in WL_crit, proposed smallest among TFET cells"
+    )
+    return result

@@ -1,0 +1,73 @@
+"""Persistence for experiment results (JSON and CSV).
+
+Long campaigns (the Monte-Carlo figures) should be run once and kept;
+these helpers round-trip :class:`ExperimentResult` through JSON and
+export the rows as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["save_json", "load_json", "save_csv"]
+
+_INF_TOKEN = "Infinity"
+
+
+def _encode_value(value):
+    if isinstance(value, float) and math.isinf(value):
+        return {"__float__": _INF_TOKEN if value > 0 else "-Infinity"}
+    return value
+
+
+def _decode_value(value):
+    if isinstance(value, dict) and "__float__" in value:
+        return math.inf if value["__float__"] == _INF_TOKEN else -math.inf
+    return value
+
+
+def save_json(result: ExperimentResult, path: str | Path) -> Path:
+    """Write a result to a JSON file; returns the path written."""
+    path = Path(path)
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "header": result.header,
+        "rows": [[_encode_value(v) for v in row] for row in result.rows],
+        "notes": result.notes,
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_json(path: str | Path) -> ExperimentResult:
+    """Read a result previously written by :func:`save_json`."""
+    payload = json.loads(Path(path).read_text())
+    for key in ("experiment_id", "title", "header", "rows"):
+        if key not in payload:
+            raise ValueError(f"result file is missing the {key!r} field")
+    result = ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        header=list(payload["header"]),
+        notes=list(payload.get("notes", [])),
+    )
+    for row in payload["rows"]:
+        result.add_row(*[_decode_value(v) for v in row])
+    return result
+
+
+def save_csv(result: ExperimentResult, path: str | Path) -> Path:
+    """Write the result rows as CSV (header included)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.header)
+        for row in result.rows:
+            writer.writerow(["inf" if isinstance(v, float) and math.isinf(v) else v for v in row])
+    return path

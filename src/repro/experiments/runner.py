@@ -1,0 +1,110 @@
+"""Experiment registry and command-line runner.
+
+``python -m repro.experiments fig04`` regenerates one paper artifact;
+``python -m repro.experiments all`` regenerates everything (slow — the
+Monte-Carlo figures run hundreds of transient bisections).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.experiments import (
+    abl_assist_fraction,
+    abl_static_vs_dynamic,
+    ext_energy_scaling,
+    ext_half_select,
+    ext_miller_coupling,
+    ext_read_path,
+    ext_retention,
+    fig02_tfet_iv,
+    fig04_cell_stability,
+    fig06_write_assist,
+    fig07_read_assist,
+    fig08_assist_tradeoff,
+    fig09_wa_variation,
+    fig10_ra_variation,
+    fig11_delay,
+    fig12_margins,
+    table_area,
+    table_static_power,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["REGISTRY", "run_experiment", "main"]
+
+REGISTRY: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
+    "fig02": (fig02_tfet_iv.run, "TFET forward/reverse I-V characteristics"),
+    "fig04": (fig04_cell_stability.run, "DRNM and WL_crit vs beta"),
+    "fig06": (fig06_write_assist.run, "write-assist techniques vs beta"),
+    "fig07": (fig07_read_assist.run, "read-assist techniques vs beta"),
+    "fig08": (fig08_assist_tradeoff.run, "WL_crit vs DRNM trade-off"),
+    "fig09": (fig09_wa_variation.run, "Monte-Carlo variation under WA"),
+    "fig10": (fig10_ra_variation.run, "Monte-Carlo variation under RA"),
+    "fig11": (fig11_delay.run, "write/read delay vs V_DD"),
+    "fig12": (fig12_margins.run, "margins vs V_DD"),
+    "tab_power": (table_static_power.run, "static power comparison"),
+    "tab_area": (table_area.run, "cell area comparison"),
+    # Extensions beyond the paper's artifacts:
+    "abl_static_dynamic": (
+        abl_static_vs_dynamic.run,
+        "ablation: static butterfly SNM vs dynamic DRNM",
+    ),
+    "abl_assist_fraction": (
+        abl_assist_fraction.run,
+        "ablation: assist strength vs the paper's fixed 30 %",
+    ),
+    "ext_half_select": (
+        ext_half_select.run,
+        "extension: half-selected-cell read stability",
+    ),
+    "ext_miller": (
+        ext_miller_coupling.run,
+        "extension: TFET Miller boost on the storage nodes",
+    ),
+    "ext_energy": (
+        ext_energy_scaling.run,
+        "extension: access energy and standby power vs V_DD",
+    ),
+    "ext_retention": (
+        ext_retention.run,
+        "extension: data-retention voltage and standby floor",
+    ),
+    "ext_read_path": (
+        ext_read_path.run,
+        "extension: minimum sense delay with an offset latch",
+    ),
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by its registry id."""
+    if experiment_id not in REGISTRY:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    run, _ = REGISTRY[experiment_id]
+    return run(**kwargs)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (%s) or 'all'" % ", ".join(sorted(REGISTRY)),
+    )
+    args = parser.parse_args(argv)
+
+    ids = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        print(result.format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

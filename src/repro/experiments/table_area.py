@@ -1,0 +1,32 @@
+"""Cell area comparison (Section 5).
+
+The three 6T cells share the minimum transistor count; the 7T's read
+port costs the paper's quoted 10-15 % extra area.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.area import cell_area_um2
+from repro.experiments.common import ExperimentResult
+from repro.experiments.designs import asym_cell, cmos_cell, proposed_cell, seven_t_cell
+
+
+def run() -> ExperimentResult:
+    cells = {
+        "6T CMOS": cmos_cell(),
+        "proposed 6T inpTFET": proposed_cell(),
+        "asym 6T TFET": asym_cell(),
+        "7T TFET": seven_t_cell(),
+    }
+    result = ExperimentResult(
+        "tab_area",
+        "Estimated cell area",
+        ["design", "transistors", "area (um^2)", "vs proposed"],
+    )
+    base = cell_area_um2(cells["proposed 6T inpTFET"])
+    for name, cell in cells.items():
+        count = 7 if hasattr(cell, "read_buffer_width") else 6
+        area = cell_area_um2(cell)
+        result.add_row(name, count, area, area / base)
+    result.notes.append("paper: the 7T pays an unavoidable 10-15 % area increase")
+    return result

@@ -1,0 +1,31 @@
+"""SRAM cells, assist techniques, and operation testbenches."""
+
+from repro.sram.assist import (
+    ALL_ASSISTS,
+    READ_ASSISTS,
+    WRITE_ASSISTS,
+    AccessWindow,
+    Assist,
+)
+from repro.sram.cell import CellSizing, TfetDeviceSet
+from repro.sram.cmos6t import Cmos6TCell
+from repro.sram.testbench import Testbench
+from repro.sram.tfet6t import AccessConfig, Tfet6TCell
+from repro.sram.tfet7t import Tfet7TCell
+from repro.sram.tfet_asym6t import AsymTfet6TCell
+
+__all__ = [
+    "ALL_ASSISTS",
+    "READ_ASSISTS",
+    "WRITE_ASSISTS",
+    "AccessWindow",
+    "Assist",
+    "CellSizing",
+    "TfetDeviceSet",
+    "Cmos6TCell",
+    "Testbench",
+    "AccessConfig",
+    "Tfet6TCell",
+    "Tfet7TCell",
+    "AsymTfet6TCell",
+]

@@ -1,0 +1,149 @@
+"""Macro-level SRAM array planning on top of the cell metrics.
+
+The paper closes by calling the proposed cell "attractive for low-power
+high-density SRAM applications"; this module is the tool a memory
+designer would use to act on that: given a cell and an array geometry
+it estimates
+
+* the **column bitline capacitance** from the rows sharing it (each
+  cell adds access-junction plus wire capacitance), and the resulting
+  **read access time** by re-simulating the read with that load;
+* the **array standby power** (cells x hold power);
+* the **macro area** from the cell area plus periphery overhead;
+* the **read energy** at the scaled bitline load.
+
+Everything is physics-backed: the per-column quantities come from real
+transient simulations of the cell driving the scaled load, not from
+closed-form guesses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.area import cell_area_um2
+from repro.analysis.energy import read_energy
+from repro.analysis.power import hold_power
+from repro.analysis.timing import read_delay
+from repro.sram.assist import Assist
+from repro.sram.testbench import BITLINE_CAPACITANCE
+
+__all__ = ["ArrayGeometry", "ArrayEstimate", "plan_array"]
+
+CELL_BITLINE_CAP = 1.5e-16
+"""Capacitance each cell adds to its column bitline (junction + wire)."""
+
+FIXED_BITLINE_CAP = 1.0e-15
+"""Column-fixed bitline capacitance (sense amp, column mux)."""
+
+PERIPHERY_AREA_OVERHEAD = 0.35
+"""Decoder/sense/IO area as a fraction of the cell-array area."""
+
+DECODE_TIME = 5.0e-11
+"""Wordline decode + driver delay added to the access time."""
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Logical organization of the macro."""
+
+    rows: int
+    columns: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.columns < 1:
+            raise ValueError("array needs at least one row and one column")
+
+    @property
+    def bits(self) -> int:
+        return self.rows * self.columns
+
+    @property
+    def bitline_capacitance(self) -> float:
+        return FIXED_BITLINE_CAP + self.rows * CELL_BITLINE_CAP
+
+
+@dataclass(frozen=True)
+class ArrayEstimate:
+    """Planned macro figures of merit."""
+
+    geometry: ArrayGeometry
+    vdd: float
+    bitline_capacitance: float
+    read_access_time: float
+    standby_power: float
+    read_energy_per_access: float
+    area_um2: float
+
+    @property
+    def standby_power_per_bit(self) -> float:
+        return self.standby_power / self.geometry.bits
+
+    def summary(self) -> str:
+        g = self.geometry
+        lines = [
+            f"{g.rows} x {g.columns} array ({g.bits / 1024:.1f} kb) at {self.vdd} V",
+            f"  bitline capacitance : {self.bitline_capacitance * 1e15:.1f} fF",
+            f"  read access time    : "
+            + ("never develops" if math.isinf(self.read_access_time)
+               else f"{self.read_access_time * 1e12:.0f} ps"),
+            f"  standby power       : {self.standby_power:.3e} W "
+            f"({self.standby_power_per_bit:.2e} W/bit)",
+            f"  read energy/access  : {self.read_energy_per_access * 1e15:.2f} fJ",
+            f"  macro area          : {self.area_um2:.1f} um^2",
+        ]
+        return "\n".join(lines)
+
+
+def plan_array(
+    cell,
+    geometry: ArrayGeometry,
+    vdd: float,
+    read_assist: Assist | None = None,
+    read_duration: float = 6e-9,
+) -> ArrayEstimate:
+    """Estimate macro figures of merit for a cell in the given array."""
+    cbl = geometry.bitline_capacitance
+
+    def read_bench(**kwargs):
+        return cell.read_testbench(bitline_capacitance=cbl, **kwargs)
+
+    # Re-simulate the read against the scaled column load.
+    bench_cell = _BitlineScaledCell(cell, cbl)
+    delay = read_delay(bench_cell, vdd, assist=read_assist, duration=read_duration)
+    access_time = DECODE_TIME + delay if math.isfinite(delay) else math.inf
+
+    standby = geometry.bits * hold_power(cell, vdd)
+    energy = read_energy(bench_cell, vdd, assist=read_assist, duration=read_duration)
+    area = geometry.bits * cell_area_um2(cell) * (1.0 + PERIPHERY_AREA_OVERHEAD)
+
+    return ArrayEstimate(
+        geometry=geometry,
+        vdd=vdd,
+        bitline_capacitance=cbl,
+        read_access_time=access_time,
+        standby_power=standby,
+        read_energy_per_access=energy,
+        area_um2=area,
+    )
+
+
+class _BitlineScaledCell:
+    """Cell proxy whose read benches carry the column's bitline load."""
+
+    def __init__(self, cell, bitline_capacitance: float):
+        self._cell = cell
+        self._cbl = bitline_capacitance
+
+    def __getattr__(self, name):
+        return getattr(self._cell, name)
+
+    def read_testbench(self, vdd, assist=None, duration=1e-9, **kwargs):
+        kwargs.setdefault("bitline_capacitance", self._cbl)
+        try:
+            return self._cell.read_testbench(vdd, assist=assist, duration=duration, **kwargs)
+        except TypeError:
+            # Cells with a fixed-load read port (the 7T) ignore the knob.
+            kwargs.pop("bitline_capacitance", None)
+            return self._cell.read_testbench(vdd, assist=assist, duration=duration, **kwargs)

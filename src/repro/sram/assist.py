@@ -1,0 +1,146 @@
+"""Write-assist (WA) and read-assist (RA) techniques of Section 4.
+
+All eight techniques move one voltage by the same fixed fraction of
+V_DD (the paper uses 30 % for fair comparison) during the access
+window:
+
+====================  ========  =========
+technique             target    direction
+====================  ========  =========
+V_DD lowering (WA)    vddc      down
+V_GND raising (WA)    vgnd      up
+wordline lowering(WA) wl        down
+bitline raising (WA)  bl        up
+V_DD raising (RA)     vddc      up
+V_GND lowering (RA)   vgnd      down
+wordline raising (RA) wl        up
+bitline lowering (RA) bl        down
+====================  ========  =========
+
+Wordline *lowering* assists writes here — the opposite of a CMOS SRAM —
+because the inward-pTFET access transistor is active-low: a lower gate
+increases |V_GS| and with it the drive strength.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.waveforms import Constant, Pulse, Waveform
+
+__all__ = [
+    "Assist",
+    "AccessWindow",
+    "WRITE_ASSISTS",
+    "READ_ASSISTS",
+    "ALL_ASSISTS",
+    "DEFAULT_ASSIST_FRACTION",
+]
+
+DEFAULT_ASSIST_FRACTION = 0.3
+
+ASSIST_LEAD_TIME = 2e-11
+"""Wordline/bitline assist levels assert this long before the access."""
+
+RAIL_ASSIST_LEAD_TIME = 6e-10
+"""Cell-rail (V_DD / V_GND) assists assert well before the wordline.
+
+A TFET storage node can only follow a collapsing supply rail through
+the pull-up's *reverse* gated conduction (tens of nanoamps), so the
+rail must droop ahead of the wordline — consistent with the paper's
+Fig. 6/7 timing diagrams, where the rail windows envelop the wordline
+pulse."""
+
+
+@dataclass(frozen=True)
+class AccessWindow:
+    """The time interval during which the cell is accessed."""
+
+    t_on: float
+    t_off: float
+
+    def __post_init__(self) -> None:
+        if self.t_off <= self.t_on:
+            raise ValueError("access window must have positive duration")
+
+
+@dataclass(frozen=True)
+class Assist:
+    """One voltage-level assist technique."""
+
+    name: str
+    kind: str  # "write" or "read"
+    target: str  # "vdd", "vgnd", "wl", or "bl"
+    sign: float  # +1 raises the level, -1 lowers it
+    fraction: float = DEFAULT_ASSIST_FRACTION
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("write", "read"):
+            raise ValueError(f"kind must be 'write' or 'read', got {self.kind!r}")
+        if self.target not in ("vdd", "vgnd", "wl", "bl"):
+            raise ValueError(f"unknown assist target {self.target!r}")
+        if self.sign not in (1.0, -1.0):
+            raise ValueError("sign must be +1 or -1")
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError("fraction must lie in (0, 1)")
+
+    def delta(self, vdd: float) -> float:
+        """Signed voltage offset applied while the assist is active."""
+        return self.sign * self.fraction * vdd
+
+    # -- waveform helpers consumed by the testbench builders -----------------
+
+    @property
+    def lead_time(self) -> float:
+        """How long before the wordline the assist level asserts."""
+        if self.target in ("vdd", "vgnd"):
+            return RAIL_ASSIST_LEAD_TIME
+        return ASSIST_LEAD_TIME
+
+    def _pulsed(self, base: float, vdd: float, window: AccessWindow) -> Waveform:
+        start = window.t_on - self.lead_time
+        if start <= 0.0:
+            raise ValueError("access window leaves no room for the assist lead time")
+        width = (window.t_off - window.t_on) + self.lead_time + ASSIST_LEAD_TIME
+        return Pulse(base=base, active=base + self.delta(vdd), t_start=start, width=width)
+
+    def vdd_rail(self, vdd: float, window: AccessWindow) -> Waveform:
+        """Cell-supply waveform (V_DD lowering/raising techniques)."""
+        if self.target != "vdd":
+            return Constant(vdd)
+        return self._pulsed(vdd, vdd, window)
+
+    def gnd_rail(self, vdd: float, window: AccessWindow) -> Waveform:
+        """Cell-ground waveform (V_GND raising/lowering techniques)."""
+        if self.target != "vgnd":
+            return Constant(0.0)
+        return self._pulsed(0.0, vdd, window)
+
+    def wl_active_level(self, base_active: float, vdd: float) -> float:
+        """Wordline active level (wordline lowering/raising techniques)."""
+        if self.target != "wl":
+            return base_active
+        return base_active + self.delta(vdd)
+
+    def bitline_level(self, base_level: float, vdd: float) -> float:
+        """Driven/precharged bitline level (bitline raising/lowering)."""
+        if self.target != "bl":
+            return base_level
+        return base_level + self.delta(vdd)
+
+
+WRITE_ASSISTS: dict[str, Assist] = {
+    "vdd_lowering": Assist("vdd_lowering", "write", "vdd", -1.0),
+    "vgnd_raising": Assist("vgnd_raising", "write", "vgnd", +1.0),
+    "wl_lowering": Assist("wl_lowering", "write", "wl", -1.0),
+    "bl_raising": Assist("bl_raising", "write", "bl", +1.0),
+}
+
+READ_ASSISTS: dict[str, Assist] = {
+    "vdd_raising": Assist("vdd_raising", "read", "vdd", +1.0),
+    "vgnd_lowering": Assist("vgnd_lowering", "read", "vgnd", -1.0),
+    "wl_raising": Assist("wl_raising", "read", "wl", +1.0),
+    "bl_lowering": Assist("bl_lowering", "read", "bl", -1.0),
+}
+
+ALL_ASSISTS: dict[str, Assist] = {**WRITE_ASSISTS, **READ_ASSISTS}

@@ -1,0 +1,150 @@
+"""Shared SRAM-cell abstractions: sizing, per-transistor devices, builder.
+
+Node-name conventions used by every cell and consumed by the analysis
+layer:
+
+* ``q`` / ``qb`` — the storage nodes (all metrics assume the cell
+  initially stores q = 1, qb = 0);
+* ``bl`` / ``blb`` — bitlines (``wbl``/``wblb``/``rbl`` for the 7T cell
+  with decoupled ports);
+* ``wl`` — wordline (``wwl``/``rwl`` for the 7T cell);
+* ``vddc`` / ``vgnd`` — the cell's local supply and ground rails, kept
+  separate from bitline clamps so rail-based assist techniques can
+  drive them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.circuit.netlist import Circuit
+from repro.devices.charges import LinearCharge, MirroredCharge
+from repro.devices.mosfet import MosfetModel, mosfet_charges
+from repro.devices.tfet import TfetTableModel
+
+__all__ = ["CellSizing", "TfetDeviceSet", "CellBuilder", "STORAGE_NODE_WIRE_CAP"]
+
+STORAGE_NODE_WIRE_CAP = 1.5e-16
+"""Fixed wiring capacitance (F) on each storage node."""
+
+JUNCTION_CAP_PER_UM = 1.0e-16
+"""Drain/source junction capacitance (F per um width) to substrate."""
+
+
+@dataclass(frozen=True)
+class CellSizing:
+    """Transistor widths in micrometres.
+
+    The paper's cell ratio is ``beta = W_pulldown / W_access`` ("the
+    ratio of the width of nTFETs in the inverter and the access
+    transistor").  Sweeping beta moves the pull-down width while the
+    access and pull-up widths stay put.
+    """
+
+    access_width: float = 0.1
+    pulldown_width: float = 0.1
+    pullup_width: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in ("access_width", "pulldown_width", "pullup_width"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def beta(self) -> float:
+        """Cell ratio W_pulldown / W_access."""
+        return self.pulldown_width / self.access_width
+
+    def with_beta(self, beta: float) -> "CellSizing":
+        """Resize the pull-downs to the requested cell ratio."""
+        if beta <= 0.0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        return replace(self, pulldown_width=beta * self.access_width)
+
+
+@dataclass(frozen=True)
+class TfetDeviceSet:
+    """One device card per transistor position (Monte-Carlo granularity).
+
+    Positions follow the paper's Fig. 3: M1/M4 pull-downs, M2/M5
+    pull-ups, M3/M6 access transistors; ``read_buffer`` is only used by
+    the 7T cell.
+    """
+
+    pulldown_left: TfetTableModel
+    pulldown_right: TfetTableModel
+    pullup_left: TfetTableModel
+    pullup_right: TfetTableModel
+    access_left: TfetTableModel
+    access_right: TfetTableModel
+    read_buffer: TfetTableModel | None = None
+
+    @staticmethod
+    def uniform(device: TfetTableModel) -> "TfetDeviceSet":
+        """All positions share one nominal device card."""
+        return TfetDeviceSet(
+            pulldown_left=device,
+            pulldown_right=device,
+            pullup_left=device,
+            pullup_right=device,
+            access_left=device,
+            access_right=device,
+            read_buffer=device,
+        )
+
+    POSITIONS = (
+        "pulldown_left",
+        "pulldown_right",
+        "pullup_left",
+        "pullup_right",
+        "access_left",
+        "access_right",
+        "read_buffer",
+    )
+
+
+class CellBuilder:
+    """Adds transistors *with their device capacitances* to a circuit."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+
+    def add_device(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        model,
+        polarity: str,
+        width_um: float,
+    ) -> None:
+        """Add one FET plus its gate and junction charge elements.
+
+        P-type devices get the mirrored charge functions, matching the
+        polarity mirror applied to their currents.
+        """
+        self.circuit.add_transistor(name, drain, gate, source, model, polarity, width_um)
+        cgs, cgd = self._gate_charges(model)
+        if polarity == "p":
+            cgs, cgd = MirroredCharge(cgs), MirroredCharge(cgd)
+        self.circuit.add_capacitor(gate, source, cgs, scale=width_um, name=f"{name}.cgs")
+        self.circuit.add_capacitor(gate, drain, cgd, scale=width_um, name=f"{name}.cgd")
+        junction = LinearCharge(JUNCTION_CAP_PER_UM)
+        self.circuit.add_capacitor(drain, "0", junction, scale=width_um, name=f"{name}.cjd")
+        self.circuit.add_capacitor(source, "0", junction, scale=width_um, name=f"{name}.cjs")
+
+    @staticmethod
+    def _gate_charges(model):
+        if isinstance(model, TfetTableModel):
+            return model.charges.cgs_per_um, model.charges.cgd_per_um
+        if isinstance(model, MosfetModel):
+            charges = mosfet_charges(model.params.threshold_voltage)
+            return charges.cgs_per_um, charges.cgd_per_um
+        raise TypeError(f"no capacitance model for device type {type(model).__name__}")
+
+    def add_storage_wire_caps(self, nodes: tuple[str, ...] = ("q", "qb")) -> None:
+        for node in nodes:
+            self.circuit.add_capacitor(
+                node, "0", LinearCharge(STORAGE_NODE_WIRE_CAP), name=f"{node}.wire"
+            )

@@ -1,0 +1,50 @@
+"""The 6T CMOS SRAM baseline (32 nm PTM-like devices).
+
+Standard topology of the paper's Fig. 3: cross-coupled inverters
+(M1/M2 and M4/M5) plus two nMOS access transistors (M3/M6) with
+active-high wordline.  MOSFETs conduct in both directions, which is
+exactly the property the TFET cells lack.
+"""
+
+from __future__ import annotations
+
+from repro.devices.library import nmos_device, pmos_device
+from repro.devices.mosfet import MosfetModel
+from repro.sram.base import SixTCellBase
+from repro.sram.cell import CellBuilder, CellSizing
+
+__all__ = ["Cmos6TCell"]
+
+
+class Cmos6TCell(SixTCellBase):
+    """6T CMOS cell; the paper's performance/reliability reference."""
+
+    name = "6T CMOS"
+
+    def __init__(
+        self,
+        sizing: CellSizing | None = None,
+        nmos: MosfetModel | None = None,
+        pmos: MosfetModel | None = None,
+    ):
+        super().__init__(sizing or CellSizing())
+        self.nmos = nmos or nmos_device()
+        self.pmos = pmos or pmos_device()
+
+    def _build_core(self, builder: CellBuilder) -> None:
+        s = self.sizing
+        # Left inverter drives q, right inverter drives qb.
+        builder.add_device("m1_pd", "q", "qb", "vgnd", self.nmos, "n", s.pulldown_width)
+        builder.add_device("m2_pu", "q", "qb", "vddc", self.pmos, "p", s.pullup_width)
+        builder.add_device("m4_pd", "qb", "q", "vgnd", self.nmos, "n", s.pulldown_width)
+        builder.add_device("m5_pu", "qb", "q", "vddc", self.pmos, "p", s.pullup_width)
+        # nMOS access devices; drain/source assignment is immaterial for
+        # the symmetric MOSFET model.
+        builder.add_device("m3_ax", "q", "wl", "bl", self.nmos, "n", s.access_width)
+        builder.add_device("m6_ax", "qb", "wl", "blb", self.nmos, "n", s.access_width)
+
+    def wl_inactive(self, vdd: float) -> float:
+        return 0.0
+
+    def wl_active(self, vdd: float) -> float:
+        return vdd

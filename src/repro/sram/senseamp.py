@@ -1,0 +1,213 @@
+"""Latch-type voltage sense amplifier and the full read path.
+
+The cell-level read delay (`repro.analysis.timing.read_delay`) stops at
+a fixed bitline-split threshold; this module closes the loop the way a
+real macro does: a cross-coupled CMOS latch sense amplifier is hung on
+the bitlines, fired by a sense-enable signal, and the *resolved* output
+is what counts.  The read-path experiment this enables answers the
+question the paper's Fig. 11 leaves open — how much of the TFET cell's
+slow bitline discharge survives once a realistic sense amplifier with
+its own regeneration time is included.
+
+Topology: the standard StrongARM-style voltage latch reduced to its
+cross-coupled core — two CMOS inverters (out/outb) with nMOS footer to
+a sense-enable-pulled virtual ground, plus nMOS pass gates that sample
+the bitlines onto the latch nodes while the latch is disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import Pulse
+from repro.devices.library import nmos_device, pmos_device
+from repro.sram.assist import Assist
+from repro.sram.testbench import BITLINE_CAPACITANCE, Testbench
+
+__all__ = ["SenseAmpSizing", "attach_sense_amplifier", "read_path_testbench"]
+
+
+@dataclass(frozen=True)
+class SenseAmpSizing:
+    """Widths (um) of the latch devices."""
+
+    latch_nmos: float = 0.2
+    latch_pmos: float = 0.3
+    pass_gate: float = 0.15
+    footer: float = 0.4
+
+    mismatch: float = 0.04
+    """Worst-case width imbalance applied *against* the correct
+    resolution (the wrong-side pull-down is this fraction wider) — an
+    ideal matched latch would resolve any infinitesimal split, so the
+    minimum sense delay is set by this offset."""
+
+    def __post_init__(self) -> None:
+        for name in ("latch_nmos", "latch_pmos", "pass_gate", "footer"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 <= self.mismatch < 0.5:
+            raise ValueError("mismatch must lie in [0, 0.5)")
+
+
+def attach_sense_amplifier(
+    circuit: Circuit,
+    bl: str,
+    blb: str,
+    vdd: float,
+    fire_time: float,
+    sizing: SenseAmpSizing | None = None,
+    sample_until: float | None = None,
+) -> tuple[str, str]:
+    """Add the latch to an existing read circuit.
+
+    Returns the latch output node names ``(sa_out, sa_outb)``.
+    ``sa_out`` regenerates toward the side whose bitline stayed high.
+    The pass gates sample the bitlines until ``sample_until`` (defaults
+    to the fire time), then the footer fires and the latch regenerates.
+    """
+    sizing = sizing or SenseAmpSizing()
+    sample_until = fire_time if sample_until is None else sample_until
+    nmos = nmos_device()
+    pmos = pmos_device()
+
+    circuit.add_voltage_source("sa_vdd", "sa_vdd", "0", vdd)
+    # Pass gates sample the bitlines while the latch is off.
+    circuit.add_voltage_source(
+        "sa_sample", "sa_smp", "0",
+        Pulse(base=vdd, active=0.0, t_start=sample_until, width=1e-6),
+    )
+    circuit.add_transistor("sa_pg1", "bl", "sa_smp", "sa_out", nmos, "n", sizing.pass_gate)
+    circuit.add_transistor("sa_pg2", "blb", "sa_smp", "sa_outb", nmos, "n", sizing.pass_gate)
+
+    # Cross-coupled latch core.  The worst-case offset widens the
+    # pull-down that fights the correct decision (sa_out should stay
+    # high when blb is the discharging bitline).
+    circuit.add_transistor("sa_pu1", "sa_out", "sa_outb", "sa_vdd", pmos, "p", sizing.latch_pmos)
+    circuit.add_transistor(
+        "sa_pd1", "sa_out", "sa_outb", "sa_tail", nmos, "n",
+        sizing.latch_nmos * (1.0 + sizing.mismatch),
+    )
+    circuit.add_transistor("sa_pu2", "sa_outb", "sa_out", "sa_vdd", pmos, "p", sizing.latch_pmos)
+    circuit.add_transistor("sa_pd2", "sa_outb", "sa_out", "sa_tail", nmos, "n", sizing.latch_nmos)
+
+    # Footer: floats the tail until sense-enable fires.
+    circuit.add_voltage_source(
+        "sa_enable", "sa_en", "0",
+        Pulse(base=0.0, active=vdd, t_start=fire_time, width=1e-6),
+    )
+    circuit.add_transistor("sa_ft", "sa_tail", "sa_en", "0", nmos, "n", sizing.footer)
+
+    circuit.add_capacitor("sa_out", "0", 2e-16, name="sa_out.load")
+    circuit.add_capacitor("sa_outb", "0", 2e-16, name="sa_outb.load")
+    return "sa_out", "sa_outb"
+
+
+def read_path_testbench(
+    cell,
+    vdd: float,
+    fire_delay: float,
+    assist: Assist | None = None,
+    duration: float = 4e-9,
+    sizing: SenseAmpSizing | None = None,
+    bitline_capacitance: float = BITLINE_CAPACITANCE,
+) -> Testbench:
+    """A cell read with a sense amplifier fired ``fire_delay`` after WL.
+
+    The returned bench's ``notes['fire_time']`` carries the absolute
+    sense-enable time; the read succeeds when ``sa_outb`` (sampling the
+    discharging bitline) resolves low and ``sa_out`` high.
+    """
+    bench = cell.read_testbench(
+        vdd, assist=assist, duration=duration, bitline_capacitance=bitline_capacitance
+    )
+    fire_time = bench.window.t_on + fire_delay
+    attach_sense_amplifier(
+        bench.circuit,
+        "bl",
+        "blb",
+        vdd,
+        fire_time=fire_time,
+        sizing=sizing,
+    )
+    ic = dict(bench.initial_conditions)
+    ic["sa_out"] = ic.get("bl", vdd)
+    ic["sa_outb"] = ic.get("blb", vdd)
+    ic["sa_tail"] = vdd  # floats high until the footer fires
+    return Testbench(
+        circuit=bench.circuit,
+        initial_conditions=ic,
+        window=bench.window,
+        one_node=bench.one_node,
+        zero_node=bench.zero_node,
+        read_bitline=bench.read_bitline,
+        read_reference=bench.read_reference,
+        precharge_level=bench.precharge_level,
+        notes={"fire_time": fire_time},
+    )
+
+
+def sense_resolves_correctly(
+    cell,
+    vdd: float,
+    fire_delay: float,
+    assist: Assist | None = None,
+    sizing: SenseAmpSizing | None = None,
+    bitline_capacitance: float = BITLINE_CAPACITANCE,
+) -> bool:
+    """Whether the offset-afflicted latch resolves the read correctly."""
+    from repro.circuit.transient import simulate_transient
+
+    bench = read_path_testbench(
+        cell,
+        vdd,
+        fire_delay,
+        assist=assist,
+        duration=fire_delay + 1.5e-9,
+        sizing=sizing,
+        bitline_capacitance=bitline_capacitance,
+    )
+    t_stop = bench.notes["fire_time"] + 1.0e-9
+    result = simulate_transient(
+        bench.circuit, t_stop, initial_conditions=bench.initial_conditions
+    )
+    return result.final("sa_out") - result.final("sa_outb") > 0.5 * vdd
+
+
+def minimum_sense_delay(
+    cell,
+    vdd: float,
+    assist: Assist | None = None,
+    sizing: SenseAmpSizing | None = None,
+    bitline_capacitance: float = BITLINE_CAPACITANCE,
+    lower: float = 2e-11,
+    upper: float = 3e-9,
+    relative_tolerance: float = 0.05,
+) -> float:
+    """Smallest wordline-to-sense-enable delay that still reads correctly.
+
+    Bisection over the fire delay; returns ``math.inf`` when even the
+    largest tested delay mis-resolves (offset larger than the final
+    bitline split).
+    """
+    import math
+
+    def ok(delay: float) -> bool:
+        return sense_resolves_correctly(
+            cell, vdd, delay, assist=assist, sizing=sizing,
+            bitline_capacitance=bitline_capacitance,
+        )
+
+    if not ok(upper):
+        return math.inf
+    if ok(lower):
+        return lower
+    lo, hi = lower, upper
+    while hi - lo > relative_tolerance * hi:
+        mid = math.sqrt(lo * hi)
+        if ok(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,96 @@
+"""The 6T TFET SRAM with all four access-transistor configurations.
+
+This is the paper's Section 3 study object.  The cross-coupled
+inverters always use forward-biased TFETs (nTFET pull-downs, pTFET
+pull-ups); the four access choices of Fig. 3(b)-(e) differ in device
+polarity and *orientation*:
+
+* **inward** devices conduct from the bitline into the storage node
+  (they can only charge the node);
+* **outward** devices conduct from the storage node into the bitline
+  (they can only discharge it).
+
+Orientation is set purely by which terminal is the drain:  an nTFET
+conducts drain→source, a pTFET source→drain.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.devices.library import tfet_device
+from repro.sram.base import SixTCellBase
+from repro.sram.cell import CellBuilder, CellSizing, TfetDeviceSet
+
+__all__ = ["AccessConfig", "Tfet6TCell"]
+
+
+class AccessConfig(Enum):
+    """The four access-transistor choices of the paper's Fig. 3."""
+
+    INWARD_N = "inward_n"
+    INWARD_P = "inward_p"
+    OUTWARD_N = "outward_n"
+    OUTWARD_P = "outward_p"
+
+    @property
+    def polarity(self) -> str:
+        return "n" if self.value.endswith("_n") else "p"
+
+    @property
+    def is_inward(self) -> bool:
+        return self.value.startswith("inward")
+
+
+class Tfet6TCell(SixTCellBase):
+    """6T TFET cell parameterized by the access configuration.
+
+    The paper's proposed cell is ``AccessConfig.INWARD_P`` — the only
+    configuration that holds with low static power *and* can both be
+    written (for beta <= 1) and read.
+    """
+
+    def __init__(
+        self,
+        sizing: CellSizing | None = None,
+        access: AccessConfig = AccessConfig.INWARD_P,
+        devices: TfetDeviceSet | None = None,
+    ):
+        super().__init__(sizing or CellSizing())
+        self.access = access
+        self.devices = devices or TfetDeviceSet.uniform(tfet_device())
+        self.name = f"6T TFET ({access.value} access)"
+
+    def _build_core(self, builder: CellBuilder) -> None:
+        s = self.sizing
+        d = self.devices
+        builder.add_device("m1_pd", "q", "qb", "vgnd", d.pulldown_left, "n", s.pulldown_width)
+        builder.add_device("m2_pu", "q", "qb", "vddc", d.pullup_left, "p", s.pullup_width)
+        builder.add_device("m4_pd", "qb", "q", "vgnd", d.pulldown_right, "n", s.pulldown_width)
+        builder.add_device("m5_pu", "qb", "q", "vddc", d.pullup_right, "p", s.pullup_width)
+        self._add_access(builder, "m3_ax", "q", "bl", d.access_left, s.access_width)
+        self._add_access(builder, "m6_ax", "qb", "blb", d.access_right, s.access_width)
+
+    def _add_access(
+        self, builder: CellBuilder, name: str, node: str, bitline: str, model, width: float
+    ) -> None:
+        polarity = self.access.polarity
+        if self.access.is_inward:
+            # Conduction bitline -> node: nTFET needs its drain at the
+            # bitline; pTFET needs its source there.
+            if polarity == "n":
+                builder.add_device(name, bitline, "wl", node, model, "n", width)
+            else:
+                builder.add_device(name, node, "wl", bitline, model, "p", width)
+        else:
+            # Conduction node -> bitline.
+            if polarity == "n":
+                builder.add_device(name, node, "wl", bitline, model, "n", width)
+            else:
+                builder.add_device(name, bitline, "wl", node, model, "p", width)
+
+    def wl_inactive(self, vdd: float) -> float:
+        return vdd if self.access.polarity == "p" else 0.0
+
+    def wl_active(self, vdd: float) -> float:
+        return 0.0 if self.access.polarity == "p" else vdd

@@ -1,0 +1,80 @@
+"""Tests for dynamic energy and leakage attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.energy import read_energy, write_energy
+from repro.analysis.leakage import leakage_breakdown
+from repro.sram import (
+    READ_ASSISTS,
+    AccessConfig,
+    CellSizing,
+    Cmos6TCell,
+    Tfet6TCell,
+)
+
+VDD = 0.8
+
+
+@pytest.fixture(scope="module")
+def proposed():
+    return Tfet6TCell(CellSizing().with_beta(0.6), access=AccessConfig.INWARD_P)
+
+
+class TestOperationEnergy:
+    def test_write_energy_in_femtojoule_regime(self, proposed):
+        e = write_energy(proposed, VDD)
+        # Node charges are ~fC at 0.8 V: the energy must land in the
+        # sub-10 fJ window, orders above the leakage baseline.
+        assert 1e-17 < e < 1e-14
+
+    def test_read_energy_positive(self, proposed):
+        e = read_energy(proposed, VDD)
+        assert e > 0.0
+
+    def test_assisted_read_costs_more(self, proposed):
+        plain = read_energy(proposed, VDD)
+        assisted = read_energy(proposed, VDD, assist=READ_ASSISTS["vgnd_lowering"])
+        # The paper's caveat: generating the lowered V_GND costs
+        # dynamic power.
+        assert assisted > plain
+
+    def test_higher_vdd_costs_more(self, proposed):
+        assert write_energy(proposed, 0.9) > write_energy(proposed, 0.6)
+
+
+class TestLeakageBreakdown:
+    def test_total_matches_hold_power_scale(self, proposed):
+        from repro.analysis.power import hold_power
+
+        breakdown = leakage_breakdown(proposed.hold_testbench(VDD))
+        total = breakdown.total_dissipation
+        reference = hold_power(proposed, VDD, average_states=False)
+        assert total == pytest.approx(reference, rel=0.5)
+
+    def test_outward_cell_dominated_by_reverse_biased_access(self):
+        cell = Tfet6TCell(CellSizing(), access=AccessConfig.OUTWARD_N)
+        breakdown = leakage_breakdown(cell.hold_testbench(VDD))
+        dominant = breakdown.dominant()
+        assert dominant.name in ("m3_ax", "m6_ax")
+        assert dominant.is_reverse_biased
+        assert breakdown.fraction(dominant.name) > 0.9
+
+    def test_inward_cell_has_no_reverse_biased_device(self, proposed):
+        breakdown = leakage_breakdown(proposed.hold_testbench(VDD))
+        significant = [
+            d for d in breakdown.devices if d.dissipation > 0.01 * breakdown.total_dissipation
+        ]
+        assert all(not d.is_reverse_biased for d in significant)
+
+    def test_cmos_breakdown_spreads_over_off_devices(self):
+        cell = Cmos6TCell(CellSizing().with_beta(1.3))
+        breakdown = leakage_breakdown(cell.hold_testbench(VDD))
+        assert breakdown.total_dissipation > 1e-13
+        assert breakdown.fraction(breakdown.dominant().name) < 0.9
+
+    def test_unknown_device_fraction_raises(self, proposed):
+        breakdown = leakage_breakdown(proposed.hold_testbench(VDD))
+        with pytest.raises(KeyError):
+            breakdown.fraction("m99")

@@ -1,0 +1,154 @@
+"""Tests for the Monte-Carlo engine."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import (
+    MonteCarloResult,
+    MonteCarloStudy,
+    varied_device_set,
+)
+from repro.devices.library import tfet_device
+from repro.sram import AccessConfig, CellSizing, Tfet6TCell
+from repro.sram.cell import TfetDeviceSet
+
+
+class TestVariedDeviceSet:
+    def test_nominal_scales_reuse_cached_card(self):
+        ds = varied_device_set([1.0] * 7)
+        assert ds.pulldown_left is tfet_device()
+        assert ds.read_buffer is tfet_device()
+
+    def test_positions_follow_order(self):
+        scales = [0.95, 1.05, 1.0, 1.0, 1.0, 1.0, 1.0]
+        ds = varied_device_set(scales)
+        assert ds.pulldown_left is tfet_device(0.95)
+        assert ds.pulldown_right is tfet_device(1.05)
+
+    def test_short_scale_list_pads_with_nominal(self):
+        ds = varied_device_set([0.95])
+        assert ds.pulldown_left is tfet_device(0.95)
+        assert ds.access_left is tfet_device()
+
+
+class TestMonteCarloResult:
+    def test_statistics_with_failures(self):
+        samples = np.array([1.0, 2.0, 3.0, math.inf])
+        r = MonteCarloResult("m", samples)
+        assert r.failure_count == 1
+        assert r.failure_fraction == pytest.approx(0.25)
+        assert r.mean() == pytest.approx(2.0)
+        assert r.std() == pytest.approx(np.std([1.0, 2.0, 3.0]))
+
+    def test_spread(self):
+        r = MonteCarloResult("m", np.array([1.0, 3.0]))
+        assert r.spread() == pytest.approx(0.5)
+
+    def test_all_failures(self):
+        r = MonteCarloResult("m", np.array([math.inf, math.inf]))
+        assert math.isinf(r.mean())
+        assert r.failure_count == 2
+
+    def test_histogram(self):
+        r = MonteCarloResult("m", np.linspace(0.0, 1.0, 100))
+        counts, edges = r.histogram(bins=10)
+        assert counts.sum() == 100
+        assert len(edges) == 11
+
+    def test_empty_histogram(self):
+        r = MonteCarloResult("m", np.array([math.inf]))
+        counts, _ = r.histogram()
+        assert counts.sum() == 0
+
+
+class TestMonteCarloStudy:
+    def make_study(self, metric):
+        sizing = CellSizing().with_beta(0.6)
+        return MonteCarloStudy(
+            cell_factory=lambda d: Tfet6TCell(sizing, AccessConfig.INWARD_P, devices=d),
+            metric=metric,
+            metric_name="probe",
+        )
+
+    def test_reproducible_with_seed(self):
+        seen = []
+
+        def metric(cell):
+            seen.append(cell.devices.pulldown_left.on_current(1.0))
+            return seen[-1]
+
+        a = self.make_study(metric).run(4, seed=7)
+        b = self.make_study(metric).run(4, seed=7)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_samples_vary_between_draws(self):
+        def metric(cell):
+            return cell.devices.pulldown_left.on_current(1.0)
+
+        result = self.make_study(metric).run(8, seed=11)
+        assert np.std(result.samples) > 0.0
+
+    def test_each_sample_gets_independent_devices(self):
+        def metric(cell):
+            cards = {
+                id(getattr(cell.devices, p))
+                for p in TfetDeviceSet.POSITIONS
+                if getattr(cell.devices, p) is not None
+            }
+            return float(len(cards))
+
+        result = self.make_study(metric).run(5, seed=3)
+        # With 7 independent draws per sample, most samples should see
+        # several distinct cards.
+        assert result.mean() > 2.0
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            self.make_study(lambda c: 0.0).run(0)
+
+    def test_real_metric_smoke(self):
+        from repro.analysis.stability import dynamic_read_noise_margin
+
+        study = self.make_study(
+            lambda c: dynamic_read_noise_margin(c.read_testbench(0.8))
+        )
+        result = study.run(3, seed=5)
+        assert result.failure_count == 0
+        assert 0.3 < result.mean() < 0.8
+        assert result.spread() < 0.2
+
+
+class TestYieldEstimates:
+    def make(self, values):
+        return MonteCarloResult("m", np.asarray(values, dtype=float))
+
+    def test_yield_below_counts_finite_passes(self):
+        r = self.make([1.0, 2.0, 3.0, math.inf])
+        assert r.yield_below(2.5) == pytest.approx(0.5)
+
+    def test_yield_above(self):
+        r = self.make([0.1, 0.5, 0.9])
+        assert r.yield_above(0.4) == pytest.approx(2 / 3)
+
+    def test_failures_count_against_yield(self):
+        r = self.make([1.0, math.inf])
+        assert r.yield_below(10.0) == pytest.approx(0.5)
+        assert r.yield_above(0.0) == pytest.approx(0.5)
+
+    def test_gaussian_yield_matches_empirical_for_large_sample(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(1.0, 0.1, 4000)
+        r = self.make(samples)
+        assert r.gaussian_yield_below(1.1) == pytest.approx(r.yield_below(1.1), abs=0.02)
+
+    def test_gaussian_yield_scales_with_failures(self):
+        samples = np.array([1.0, 1.01, 0.99, math.inf])
+        r = self.make(samples)
+        assert r.gaussian_yield_below(5.0) == pytest.approx(0.75, abs=0.01)
+
+    def test_gaussian_yield_nan_for_tiny_sample(self):
+        assert math.isnan(self.make([1.0]).gaussian_yield_below(2.0))

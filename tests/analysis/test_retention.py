@@ -1,0 +1,62 @@
+"""Tests for the data-retention-voltage analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.retention import holds_state_at, retention_voltage
+from repro.experiments.designs import cmos_cell, proposed_cell
+
+
+class TestHoldsStateAt:
+    def test_holds_at_nominal(self):
+        assert holds_state_at(proposed_cell(), 0.8)
+
+    def test_fails_near_zero(self):
+        assert not holds_state_at(proposed_cell(), 0.05)
+
+
+class TestRetentionVoltage:
+    @pytest.fixture(scope="class")
+    def tfet_drv(self):
+        return retention_voltage(proposed_cell(), points=17)
+
+    @pytest.fixture(scope="class")
+    def cmos_drv(self):
+        return retention_voltage(cmos_cell(), points=17)
+
+    def test_drv_in_plausible_window(self, tfet_drv, cmos_drv):
+        assert 0.1 < tfet_drv < 0.4
+        assert 0.05 < cmos_drv < 0.3
+
+    def test_tfet_retention_floor_above_cmos(self, tfet_drv, cmos_drv):
+        # The non-obvious result: the late tunneling onset costs the
+        # TFET cell retention-voltage headroom.
+        assert tfet_drv > cmos_drv
+
+    def test_cell_holds_at_its_drv(self, tfet_drv):
+        assert holds_state_at(proposed_cell(), tfet_drv, points=17)
+
+    def test_cell_fails_below_its_drv(self, tfet_drv):
+        assert not holds_state_at(proposed_cell(), tfet_drv - 0.05, points=17)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            retention_voltage(proposed_cell(), vdd_max=0.1, vdd_min=0.2)
+
+
+class TestRetentionExperiment:
+    def test_experiment_runs_and_reports_saving(self):
+        from repro.experiments import ext_retention
+
+        result = ext_retention.run(points=17)
+        rows = {row[0]: row for row in result.rows}
+        h = result.header
+        tfet = rows["proposed TFET"]
+        cmos = rows["6T CMOS"]
+        # Standby saving from V_DD scaling is positive for both ...
+        assert tfet[h.index("standby saving")] > 1.0
+        # ... but the absolute TFET floor is orders below CMOS's.
+        assert cmos[h.index("standby @ retention (W)")] > 1e4 * tfet[
+            h.index("standby @ retention (W)")
+        ]

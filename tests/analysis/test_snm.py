@@ -1,0 +1,59 @@
+"""Tests for the static-noise-margin (butterfly) analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.snm import ButterflyCurves, butterfly_curves, static_noise_margin
+from repro.sram import AccessConfig, CellSizing, Cmos6TCell, Tfet6TCell
+
+
+class TestButterflyGeometry:
+    def test_ideal_inverter_pair_margin(self):
+        # Two ideal rail-to-rail inverters switching at VDD/2: the lobe
+        # square has side VDD/2 (classic textbook result is ~VDD/2 for
+        # a step VTC).
+        vdd = 1.0
+        x = np.linspace(0.0, vdd, 201)
+        step = np.where(x < vdd / 2, vdd, 0.0)
+        curves = ButterflyCurves(inputs=x, forward=step, reverse=step)
+        assert curves.noise_margin() == pytest.approx(vdd / 2, abs=0.02)
+
+    def test_degenerate_curves_give_zero_margin(self):
+        # Both "inverters" are wires: the butterfly has no lobes.
+        x = np.linspace(0.0, 1.0, 51)
+        curves = ButterflyCurves(inputs=x, forward=x.copy(), reverse=x.copy())
+        assert curves.noise_margin() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestOnCells:
+    @pytest.fixture(scope="class")
+    def tfet_cell(self):
+        return Tfet6TCell(CellSizing().with_beta(0.6), access=AccessConfig.INWARD_P)
+
+    def test_hold_snm_healthy(self, tfet_cell):
+        snm = static_noise_margin(tfet_cell, 0.8, read_condition=False, points=21)
+        assert 0.2 < snm < 0.45
+
+    def test_read_snm_much_smaller_than_hold(self, tfet_cell):
+        hold = static_noise_margin(tfet_cell, 0.8, read_condition=False, points=21)
+        read = static_noise_margin(tfet_cell, 0.8, read_condition=True, points=21)
+        assert read < 0.5 * hold
+
+    def test_cmos_read_snm_beats_write_sized_tfet(self, tfet_cell):
+        cmos = Cmos6TCell(CellSizing().with_beta(1.3))
+        snm_cmos = static_noise_margin(cmos, 0.8, read_condition=True, points=21)
+        snm_tfet = static_noise_margin(tfet_cell, 0.8, read_condition=True, points=21)
+        assert snm_cmos > snm_tfet
+
+    def test_dynamic_margin_exceeds_static_read_margin(self, tfet_cell):
+        from repro.analysis.stability import dynamic_read_noise_margin
+
+        static = static_noise_margin(tfet_cell, 0.8, read_condition=True, points=21)
+        dynamic = dynamic_read_noise_margin(tfet_cell.read_testbench(0.8))
+        assert dynamic > 3.0 * static
+
+    def test_butterfly_curves_monotone(self, tfet_cell):
+        curves = butterfly_curves(tfet_cell, 0.8, read_condition=False, points=15)
+        assert all(b <= a + 1e-6 for a, b in zip(curves.forward, curves.forward[1:]))

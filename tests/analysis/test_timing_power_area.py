@@ -1,0 +1,100 @@
+"""Tests for delay, power, and area analyses."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.area import AreaModel, area_report, cell_area_um2
+from repro.analysis.power import hold_power
+from repro.analysis.timing import read_delay, write_delay
+from repro.sram import (
+    AccessConfig,
+    CellSizing,
+    Cmos6TCell,
+    Tfet6TCell,
+    Tfet7TCell,
+)
+
+VDD = 0.8
+
+
+@pytest.fixture(scope="module")
+def proposed():
+    return Tfet6TCell(CellSizing().with_beta(0.6), access=AccessConfig.INWARD_P)
+
+
+@pytest.fixture(scope="module")
+def cmos():
+    return Cmos6TCell(CellSizing().with_beta(1.3))
+
+
+class TestWriteDelay:
+    def test_cmos_faster_than_tfet(self, proposed, cmos):
+        assert write_delay(cmos, VDD) < write_delay(proposed, VDD, pulse_width=4e-9)
+
+    def test_unwritable_cell_reports_infinity(self):
+        cell = Tfet6TCell(CellSizing().with_beta(2.5), access=AccessConfig.INWARD_P)
+        assert math.isinf(write_delay(cell, VDD, pulse_width=2e-9))
+
+    def test_delay_positive(self, cmos):
+        assert write_delay(cmos, VDD) > 0.0
+
+    def test_delay_shrinks_with_supply(self, cmos):
+        assert write_delay(cmos, 0.9) < write_delay(cmos, 0.6)
+
+
+class TestReadDelay:
+    def test_positive_and_finite(self, proposed):
+        d = read_delay(proposed, VDD)
+        assert 0.0 < d < 4e-9
+
+    def test_faster_at_higher_vdd(self, proposed):
+        assert read_delay(proposed, 0.9) < read_delay(proposed, 0.6, duration=8e-9)
+
+    def test_higher_threshold_takes_longer(self, proposed):
+        fast = read_delay(proposed, VDD, threshold=0.02)
+        slow = read_delay(proposed, VDD, threshold=0.10)
+        assert slow > fast
+
+    def test_infinite_when_threshold_unreachable(self, proposed):
+        assert math.isinf(read_delay(proposed, VDD, duration=5e-11, threshold=0.5))
+
+    def test_single_ended_7t_read(self):
+        d = read_delay(Tfet7TCell(), VDD)
+        assert 0.0 < d < 4e-9
+
+
+class TestHoldPower:
+    def test_state_averaging(self, proposed):
+        averaged = hold_power(proposed, VDD)
+        single = hold_power(proposed, VDD, average_states=False)
+        # The symmetric proposed cell leaks the same in both states.
+        assert averaged == pytest.approx(single, rel=0.1)
+
+    def test_grows_with_supply(self, proposed):
+        assert hold_power(proposed, 0.8) > hold_power(proposed, 0.5)
+
+    def test_positive(self, proposed):
+        assert hold_power(proposed, 0.5) > 0.0
+
+
+class TestArea:
+    def test_seven_t_in_paper_band(self, proposed):
+        ratio = cell_area_um2(Tfet7TCell()) / cell_area_um2(proposed)
+        assert 1.08 <= ratio <= 1.18
+
+    def test_area_grows_with_width(self):
+        small = Tfet6TCell(CellSizing().with_beta(0.5))
+        large = Tfet6TCell(CellSizing().with_beta(2.0))
+        assert cell_area_um2(large) > cell_area_um2(small)
+
+    def test_transistor_area_model(self):
+        m = AreaModel()
+        assert m.transistor_area(0.2) > m.transistor_area(0.1)
+
+    def test_report_covers_all_cells(self, proposed):
+        report = area_report({"a": proposed, "b": Tfet7TCell()})
+        assert set(report) == {"a", "b"}
+        assert all(v > 0 for v in report.values())

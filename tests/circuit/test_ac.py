@@ -1,0 +1,95 @@
+"""Tests for small-signal AC analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ac_analysis, capacitance_matrix
+from repro.circuit.dcop import solve_dc
+from repro.circuit.mna import MnaSystem
+from repro.circuit.netlist import Circuit
+from repro.devices.library import tfet_device
+
+
+def rc_lowpass(r=1e4, c=1e-13):
+    ckt = Circuit("rc")
+    ckt.add_voltage_source("vin", "in", "0", 0.0)
+    ckt.add_resistor("in", "out", r)
+    ckt.add_capacitor("out", "0", c)
+    return ckt
+
+
+class TestRcLowpass:
+    def test_dc_gain_unity(self):
+        res = ac_analysis(rc_lowpass(), "vin", np.logspace(3, 10, 50))
+        assert res.dc_gain("out") == pytest.approx(1.0, rel=1e-3)
+
+    def test_corner_frequency(self):
+        r, c = 1e4, 1e-13
+        res = ac_analysis(rc_lowpass(r, c), "vin", np.logspace(6, 10, 200))
+        expected = 1.0 / (2 * np.pi * r * c)
+        assert res.bandwidth_3db("out") == pytest.approx(expected, rel=0.02)
+
+    def test_rolloff_20db_per_decade(self):
+        res = ac_analysis(rc_lowpass(), "vin", np.logspace(9, 10, 11))
+        mags = res.magnitude_db("out")
+        assert mags[-1] - mags[0] == pytest.approx(-20.0, abs=1.0)
+
+    def test_phase_approaches_minus_ninety(self):
+        res = ac_analysis(rc_lowpass(), "vin", np.logspace(10, 11, 5))
+        assert res.phase_deg("out")[-1] == pytest.approx(-90.0, abs=5.0)
+
+    def test_bandwidth_inf_when_not_reached(self):
+        res = ac_analysis(rc_lowpass(), "vin", np.logspace(3, 4, 5))
+        assert res.bandwidth_3db("out") == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ac_analysis(rc_lowpass(), "vin", np.array([]))
+        with pytest.raises(ValueError):
+            ac_analysis(rc_lowpass(), "vin", np.array([-1.0]))
+
+
+class TestCapacitanceMatrix:
+    def test_grounded_cap_on_diagonal(self):
+        ckt = Circuit()
+        ckt.add_capacitor("a", "0", 2e-15)
+        system = MnaSystem(ckt)
+        c = capacitance_matrix(system, np.zeros(system.size))
+        assert c[0, 0] == pytest.approx(2e-15)
+
+    def test_floating_cap_symmetric_stamp(self):
+        ckt = Circuit()
+        ckt.add_capacitor("a", "b", 3e-15)
+        system = MnaSystem(ckt)
+        c = capacitance_matrix(system, np.zeros(system.size))
+        assert c[0, 0] == pytest.approx(3e-15)
+        assert c[0, 1] == pytest.approx(-3e-15)
+        assert c[1, 0] == pytest.approx(-3e-15)
+        assert c[1, 1] == pytest.approx(3e-15)
+
+
+class TestTfetInverterAc:
+    @pytest.fixture(scope="class")
+    def inverter(self):
+        ckt = Circuit("tfet inverter")
+        ckt.add_voltage_source("vdd", "vdd", "0", 0.8)
+        ckt.add_voltage_source("vin", "in", "0", 0.4)
+        d = tfet_device()
+        ckt.add_transistor("mp", "out", "in", "vdd", d, "p", 0.1)
+        ckt.add_transistor("mn", "out", "in", "0", d, "n", 0.1)
+        ckt.add_capacitor("out", "0", 5e-16)
+        return ckt
+
+    def test_gain_above_unity_at_trip_point(self, inverter):
+        op = solve_dc(inverter, initial_guess={"out": 0.4})
+        res = ac_analysis(inverter, "vin", np.logspace(3, 6, 10), operating_point=op)
+        assert res.dc_gain("out") > 1.0
+
+    def test_gain_rolls_off(self, inverter):
+        op = solve_dc(inverter, initial_guess={"out": 0.4})
+        res = ac_analysis(
+            inverter, "vin", np.logspace(3, 13, 60), operating_point=op
+        )
+        assert np.isfinite(res.bandwidth_3db("out"))

@@ -1,0 +1,70 @@
+"""Validation tests for circuit element dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.elements import (
+    GROUND,
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    Transistor,
+    VoltageSource,
+)
+from repro.circuit.waveforms import Constant
+from repro.devices.charges import LinearCharge
+from repro.devices.library import tfet_device
+
+
+class TestResistor:
+    def test_valid(self):
+        r = Resistor(0, GROUND, 1e3)
+        assert r.resistance == 1e3
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ValueError):
+            Resistor(0, 1, 0.0)
+
+    def test_rejects_invalid_node(self):
+        with pytest.raises(ValueError):
+            Resistor(-2, 0, 1.0)
+
+
+class TestCapacitor:
+    def test_valid(self):
+        c = Capacitor(0, GROUND, LinearCharge(1e-15), scale=2.0, name="c1")
+        assert c.scale == 2.0
+
+    def test_rejects_negative_scale(self):
+        with pytest.raises(ValueError):
+            Capacitor(0, 1, LinearCharge(1e-15), scale=-1.0)
+
+
+class TestSources:
+    def test_voltage_source_dc_helper(self):
+        src = VoltageSource.dc(0, GROUND, 1.2, "vdd")
+        assert src.waveform.value(0.0) == 1.2
+        assert src.name == "vdd"
+
+    def test_current_source_nodes_validated(self):
+        with pytest.raises(ValueError):
+            CurrentSource(-5, 0, Constant(1e-6))
+
+
+class TestTransistor:
+    def test_valid(self):
+        t = Transistor(0, 1, GROUND, tfet_device(), "p", 0.2, "mp")
+        assert t.polarity == "p"
+
+    def test_rejects_bad_polarity(self):
+        with pytest.raises(ValueError):
+            Transistor(0, 1, 2, tfet_device(), "x", 0.1)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            Transistor(0, 1, 2, tfet_device(), "n", -0.1)
+
+    def test_rejects_invalid_terminal(self):
+        with pytest.raises(ValueError):
+            Transistor(0, -3, 2, tfet_device(), "n", 0.1)

@@ -1,0 +1,138 @@
+"""Tests for waveform measurements."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.measure import (
+    cross_time,
+    fall_time,
+    overshoot,
+    propagation_delay,
+    pulse_width,
+    rise_time,
+    settling_time,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.results import TransientResult
+
+
+def synthetic_result(times, **node_waves):
+    c = Circuit()
+    for name in node_waves:
+        c.node(name)
+    states = np.column_stack([np.asarray(v, dtype=float) for v in node_waves.values()])
+    return TransientResult(c, np.asarray(times, dtype=float), states)
+
+
+@pytest.fixture
+def ramp():
+    # "a" ramps 0->1 V over 1 ns starting at 1 ns; "b" follows 0.5 ns later.
+    t = np.linspace(0.0, 4e-9, 401)
+    a = np.clip((t - 1e-9) / 1e-9, 0.0, 1.0)
+    b = np.clip((t - 1.5e-9) / 1e-9, 0.0, 1.0)
+    return synthetic_result(t, a=a, b=b)
+
+
+class TestCrossTime:
+    def test_linear_interpolation(self, ramp):
+        assert cross_time(ramp, "a", 0.5) == pytest.approx(1.5e-9, rel=1e-6)
+
+    def test_never_crossing_is_inf(self, ramp):
+        assert math.isinf(cross_time(ramp, "a", 2.0))
+
+    def test_after_parameter(self, ramp):
+        assert math.isinf(cross_time(ramp, "a", 0.5, after=3e-9))
+
+    def test_direction_filter(self):
+        t = np.linspace(0, 4e-9, 401)
+        v = np.where((t > 1e-9) & (t < 3e-9), 1.0, 0.0)
+        res = synthetic_result(t, x=v)
+        t_rise = cross_time(res, "x", 0.5, direction="rise")
+        t_fall = cross_time(res, "x", 0.5, direction="fall")
+        assert t_rise < t_fall
+        assert t_fall == pytest.approx(3e-9, abs=2e-11)
+
+    def test_occurrence_validation(self, ramp):
+        with pytest.raises(ValueError):
+            cross_time(ramp, "a", 0.5, occurrence=0)
+        with pytest.raises(ValueError):
+            cross_time(ramp, "a", 0.5, direction="sideways")
+
+
+class TestEdgeTimes:
+    def test_rise_time_of_linear_ramp(self, ramp):
+        # 10 % -> 90 % of a 1 ns full-swing ramp is 0.8 ns.
+        assert rise_time(ramp, "a", 0.0, 1.0) == pytest.approx(0.8e-9, rel=1e-3)
+
+    def test_fall_time(self):
+        t = np.linspace(0, 2e-9, 201)
+        v = np.clip(1.0 - (t - 0.5e-9) / 1e-9, 0.0, 1.0)
+        res = synthetic_result(t, y=v)
+        assert fall_time(res, "y", 0.0, 1.0) == pytest.approx(0.8e-9, rel=1e-3)
+
+    def test_rise_time_inf_when_incomplete(self):
+        t = np.linspace(0, 1e-9, 101)
+        v = np.clip(t / 2e-9, 0.0, 1.0)  # only reaches 0.5
+        res = synthetic_result(t, z=v)
+        assert math.isinf(rise_time(res, "z", 0.0, 1.0))
+
+
+class TestDelayAndShape:
+    def test_propagation_delay(self, ramp):
+        d = propagation_delay(ramp, "a", "b", 0.5, 0.5)
+        assert d == pytest.approx(0.5e-9, rel=1e-3)
+
+    def test_overshoot(self):
+        t = np.linspace(0, 1e-9, 101)
+        v = 1.0 + 0.2 * np.exp(-t / 1e-10) * np.cos(t / 2e-11)
+        res = synthetic_result(t, x=v)
+        assert overshoot(res, "x", 1.0) == pytest.approx(0.2, abs=0.01)
+
+    def test_overshoot_zero_when_below_target(self, ramp):
+        assert overshoot(ramp, "a", 1.5) == 0.0
+
+    def test_settling_time(self):
+        t = np.linspace(0, 1e-8, 1001)
+        v = 1.0 - np.exp(-t / 1e-9)
+        res = synthetic_result(t, x=v)
+        # Settles within 1 % at t = -tau ln(0.01) ~ 4.6 ns.
+        assert settling_time(res, "x", 1.0, 0.01) == pytest.approx(4.6e-9, rel=0.05)
+
+    def test_settling_tolerance_validation(self, ramp):
+        with pytest.raises(ValueError):
+            settling_time(ramp, "a", 1.0, 0.0)
+
+    def test_pulse_width(self):
+        t = np.linspace(0, 4e-9, 401)
+        v = np.where((t > 1e-9) & (t < 2.5e-9), 1.0, 0.0)
+        res = synthetic_result(t, x=v)
+        assert pulse_width(res, "x", 0.5) == pytest.approx(1.5e-9, abs=3e-11)
+
+    def test_unclosed_pulse_is_inf(self, ramp):
+        assert math.isinf(pulse_width(ramp, "a", 0.5))
+
+
+class TestOnRealSimulation:
+    def test_inverter_propagation_delay(self):
+        from repro.circuit.transient import simulate_transient
+        from repro.circuit.waveforms import Pulse
+        from repro.devices.library import tfet_device
+
+        c = Circuit()
+        c.add_voltage_source("vdd", "vdd", "0", 0.8)
+        c.add_voltage_source(
+            "vin", "in", "0", Pulse(0.0, 0.8, t_start=2e-10, width=3e-9)
+        )
+        d = tfet_device()
+        c.add_transistor("mp", "out", "in", "vdd", d, "p", 0.1)
+        c.add_transistor("mn", "out", "in", "0", d, "n", 0.1)
+        c.add_capacitor("out", "0", 5e-16)
+        res = simulate_transient(c, 3e-9, initial_conditions={"out": 0.8})
+        delay = propagation_delay(res, "in", "out", 0.4, 0.4)
+        assert 0.0 < delay < 1e-9
+        ft = fall_time(res, "out", 0.0, 0.8, after=2e-10)
+        assert 0.0 < ft < 2e-9

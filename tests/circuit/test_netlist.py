@@ -1,0 +1,91 @@
+"""Tests for the netlist container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.elements import GROUND
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import Pulse
+
+
+class TestNodes:
+    def test_ground_aliases(self):
+        c = Circuit()
+        for name in ("0", "gnd", "GND"):
+            assert c.node(name) == GROUND
+
+    def test_nodes_numbered_in_creation_order(self):
+        c = Circuit()
+        assert c.node("a") == 0
+        assert c.node("b") == 1
+        assert c.node("a") == 0
+
+    def test_index_of_unknown_raises(self):
+        c = Circuit()
+        with pytest.raises(KeyError):
+            c.index_of("nope")
+
+    def test_index_of_ground(self):
+        assert Circuit().index_of("0") == GROUND
+
+    def test_node_names_ordered(self):
+        c = Circuit()
+        c.node("x")
+        c.node("y")
+        assert c.node_names == ["x", "y"]
+
+
+class TestElements:
+    def test_add_resistor(self):
+        c = Circuit()
+        r = c.add_resistor("a", "0", 1e3)
+        assert r.a == 0 and r.b == GROUND
+        assert len(c.resistors) == 1
+
+    def test_float_capacitor_becomes_linear_charge(self):
+        c = Circuit()
+        cap = c.add_capacitor("a", "0", 1e-15)
+        assert float(cap.charge.capacitance(0.0)) == pytest.approx(1e-15)
+
+    def test_float_source_becomes_constant(self):
+        c = Circuit()
+        src = c.add_voltage_source("v1", "a", "0", 1.5)
+        assert src.waveform.value(0.0) == 1.5
+
+    def test_source_index(self):
+        c = Circuit()
+        c.add_voltage_source("v1", "a", "0", 1.0)
+        c.add_voltage_source("v2", "b", "0", 2.0)
+        assert c.source_index("v2") == 1
+        with pytest.raises(KeyError):
+            c.source_index("v3")
+
+    def test_unknown_count(self):
+        c = Circuit()
+        c.add_voltage_source("v1", "a", "0", 1.0)
+        c.add_resistor("a", "b", 1.0)
+        assert c.node_count == 2
+        assert c.unknown_count == 3
+
+    def test_breakpoints_union_sorted(self):
+        c = Circuit()
+        c.add_voltage_source("v1", "a", "0", Pulse(0, 1, t_start=2e-10, width=1e-10))
+        c.add_voltage_source("v2", "b", "0", Pulse(0, 1, t_start=1e-10, width=1e-10))
+        bps = c.breakpoints()
+        assert bps == sorted(bps)
+        assert bps[0] == 1e-10
+
+    def test_transistor_validation(self):
+        from repro.devices.library import nmos_device
+
+        c = Circuit()
+        with pytest.raises(ValueError, match="polarity"):
+            c.add_transistor("m1", "d", "g", "s", nmos_device(), polarity="x")
+        with pytest.raises(ValueError, match="width"):
+            c.add_transistor("m1", "d", "g", "s", nmos_device(), width_um=0.0)
+
+    def test_resistor_validation(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.add_resistor("a", "0", 0.0)

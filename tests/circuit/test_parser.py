@@ -1,0 +1,129 @@
+"""Tests for the SPICE-subset netlist parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.dcop import solve_dc
+from repro.circuit.parser import NetlistSyntaxError, parse_netlist, parse_value
+from repro.circuit.transient import simulate_transient
+from repro.circuit.waveforms import Constant, PiecewiseLinear, Pulse
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("10k", 1e4),
+            ("1.5f", 1.5e-15),
+            ("0.8", 0.8),
+            ("100n", 1e-7),
+            ("2meg", 2e6),
+            ("3u", 3e-6),
+            ("-5m", -5e-3),
+            ("1e-12", 1e-12),
+            ("2.5E3", 2500.0),
+        ],
+    )
+    def test_suffixes(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_value("abc")
+        with pytest.raises(ValueError):
+            parse_value("1x")
+
+
+class TestParseCards:
+    def test_divider_deck(self):
+        deck = """* resistive divider
+V1 in 0 DC 1.0
+R1 in mid 1k
+R2 mid 0 3k
+.end
+"""
+        circuit = parse_netlist(deck)
+        assert circuit.title == "resistive divider"
+        op = solve_dc(circuit)
+        assert op.voltage("mid") == pytest.approx(0.75, rel=1e-6)
+
+    def test_comments_and_blanks_skipped(self):
+        deck = """
+* a comment
+V1 a 0 1.0
+
+R1 a 0 1k  * trailing comment
+"""
+        circuit = parse_netlist(deck)
+        assert len(circuit.resistors) == 1
+
+    def test_pulse_source(self):
+        circuit = parse_netlist("V1 a 0 PULSE(0 0.8 1n 2n 10p)\n")
+        wf = circuit.voltage_sources[0].waveform
+        assert isinstance(wf, Pulse)
+        assert wf.active == pytest.approx(0.8)
+        assert wf.t_start == pytest.approx(1e-9)
+        assert wf.t_edge == pytest.approx(1e-11)
+
+    def test_pwl_source(self):
+        circuit = parse_netlist("V1 a 0 PWL(0 0 1n 0.8 2n 0.4)\n")
+        wf = circuit.voltage_sources[0].waveform
+        assert isinstance(wf, PiecewiseLinear)
+        assert wf.value(1e-9) == pytest.approx(0.8)
+
+    def test_dc_keyword_optional(self):
+        circuit = parse_netlist("V1 a 0 0.8\n")
+        assert isinstance(circuit.voltage_sources[0].waveform, Constant)
+
+    def test_current_source(self):
+        circuit = parse_netlist("I1 a b DC 1u\n")
+        assert circuit.current_sources[0].waveform.value(0.0) == pytest.approx(1e-6)
+
+    def test_transistor_with_width(self):
+        circuit = parse_netlist("M1 d g s ntfet W=0.2u\n")
+        t = circuit.transistors[0]
+        assert t.polarity == "n"
+        assert t.width_um == pytest.approx(0.2)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(NetlistSyntaxError, match="unknown model"):
+            parse_netlist("M1 d g s bjt\n")
+
+    def test_unknown_card_rejected(self):
+        with pytest.raises(NetlistSyntaxError) as err:
+            parse_netlist("Q1 a b c\n")
+        assert err.value.line_number == 1
+
+    def test_dot_cards_rejected(self):
+        with pytest.raises(NetlistSyntaxError, match="dot-card"):
+            parse_netlist(".tran 1n 10n\n")
+
+    def test_short_card_reports_line(self):
+        with pytest.raises(NetlistSyntaxError) as err:
+            parse_netlist("V1 a 0 1.0\nR1 in\n")
+        assert err.value.line_number == 2
+
+
+class TestEndToEnd:
+    def test_tfet_inverter_deck_simulates(self):
+        deck = """* tfet inverter
+VDD vdd 0 DC 0.8
+VIN in 0 PULSE(0 0.8 0.2n 2n)
+MP out in vdd ptfet W=0.1u
+MN out in 0 ntfet W=0.1u
+CL out 0 1f
+.end
+"""
+        circuit = parse_netlist(deck)
+        result = simulate_transient(circuit, 3e-9, initial_conditions={"out": 0.8})
+        assert result.at("out", 0.1e-9) == pytest.approx(0.8, abs=0.02)
+        assert result.at("out", 2e-9) == pytest.approx(0.0, abs=0.05)
+
+    def test_extra_models(self):
+        from repro.devices.library import tfet_device
+
+        circuit = parse_netlist(
+            "M1 d g s fancy W=0.3u\n", extra_models={"fancy": (tfet_device(), "p")}
+        )
+        assert circuit.transistors[0].polarity == "p"

@@ -1,0 +1,52 @@
+"""Tests for netlist and operating-point reports."""
+
+from __future__ import annotations
+
+from repro.circuit.dcop import solve_dc
+from repro.circuit.netlist import Circuit
+from repro.circuit.report import format_netlist, format_operating_point
+from repro.circuit.waveforms import Pulse
+from repro.devices.library import tfet_device
+from repro.sram import Tfet6TCell
+
+
+class TestFormatNetlist:
+    def test_lists_all_elements(self):
+        c = Circuit("demo")
+        c.add_voltage_source("vdd", "vdd", "0", 0.8)
+        c.add_voltage_source("vin", "in", "0", Pulse(0, 0.8, 1e-10, 1e-9))
+        c.add_resistor("vdd", "out", 1e3)
+        c.add_capacitor("out", "0", 1e-15, name="cload")
+        c.add_transistor("mn", "out", "in", "0", tfet_device(), "n", 0.1)
+        text = format_netlist(c)
+        assert "demo" in text
+        assert "M0 out in 0 ntype W=0.1u * mn" in text
+        assert "R0 vdd out 1000" in text
+        assert "cload" in text
+        assert "DC 0.8V" in text
+        assert "Pulse" in text
+        assert text.endswith(".end")
+
+    def test_ground_rendered_as_zero(self):
+        c = Circuit()
+        c.add_resistor("a", "0", 1.0)
+        assert "R0 a 0 1" in format_netlist(c)
+
+    def test_sram_cell_netlist_complete(self):
+        bench = Tfet6TCell().hold_testbench(0.8)
+        text = format_netlist(bench.circuit)
+        assert text.count("type W=") == 6
+        for name in ("m1_pd", "m2_pu", "m3_ax", "m6_ax"):
+            assert name in text
+
+
+class TestFormatOperatingPoint:
+    def test_reports_voltages_and_power(self):
+        c = Circuit()
+        c.add_voltage_source("v1", "a", "0", 1.0)
+        c.add_resistor("a", "0", 1e3)
+        op = solve_dc(c)
+        text = format_operating_point(op)
+        assert "v(a) = +1.000000 V" in text
+        assert "i(v1)" in text
+        assert "total delivered power" in text

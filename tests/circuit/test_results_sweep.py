@@ -1,0 +1,98 @@
+"""Tests for result containers and DC sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.results import TransientResult
+from repro.circuit.sweep import dc_sweep
+from repro.devices.library import tfet_device
+
+
+def make_result():
+    c = Circuit()
+    c.node("a")
+    c.node("b")
+    times = np.linspace(0.0, 1e-9, 11)
+    states = np.zeros((11, 2))
+    states[:, 0] = np.linspace(0.0, 1.0, 11)  # a ramps up
+    states[:, 1] = np.linspace(1.0, 0.0, 11)  # b ramps down
+    return c, TransientResult(c, times, states)
+
+
+class TestTransientResult:
+    def test_voltage_and_at(self):
+        _, res = make_result()
+        assert res.at("a", 0.5e-9) == pytest.approx(0.5)
+        assert res.final("b") == pytest.approx(0.0)
+
+    def test_ground_voltage_is_zero(self):
+        _, res = make_result()
+        assert np.all(res.voltage("0") == 0.0)
+
+    def test_min_difference(self):
+        _, res = make_result()
+        # a - b goes from -1 to +1; min over the full window is -1.
+        assert res.min_difference("a", "b", 0.0, 1e-9) == pytest.approx(-1.0)
+
+    def test_min_difference_window_validation(self):
+        _, res = make_result()
+        with pytest.raises(ValueError):
+            res.min_difference("a", "b", 1e-9, 0.0)
+
+    def test_crossing_time_interpolated(self):
+        _, res = make_result()
+        # a and b cross at t = 0.5 ns exactly.
+        assert res.crossing_time("a", "b") == pytest.approx(0.5e-9, rel=1e-9)
+
+    def test_crossing_time_none_when_no_cross(self):
+        _, res = make_result()
+        assert res.crossing_time("a", "b", after=0.7e-9) is None
+
+    def test_length_mismatch_rejected(self):
+        c = Circuit()
+        c.node("a")
+        with pytest.raises(ValueError):
+            TransientResult(c, np.zeros(3), np.zeros((4, 1)))
+
+
+class TestDcSweep:
+    def build_inverter(self):
+        c = Circuit()
+        c.add_voltage_source("vdd", "vdd", "0", 0.8)
+        c.add_voltage_source("vin", "in", "0", 0.0)
+        d = tfet_device()
+        c.add_transistor("mp", "out", "in", "vdd", d, "p", 0.1)
+        c.add_transistor("mn", "out", "in", "0", d, "n", 0.1)
+        return c
+
+    def test_vtc_is_monotone_decreasing(self):
+        c = self.build_inverter()
+        vins = np.linspace(0.0, 0.8, 17)
+        ops = dc_sweep(c, "vin", vins, initial_guess={"out": 0.8})
+        vouts = [op.voltage("out") for op in ops]
+        assert vouts[0] == pytest.approx(0.8, abs=5e-3)
+        assert vouts[-1] == pytest.approx(0.0, abs=5e-3)
+        assert all(b <= a + 1e-6 for a, b in zip(vouts, vouts[1:]))
+
+    def test_vtc_has_high_gain_transition(self):
+        c = self.build_inverter()
+        vins = np.linspace(0.2, 0.6, 41)
+        ops = dc_sweep(c, "vin", vins, initial_guess={"out": 0.8})
+        vouts = np.array([op.voltage("out") for op in ops])
+        gain = np.abs(np.diff(vouts) / np.diff(vins))
+        assert np.max(gain) > 3.0
+
+    def test_original_waveform_restored(self):
+        c = self.build_inverter()
+        before = c.voltage_sources[c.source_index("vin")].waveform
+        dc_sweep(c, "vin", [0.0, 0.4], initial_guess={"out": 0.8})
+        after = c.voltage_sources[c.source_index("vin")].waveform
+        assert after is before
+
+    def test_unknown_source_raises(self):
+        c = self.build_inverter()
+        with pytest.raises(KeyError):
+            dc_sweep(c, "nope", [0.0])

@@ -1,0 +1,90 @@
+"""Tests for the trapezoidal integration option."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.transient import TransientOptions, simulate_transient
+from repro.circuit.waveforms import PiecewiseLinear, Pulse
+
+
+def rc_step(r=1e4, c=1e-13):
+    ckt = Circuit("rc")
+    ckt.add_voltage_source(
+        "vin", "in", "0", Pulse(0.0, 1.0, t_start=1e-10, width=1e-7, t_edge=1e-12)
+    )
+    ckt.add_resistor("in", "out", r)
+    ckt.add_capacitor("out", "0", c)
+    return ckt
+
+
+def rc_error(method: str, max_step_v: float) -> float:
+    options = TransientOptions(method=method, max_voltage_step=max_step_v)
+    res = simulate_transient(rc_step(), 3e-9, options=options)
+    tau = 1e-9
+    worst = 0.0
+    for n_tau in (0.5, 1.0, 1.5, 2.0):
+        t = 1.01e-10 + n_tau * tau
+        truth = 1.0 - math.exp(-n_tau)
+        worst = max(worst, abs(res.at("out", t) - truth))
+    return worst
+
+
+class TestAccuracy:
+    def test_trapezoidal_beats_backward_euler(self):
+        assert rc_error("trapezoidal", 0.1) < 0.3 * rc_error("backward_euler", 0.1)
+
+    def test_trapezoidal_final_value(self):
+        res = simulate_transient(
+            rc_step(), 8e-9, options=TransientOptions(method="trapezoidal")
+        )
+        assert res.final("out") == pytest.approx(1.0, abs=2e-3)
+
+    def test_triangle_wave_tracked(self):
+        ckt = Circuit()
+        ckt.add_voltage_source(
+            "vin",
+            "in",
+            "0",
+            PiecewiseLinear((0.0, 1e-9, 2e-9), (0.0, 1.0, 0.0)),
+        )
+        ckt.add_resistor("in", "out", 1e2)  # tau = 10 ps << ramp
+        ckt.add_capacitor("out", "0", 1e-13)
+        res = simulate_transient(
+            ckt, 2e-9, options=TransientOptions(method="trapezoidal")
+        )
+        assert res.at("out", 1.0e-9) == pytest.approx(1.0, abs=0.03)
+        assert res.at("out", 0.5e-9) == pytest.approx(0.5, abs=0.03)
+
+
+class TestStateHandling:
+    def test_method_validation(self):
+        with pytest.raises(ValueError, match="method"):
+            TransientOptions(method="gear2")
+
+    def test_both_methods_agree_on_slow_circuit(self):
+        kwargs = dict(initial_conditions=None)
+        be = simulate_transient(rc_step(), 5e-9, options=TransientOptions())
+        tr = simulate_transient(
+            rc_step(), 5e-9, options=TransientOptions(method="trapezoidal")
+        )
+        for t in np.linspace(2e-9, 5e-9, 7):
+            assert be.at("out", t) == pytest.approx(tr.at("out", t), abs=0.02)
+
+    def test_trapezoidal_on_sram_write(self):
+        # The default remains BE, but TR must still resolve a flip.
+        from repro.sram import AccessConfig, CellSizing, Tfet6TCell
+
+        cell = Tfet6TCell(CellSizing().with_beta(0.5), access=AccessConfig.INWARD_P)
+        bench = cell.write_testbench(0.8, 2e-9)
+        res = simulate_transient(
+            bench.circuit,
+            bench.settle_stop(),
+            initial_conditions=bench.initial_conditions,
+            options=TransientOptions(method="trapezoidal"),
+        )
+        assert res.final("qb") > res.final("q")

@@ -1,0 +1,98 @@
+"""Tests for stimulus waveforms."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.waveforms import Constant, PiecewiseLinear, Pulse, pulse_train
+
+
+class TestConstant:
+    def test_value_everywhere(self):
+        w = Constant(0.8)
+        assert w.value(0.0) == 0.8
+        assert w.value(1e-6) == 0.8
+
+    def test_no_breakpoints(self):
+        assert Constant(1.0).breakpoints() == ()
+
+
+class TestPiecewiseLinear:
+    def test_interpolates_between_corners(self):
+        w = PiecewiseLinear((0.0, 1e-9), (0.0, 1.0))
+        assert w.value(0.5e-9) == pytest.approx(0.5)
+
+    def test_holds_outside_corners(self):
+        w = PiecewiseLinear((1e-9, 2e-9), (0.2, 0.9))
+        assert w.value(0.0) == pytest.approx(0.2)
+        assert w.value(5e-9) == pytest.approx(0.9)
+
+    def test_breakpoints_are_corners(self):
+        w = PiecewiseLinear((0.0, 1e-9, 3e-9), (0.0, 1.0, 0.5))
+        assert w.breakpoints() == (0.0, 1e-9, 3e-9)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear((0.0, 1.0), (0.0,))
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear((0.0, 0.0), (0.0, 1.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear((), ())
+
+
+class TestPulse:
+    def make(self):
+        return Pulse(base=0.8, active=0.0, t_start=1e-10, width=5e-10, t_edge=5e-12)
+
+    def test_levels(self):
+        p = self.make()
+        assert p.value(0.0) == 0.8
+        assert p.value(3e-10) == 0.0
+        assert p.value(1e-9) == 0.8
+
+    def test_edges_are_linear_ramps(self):
+        p = self.make()
+        assert p.value(1e-10 + 2.5e-12) == pytest.approx(0.4)
+
+    def test_breakpoints_cover_all_corners(self):
+        p = self.make()
+        bps = p.breakpoints()
+        assert len(bps) == 4
+        assert bps[0] == 1e-10
+        assert bps[-1] == pytest.approx(1e-10 + 2 * 5e-12 + 5e-10)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            Pulse(0.0, 1.0, 0.0, -1e-10)
+
+    def test_zero_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Pulse(0.0, 1.0, 0.0, 1e-10, t_edge=0.0)
+
+    @given(t=st.floats(0.0, 2e-9))
+    @settings(max_examples=50, deadline=None)
+    def test_value_always_between_levels(self, t):
+        p = self.make()
+        assert 0.0 - 1e-12 <= p.value(t) <= 0.8 + 1e-12
+
+    def test_zero_width_pulse_is_a_spike(self):
+        p = Pulse(0.0, 1.0, t_start=1e-10, width=0.0, t_edge=5e-12)
+        assert p.value(1.05e-10) == pytest.approx(1.0)
+
+
+class TestPulseTrain:
+    def test_builds_staircase(self):
+        w = pulse_train(0.0, [(0.8, 1e-10), (0.4, 5e-10)])
+        assert w.value(0.0) == 0.0
+        assert w.value(3e-10) == pytest.approx(0.8)
+        assert w.value(1e-9) == pytest.approx(0.4)
+
+    def test_overlapping_corners_rejected(self):
+        with pytest.raises(ValueError):
+            pulse_train(0.0, [(1.0, 1e-11), (0.0, 1.2e-11)], t_edge=5e-12)

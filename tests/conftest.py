@@ -1,0 +1,35 @@
+"""Shared fixtures: calibrated devices are session-scoped (table
+generation and calibration are deterministic and cached)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.library import (
+    nmos_device,
+    nominal_tfet_physics,
+    pmos_device,
+    tfet_device,
+)
+
+
+@pytest.fixture(scope="session")
+def tfet_physics():
+    """The calibrated nominal TFET physics model."""
+    return nominal_tfet_physics()
+
+
+@pytest.fixture(scope="session")
+def tfet():
+    """The nominal table-backed TFET device card."""
+    return tfet_device()
+
+
+@pytest.fixture(scope="session")
+def nmos():
+    return nmos_device()
+
+
+@pytest.fixture(scope="session")
+def pmos():
+    return pmos_device()

@@ -1,0 +1,94 @@
+"""Tests for the TFET calibration procedure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.physics.calibration import (
+    CalibrationError,
+    CalibrationTargets,
+    calibrate_tfet,
+)
+from repro.devices.physics.geometry import TfetDesign
+from repro.devices.physics.tfet_model import TfetPhysicalModel
+
+
+class TestTargets:
+    def test_defaults_are_paper_anchors(self):
+        t = CalibrationTargets()
+        assert t.on_current == 1e-4
+        assert t.off_current == 1e-17
+        assert t.vdd_ref == 1.0
+
+    def test_rejects_inverted_anchors(self):
+        with pytest.raises(ValueError):
+            CalibrationTargets(on_current=1e-18, off_current=1e-17)
+
+    def test_rejects_bad_tail_fraction(self):
+        with pytest.raises(ValueError):
+            CalibrationTargets(tunneling_tail_fraction=1.5)
+
+
+class TestCalibration:
+    def test_nominal_hits_anchors(self, tfet_physics):
+        assert tfet_physics.on_current(1.0) == pytest.approx(1e-4, rel=1e-5)
+        assert tfet_physics.off_current(1.0) == pytest.approx(1e-17, rel=1e-5)
+
+    def test_custom_targets(self):
+        targets = CalibrationTargets(on_current=5e-5, off_current=1e-16)
+        model = calibrate_tfet(TfetPhysicalModel(), targets)
+        assert model.on_current(1.0) == pytest.approx(5e-5, rel=1e-5)
+        assert model.off_current(1.0) == pytest.approx(1e-16, rel=1e-5)
+
+    def test_tail_fraction_respected(self, tfet_physics):
+        import numpy as np
+
+        tail = float(np.asarray(tfet_physics.gate_transfer_density(0.0)))
+        tail *= float(np.asarray(tfet_physics.drain_saturation_factor(1.0)))
+        assert tail == pytest.approx(0.05 * 1e-17, rel=1e-3)
+
+    def test_calibration_is_deterministic(self):
+        a = calibrate_tfet(TfetPhysicalModel())
+        b = calibrate_tfet(TfetPhysicalModel())
+        assert a.flat_band_voltage == b.flat_band_voltage
+        assert a.current_scale == b.current_scale
+
+    def test_perturbed_geometry_still_calibrates(self):
+        design = TfetDesign().with_oxide_scale(1.05)
+        model = calibrate_tfet(TfetPhysicalModel(design=design))
+        assert model.on_current(1.0) == pytest.approx(1e-4, rel=1e-5)
+
+    def test_impossible_target_raises(self):
+        # An on/off ratio of ~1 cannot be realized by any work function:
+        # the transfer curve always spans many decades.
+        targets = CalibrationTargets(on_current=1.05e-17, off_current=1e-17)
+        with pytest.raises(CalibrationError):
+            calibrate_tfet(TfetPhysicalModel(), targets)
+
+
+class TestVariationResponse:
+    """Thickness variation must shift the device, not be re-tuned away."""
+
+    def test_thinner_oxide_steepens_and_strengthens(self, tfet_physics):
+        from dataclasses import replace
+
+        thin = replace(
+            tfet_physics, design=tfet_physics.design.with_oxide_scale(0.95)
+        )
+        assert thin.on_current(1.0) > tfet_physics.on_current(1.0)
+
+    def test_thicker_oxide_weakens(self, tfet_physics):
+        from dataclasses import replace
+
+        thick = replace(
+            tfet_physics, design=tfet_physics.design.with_oxide_scale(1.05)
+        )
+        assert thick.on_current(1.0) < tfet_physics.on_current(1.0)
+
+    def test_five_percent_band_moves_on_current_noticeably(self, tfet_physics):
+        from dataclasses import replace
+
+        thin = replace(tfet_physics, design=tfet_physics.design.with_oxide_scale(0.95))
+        thick = replace(tfet_physics, design=tfet_physics.design.with_oxide_scale(1.05))
+        ratio = thin.on_current(1.0) / thick.on_current(1.0)
+        assert 1.05 < ratio < 10.0

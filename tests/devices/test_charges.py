@@ -1,0 +1,126 @@
+"""Tests for the charge-based capacitance primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.charges import (
+    CompositeCharge,
+    LinearCharge,
+    MirroredCharge,
+    SmoothStepCharge,
+)
+
+VOLTAGES = st.floats(-2.0, 2.0)
+
+
+class TestLinearCharge:
+    def test_charge_is_cv(self):
+        c = LinearCharge(2e-15)
+        assert float(np.asarray(c.charge(0.5))) == pytest.approx(1e-15)
+
+    def test_capacitance_constant(self):
+        c = LinearCharge(3e-16)
+        v = np.linspace(-1, 1, 5)
+        assert np.allclose(np.asarray(c.capacitance(v)), 3e-16)
+
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCharge(-1e-15)
+
+    def test_zero_charge_at_zero_volts(self):
+        assert float(np.asarray(LinearCharge(1e-15).charge(0.0))) == 0.0
+
+
+class TestSmoothStepCharge:
+    def make(self):
+        return SmoothStepCharge(c_low=1e-16, c_high=5e-16, v_step=0.3, width=0.1)
+
+    def test_capacitance_limits(self):
+        c = self.make()
+        assert float(np.asarray(c.capacitance(-3.0))) == pytest.approx(1e-16, rel=1e-6)
+        assert float(np.asarray(c.capacitance(3.0))) == pytest.approx(5e-16, rel=1e-6)
+
+    def test_capacitance_midpoint(self):
+        c = self.make()
+        assert float(np.asarray(c.capacitance(0.3))) == pytest.approx(3e-16, rel=1e-9)
+
+    @given(v=VOLTAGES)
+    @settings(max_examples=60, deadline=None)
+    def test_charge_derivative_equals_capacitance(self, v):
+        c = self.make()
+        h = 1e-6
+        dq = (float(np.asarray(c.charge(v + h))) - float(np.asarray(c.charge(v - h)))) / (2 * h)
+        assert dq == pytest.approx(float(np.asarray(c.capacitance(v))), rel=1e-5)
+
+    @given(v1=VOLTAGES, v2=VOLTAGES)
+    @settings(max_examples=40, deadline=None)
+    def test_charge_monotone(self, v1, v2):
+        c = self.make()
+        q1 = float(np.asarray(c.charge(v1)))
+        q2 = float(np.asarray(c.charge(v2)))
+        assert (q2 - q1) * (v2 - v1) >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmoothStepCharge(-1e-16, 1e-16, 0.0)
+        with pytest.raises(ValueError):
+            SmoothStepCharge(1e-16, 1e-16, 0.0, width=0.0)
+
+    def test_no_overflow_at_extreme_bias(self):
+        c = self.make()
+        assert np.isfinite(float(np.asarray(c.capacitance(1e3))))
+        assert np.isfinite(float(np.asarray(c.charge(-1e3))))
+
+
+class TestMirroredCharge:
+    def make(self):
+        return MirroredCharge(SmoothStepCharge(1e-16, 5e-16, 0.3, 0.1))
+
+    @given(v=VOLTAGES)
+    @settings(max_examples=40, deadline=None)
+    def test_charge_is_point_reflection(self, v):
+        m = self.make()
+        q_m = float(np.asarray(m.charge(v)))
+        q_n = float(np.asarray(m.reference.charge(-v)))
+        assert q_m == pytest.approx(-q_n, rel=1e-12, abs=1e-30)
+
+    @given(v=VOLTAGES)
+    @settings(max_examples=40, deadline=None)
+    def test_capacitance_is_mirrored(self, v):
+        m = self.make()
+        assert float(np.asarray(m.capacitance(v))) == pytest.approx(
+            float(np.asarray(m.reference.capacitance(-v)))
+        )
+
+    @given(v=VOLTAGES)
+    @settings(max_examples=40, deadline=None)
+    def test_mirrored_derivative_still_capacitance(self, v):
+        m = self.make()
+        h = 1e-6
+        dq = (float(np.asarray(m.charge(v + h))) - float(np.asarray(m.charge(v - h)))) / (2 * h)
+        assert dq == pytest.approx(float(np.asarray(m.capacitance(v))), rel=1e-5)
+
+    def test_capacitance_positive(self):
+        m = self.make()
+        v = np.linspace(-2, 2, 21)
+        assert np.all(np.asarray(m.capacitance(v)) > 0)
+
+
+class TestCompositeCharge:
+    def test_sum_of_parts(self):
+        parts = (LinearCharge(1e-16), SmoothStepCharge(0.0, 2e-16, 0.0, 0.1))
+        comp = CompositeCharge(parts)
+        v = 0.7
+        expected_q = sum(float(np.asarray(p.charge(v))) for p in parts)
+        expected_c = sum(float(np.asarray(p.capacitance(v))) for p in parts)
+        assert float(np.asarray(comp.charge(v))) == pytest.approx(expected_q)
+        assert float(np.asarray(comp.capacitance(v))) == pytest.approx(expected_c)
+
+    def test_empty_composite_is_zero(self):
+        comp = CompositeCharge(())
+        assert float(np.asarray(comp.charge(1.0))) == 0.0
+        assert float(np.asarray(comp.capacitance(1.0))) == 0.0

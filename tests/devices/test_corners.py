@@ -1,0 +1,70 @@
+"""Tests for process-corner device cards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.corners import CORNERS, Corner, corner_device, corner_device_set
+from repro.devices.library import tfet_device
+
+
+class TestCornerCatalog:
+    def test_five_standard_corners(self):
+        assert set(CORNERS) == {"tt", "ff", "ss", "fs", "sf"}
+
+    def test_typical_corner_is_nominal(self):
+        ds = corner_device_set("tt")
+        assert ds.pulldown_left is tfet_device()
+        assert ds.access_left is tfet_device()
+
+    def test_fast_devices_are_stronger(self):
+        fast = corner_device(CORNERS["ff"].inverter_scale)
+        slow = corner_device(CORNERS["ss"].inverter_scale)
+        nominal = tfet_device()
+        assert fast.on_current(1.0) > nominal.on_current(1.0) > slow.on_current(1.0)
+
+    def test_mixed_corners_split_inverter_and_access(self):
+        ds = corner_device_set("fs")
+        assert ds.pulldown_left.on_current(1.0) > ds.access_left.on_current(1.0)
+        ds = corner_device_set("sf")
+        assert ds.pulldown_left.on_current(1.0) < ds.access_left.on_current(1.0)
+
+    def test_unknown_corner_raises(self):
+        with pytest.raises(KeyError, match="unknown corner"):
+            corner_device_set("xx")
+
+    def test_describe(self):
+        assert "fast inverters" in CORNERS["fs"].describe()
+        assert "slow access" in CORNERS["fs"].describe()
+
+
+class TestCornersOnCells:
+    def test_write_worst_case_is_fs(self):
+        """Strong pull-downs + weak access = hardest write contest."""
+        from repro.analysis.stability import critical_wordline_pulse
+        from repro.sram import AccessConfig, CellSizing, Tfet6TCell
+
+        sizing = CellSizing().with_beta(0.6)
+
+        def wl_crit(corner):
+            cell = Tfet6TCell(
+                sizing, AccessConfig.INWARD_P, devices=corner_device_set(corner)
+            )
+            return critical_wordline_pulse(cell, 0.8)
+
+        assert wl_crit("fs") > wl_crit("tt") > wl_crit("sf")
+
+    def test_read_worst_case_is_sf(self):
+        """Weak pull-downs + strong access = biggest read disturb."""
+        from repro.analysis.stability import dynamic_read_noise_margin
+        from repro.sram import AccessConfig, CellSizing, Tfet6TCell
+
+        sizing = CellSizing().with_beta(0.6)
+
+        def drnm(corner):
+            cell = Tfet6TCell(
+                sizing, AccessConfig.INWARD_P, devices=corner_device_set(corner)
+            )
+            return dynamic_read_noise_margin(cell.read_testbench(0.8))
+
+        assert drnm("sf") < drnm("tt") < drnm("fs")

@@ -1,0 +1,92 @@
+"""Tests for the quasi-1D surface-potential solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.physics.electrostatics import SurfacePotentialSolver
+from repro.devices.physics.geometry import TfetDesign
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return SurfacePotentialSolver(TfetDesign(), flat_band_voltage=-0.7, channel_qfl=0.8)
+
+
+class TestSurfacePotential:
+    def test_flat_band_condition(self, solver):
+        psi = solver.surface_potential(solver.flat_band_voltage)
+        assert abs(float(psi)) < 1e-6
+
+    def test_residual_equation_satisfied(self, solver):
+        vg = np.array([-0.5, 0.0, 0.4, 1.0, 1.5])
+        psi = solver.surface_potential(vg)
+        residual, _ = solver._residual(psi, vg)
+        assert np.max(np.abs(residual)) < 1e-9
+
+    @given(v1=st.floats(-1.5, 2.0), v2=st.floats(-1.5, 2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_gate_voltage(self, solver, v1, v2):
+        p1 = float(solver.surface_potential(v1))
+        p2 = float(solver.surface_potential(v2))
+        assert (p2 - p1) * (v2 - v1) >= -1e-9
+
+    def test_depletion_region_follows_gate(self, solver):
+        # Far below inversion the lightly doped channel tracks the gate
+        # almost one-to-one.
+        vg = 0.2
+        psi = float(solver.surface_potential(vg))
+        assert psi == pytest.approx(vg - solver.flat_band_voltage, abs=0.02)
+
+    def test_pinning_above_inversion(self, solver):
+        # Once inversion charge appears the surface potential pins: the
+        # incremental gain drops far below 1.
+        psi_hi = float(solver.surface_potential(2.5))
+        psi_hi2 = float(solver.surface_potential(3.0))
+        assert (psi_hi2 - psi_hi) / 0.5 < 0.2
+
+    def test_pinning_level_tracks_channel_qfl(self):
+        lo = SurfacePotentialSolver(TfetDesign(), flat_band_voltage=-0.7, channel_qfl=0.4)
+        hi = SurfacePotentialSolver(TfetDesign(), flat_band_voltage=-0.7, channel_qfl=0.9)
+        psi_lo = float(lo.surface_potential(3.0))
+        psi_hi = float(hi.surface_potential(3.0))
+        assert psi_hi - psi_lo == pytest.approx(0.5, abs=0.1)
+
+    def test_scalar_and_array_agree(self, solver):
+        vg = np.array([0.3, 0.9])
+        arr = solver.surface_potential(vg)
+        assert float(solver.surface_potential(0.3)) == pytest.approx(float(arr[0]))
+        assert float(solver.surface_potential(0.9)) == pytest.approx(float(arr[1]))
+
+    def test_thinner_oxide_has_no_effect_below_inversion(self):
+        # With near-intrinsic doping the depletion term is tiny, so the
+        # pre-inversion surface potential barely depends on t_ox.
+        thick = SurfacePotentialSolver(TfetDesign(), flat_band_voltage=-0.7)
+        thin = SurfacePotentialSolver(
+            TfetDesign().with_oxide_scale(0.95), flat_band_voltage=-0.7
+        )
+        assert float(thin.surface_potential(0.5)) == pytest.approx(
+            float(thick.surface_potential(0.5)), abs=1e-3
+        )
+
+
+class TestGateCharge:
+    def test_gate_charge_sign(self, solver):
+        q_pos = float(np.asarray(solver.gate_charge_per_area(1.5)))
+        q_neg = float(np.asarray(solver.gate_charge_per_area(-1.5)))
+        assert q_pos > 0.0
+        assert q_neg < 0.0
+
+    def test_capacitance_positive_and_below_cox(self, solver):
+        cox = solver.design.oxide_capacitance_per_area
+        for vg in (-1.0, 0.0, 0.8, 2.0):
+            c = float(np.asarray(solver.gate_capacitance_per_area(vg)))
+            assert 0.0 <= c <= cox * 1.001
+
+    def test_capacitance_approaches_cox_in_strong_inversion(self, solver):
+        cox = solver.design.oxide_capacitance_per_area
+        c = float(np.asarray(solver.gate_capacitance_per_area(3.0)))
+        assert c > 0.5 * cox

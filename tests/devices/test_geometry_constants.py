@@ -1,0 +1,79 @@
+"""Tests for physical constants and device geometry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.constants import (
+    HFO2,
+    MOSFET_SS_LIMIT_MV_PER_DEC,
+    SILICON,
+    SIO2,
+    Dielectric,
+    thermal_voltage,
+)
+from repro.devices.physics.geometry import TfetDesign
+
+
+class TestConstants:
+    def test_thermal_voltage_at_room_temperature(self):
+        assert thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_mosfet_limit_is_sixty_mv_per_decade(self):
+        assert MOSFET_SS_LIMIT_MV_PER_DEC == pytest.approx(59.5, abs=0.5)
+
+    def test_hfo2_is_high_k(self):
+        assert HFO2.relative_permittivity / SIO2.relative_permittivity > 6.0
+
+    def test_silicon_bandgap(self):
+        assert SILICON.bandgap_ev == pytest.approx(1.12)
+
+    def test_capacitance_per_area(self):
+        # 2 nm HfO2 (k = 25) is an aggressive ~0.31 nm EOT stack.
+        cox = HFO2.capacitance_per_area(2e-9)
+        assert cox == pytest.approx(0.1107, rel=1e-3)
+
+    def test_capacitance_rejects_bad_thickness(self):
+        with pytest.raises(ValueError):
+            HFO2.capacitance_per_area(0.0)
+
+
+class TestTfetDesign:
+    def test_paper_defaults(self):
+        d = TfetDesign()
+        assert d.channel_length == 32e-9
+        assert d.gate_underlap == 2e-9
+        assert d.oxide_thickness == 2e-9
+        assert d.source_doping_cm3 == 1e20
+        assert d.channel_doping_cm3 == 1e15
+        assert d.dielectric is HFO2
+
+    def test_natural_length_scale(self):
+        # lambda = sqrt(eps_si/eps_ox * t_si * t_ox) ~ 3 nm for the
+        # default stack: the gate couples tightly to the junction.
+        d = TfetDesign()
+        assert d.natural_length == pytest.approx(
+            math.sqrt(11.7 / 25.0 * 10e-9 * 2e-9), rel=1e-9
+        )
+        assert 2e-9 < d.natural_length < 4e-9
+
+    def test_thicker_oxide_weakens_coupling(self):
+        d = TfetDesign()
+        thick = d.with_oxide_scale(1.05)
+        assert thick.natural_length > d.natural_length
+        assert thick.oxide_capacitance_per_area < d.oxide_capacitance_per_area
+
+    def test_with_oxide_scale_validation(self):
+        with pytest.raises(ValueError):
+            TfetDesign().with_oxide_scale(0.0)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            TfetDesign(channel_length=0.0)
+        with pytest.raises(ValueError):
+            TfetDesign(gate_underlap=-1e-9)
+
+    def test_gate_area_per_um_width(self):
+        assert TfetDesign().gate_area_per_um_width == pytest.approx(32e-15)

@@ -1,0 +1,90 @@
+"""Tests for the Kane band-to-band tunneling expressions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.physics.kane import (
+    KaneParameters,
+    kane_generation_rate,
+    tunneling_current_density,
+)
+
+PARAMS = KaneParameters()
+LAMBDA = 3.0e-9
+BANDGAP = 1.12
+
+
+class TestGenerationRate:
+    def test_positive(self):
+        assert float(np.asarray(kane_generation_rate(3e8, PARAMS))) > 0.0
+
+    @given(f1=st.floats(1e6, 1e10), f2=st.floats(1e6, 1e10))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_field(self, f1, f2):
+        g1 = float(np.asarray(kane_generation_rate(f1, PARAMS)))
+        g2 = float(np.asarray(kane_generation_rate(f2, PARAMS)))
+        assert (g2 - g1) * (f2 - f1) >= 0.0
+
+    def test_field_floor_prevents_blowup(self):
+        assert np.isfinite(float(np.asarray(kane_generation_rate(0.0, PARAMS))))
+
+    def test_exponential_suppression(self):
+        weak = float(np.asarray(kane_generation_rate(1e8, PARAMS)))
+        strong = float(np.asarray(kane_generation_rate(1e9, PARAMS)))
+        assert strong / weak > 1e3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            KaneParameters(prefactor=-1.0)
+        with pytest.raises(ValueError):
+            KaneParameters(exponent_field=0.0)
+
+
+class TestTunnelingCurrent:
+    def current(self, window):
+        return float(
+            np.asarray(
+                tunneling_current_density(
+                    window, LAMBDA, BANDGAP, PARAMS, current_scale=1e-13
+                )
+            )
+        )
+
+    def test_closed_window_suppressed_exponentially(self):
+        # Deep below onset each occupation width costs a factor of e
+        # (the logistic occupation's exponential tail).
+        near = self.current(-10 * 0.015)
+        far = self.current(-11 * 0.015)
+        assert near / far == pytest.approx(np.e, rel=0.1)
+
+    def test_open_window_grows(self):
+        assert self.current(0.5) > self.current(0.1) > self.current(0.0)
+
+    @given(w=st.floats(-0.4, 0.9))
+    @settings(max_examples=60, deadline=None)
+    def test_smooth_through_onset(self, w):
+        h = 1e-7
+        lo = self.current(w - h)
+        hi = self.current(w + h)
+        # No jumps: relative change across an infinitesimal interval is tiny.
+        assert abs(hi - lo) <= 0.01 * (abs(hi) + abs(lo))
+
+    @given(w1=st.floats(-0.3, 0.9), w2=st.floats(-0.3, 0.9))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_window(self, w1, w2):
+        c1, c2 = self.current(w1), self.current(w2)
+        assert (c2 - c1) * (w2 - w1) >= 0.0
+
+    def test_scales_linearly_with_current_scale(self):
+        base = tunneling_current_density(0.3, LAMBDA, BANDGAP, PARAMS, current_scale=1e-13)
+        doubled = tunneling_current_density(0.3, LAMBDA, BANDGAP, PARAMS, current_scale=2e-13)
+        assert float(np.asarray(doubled)) == pytest.approx(2 * float(np.asarray(base)))
+
+    def test_shorter_screening_length_gives_more_current(self):
+        tight = tunneling_current_density(0.3, 2e-9, BANDGAP, PARAMS, current_scale=1e-13)
+        loose = tunneling_current_density(0.3, 4e-9, BANDGAP, PARAMS, current_scale=1e-13)
+        assert float(np.asarray(tight)) > float(np.asarray(loose))

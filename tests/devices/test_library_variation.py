@@ -1,0 +1,104 @@
+"""Tests for the device library cache and variation sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.library import (
+    nominal_tfet_physics,
+    tfet_device,
+)
+from repro.devices.variation import OxideVariation, quantize_scale
+
+
+class TestLibrary:
+    def test_nominal_device_cached(self):
+        assert tfet_device() is tfet_device()
+        assert nominal_tfet_physics() is nominal_tfet_physics()
+
+    def test_quantized_scales_share_cards(self):
+        # 1.0001 and 1.0002 quantize to the same grid point.
+        assert tfet_device(1.0001) is tfet_device(1.0002)
+
+    def test_distinct_scales_distinct_cards(self):
+        assert tfet_device(0.95) is not tfet_device(1.05)
+
+    def test_perturbed_card_shifts_current(self):
+        nominal = tfet_device()
+        thin = tfet_device(0.95)
+        assert thin.on_current(1.0) > nominal.on_current(1.0)
+
+    def test_table_matches_physics_at_anchors(self, tfet, tfet_physics):
+        assert tfet.on_current(1.0) == pytest.approx(tfet_physics.on_current(1.0), rel=1e-3)
+        assert tfet.off_current(1.0) == pytest.approx(
+            tfet_physics.off_current(1.0), rel=1e-2
+        )
+
+    def test_table_tracks_physics_over_bias_plane(self, tfet, tfet_physics):
+        rng = np.random.default_rng(42)
+        vgs = rng.uniform(-1.2, 1.2, 200)
+        vds = rng.uniform(-1.2, 1.2, 200)
+        table = np.asarray(tfet.current_density(vgs, vds))
+        truth = np.asarray(tfet_physics.current_density(vgs, vds))
+        rel = np.abs(table - truth) / (np.abs(truth) + 1e-22)
+        assert np.median(rel) < 1e-3
+        assert np.max(rel) < 0.1
+
+
+class TestQuantize:
+    def test_identity_on_grid(self):
+        assert quantize_scale(1.0) == 1.0
+        assert quantize_scale(0.95) == 0.95
+
+    def test_snaps_to_grid(self):
+        assert quantize_scale(1.0012) == pytest.approx(1.0)
+        assert quantize_scale(1.0013) == pytest.approx(1.0025)
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ValueError):
+            quantize_scale(1.0, quantum=0.0)
+
+
+class TestOxideVariation:
+    def test_uniform_samples_inside_band(self):
+        var = OxideVariation(spread=0.05, distribution="uniform")
+        samples = var.sample(np.random.default_rng(1), 500)
+        assert np.all(samples >= 0.95 - 1e-9)
+        assert np.all(samples <= 1.05 + 1e-9)
+
+    def test_normal_samples_clipped_to_band(self):
+        var = OxideVariation(spread=0.05, distribution="normal")
+        samples = var.sample(np.random.default_rng(2), 500)
+        assert np.all(samples >= 0.95 - 1e-9)
+        assert np.all(samples <= 1.05 + 1e-9)
+
+    def test_samples_are_quantized(self):
+        var = OxideVariation()
+        samples = var.sample(np.random.default_rng(3), 50)
+        for s in samples:
+            assert s == pytest.approx(quantize_scale(s))
+
+    def test_mean_near_nominal(self):
+        var = OxideVariation()
+        samples = var.sample(np.random.default_rng(4), 2000)
+        assert np.mean(samples) == pytest.approx(1.0, abs=0.01)
+
+    def test_per_transistor_shape(self):
+        var = OxideVariation()
+        scales = var.sample_per_transistor(np.random.default_rng(5), 7, 6)
+        assert scales.shape == (7, 6)
+
+    def test_reproducible_with_seed(self):
+        var = OxideVariation()
+        a = var.sample(np.random.default_rng(9), 10)
+        b = var.sample(np.random.default_rng(9), 10)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OxideVariation(spread=0.0)
+        with pytest.raises(ValueError):
+            OxideVariation(distribution="cauchy")
+        with pytest.raises(ValueError):
+            OxideVariation().sample(np.random.default_rng(0), -1)

@@ -1,0 +1,219 @@
+"""Tests for the uniform-grid interpolation tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.tables import CubicTable2D, CurrentTable, UniformGrid
+
+
+def quadratic(x, y):
+    return 1.0 + 2.0 * x - 0.5 * y + 0.25 * x * y
+
+
+def grid_values(xg, yg, fn):
+    return fn(xg.points()[:, None], yg.points()[None, :])
+
+
+class TestUniformGrid:
+    def test_points_span_and_count(self):
+        g = UniformGrid(-1.0, 1.0, 21)
+        pts = g.points()
+        assert pts[0] == -1.0 and pts[-1] == 1.0 and len(pts) == 21
+        assert g.step == pytest.approx(0.1)
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            UniformGrid(0.0, 1.0, 3)
+
+    def test_rejects_inverted_span(self):
+        with pytest.raises(ValueError, match="must exceed"):
+            UniformGrid(1.0, 0.0, 11)
+
+    def test_cell_of_interior_point(self):
+        g = UniformGrid(0.0, 1.0, 11)
+        idx, t = g.cell_of(np.array([0.25]))
+        assert idx[0] == 2
+        assert t[0] == pytest.approx(0.5)
+
+    def test_cell_of_clamps_out_of_range(self):
+        g = UniformGrid(0.0, 1.0, 11)
+        idx_lo, t_lo = g.cell_of(np.array([-5.0]))
+        idx_hi, t_hi = g.cell_of(np.array([5.0]))
+        assert idx_lo[0] == 0 and t_lo[0] == 0.0
+        assert idx_hi[0] == 9 and t_hi[0] == pytest.approx(1.0)
+
+    def test_cell_of_last_point_maps_to_last_cell(self):
+        g = UniformGrid(0.0, 1.0, 11)
+        idx, t = g.cell_of(np.array([1.0]))
+        assert idx[0] == 9
+        assert t[0] == pytest.approx(1.0)
+
+
+class TestCubicTable2D:
+    def setup_method(self):
+        self.xg = UniformGrid(-1.0, 1.0, 21)
+        self.yg = UniformGrid(-2.0, 2.0, 41)
+        self.table = CubicTable2D(self.xg, self.yg, grid_values(self.xg, self.yg, quadratic))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            CubicTable2D(self.xg, self.yg, np.zeros((5, 5)))
+
+    def test_nonfinite_values_rejected(self):
+        vals = grid_values(self.xg, self.yg, quadratic)
+        vals[3, 3] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            CubicTable2D(self.xg, self.yg, vals)
+
+    def test_reproduces_samples_exactly_at_grid_points(self):
+        for x in (-1.0, -0.3, 0.5, 1.0):
+            for y in (-2.0, 0.4, 2.0):
+                xi = round((x + 1.0) / self.xg.step)
+                yi = round((y + 2.0) / self.yg.step)
+                xs = self.xg.points()[xi]
+                ys = self.yg.points()[yi]
+                assert self.table(xs, ys) == pytest.approx(quadratic(xs, ys), abs=1e-12)
+
+    @given(
+        x=st.floats(-0.95, 0.95),
+        y=st.floats(-1.9, 1.9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bilinear_polynomial_reproduced_everywhere(self, x, y):
+        # Catmull-Rom reproduces polynomials up to cubic in each axis;
+        # the x*y cross term is exactly representable.
+        assert float(self.table(x, y)) == pytest.approx(quadratic(x, y), abs=1e-10)
+
+    @given(
+        x=st.floats(-0.9, 0.9),
+        y=st.floats(-1.8, 1.8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_derivatives_match_finite_differences(self, x, y):
+        smooth = CubicTable2D(
+            self.xg,
+            self.yg,
+            grid_values(self.xg, self.yg, lambda a, b: np.sin(a) * np.cos(0.5 * b)),
+        )
+        h = 1e-6
+        _, fx, fy = smooth.evaluate(x, y)
+        fx_fd = (smooth(x + h, y) - smooth(x - h, y)) / (2 * h)
+        fy_fd = (smooth(x, y + h) - smooth(x, y - h)) / (2 * h)
+        assert float(fx) == pytest.approx(float(fx_fd), abs=1e-5)
+        assert float(fy) == pytest.approx(float(fy_fd), abs=1e-5)
+
+    def test_c1_continuity_across_cell_boundary(self):
+        smooth = CubicTable2D(
+            self.xg,
+            self.yg,
+            grid_values(self.xg, self.yg, lambda a, b: np.exp(a) + b**2),
+        )
+        boundary = self.xg.points()[7]
+        eps = 1e-9
+        f_lo, fx_lo, _ = smooth.evaluate(boundary - eps, 0.3)
+        f_hi, fx_hi, _ = smooth.evaluate(boundary + eps, 0.3)
+        assert float(f_lo) == pytest.approx(float(f_hi), abs=1e-7)
+        assert float(fx_lo) == pytest.approx(float(fx_hi), abs=1e-4)
+
+    def test_extrapolation_is_tangent_plane(self):
+        f0, fx0, fy0 = self.table.evaluate(1.0, 0.0)
+        f_out, fx_out, _ = self.table.evaluate(1.5, 0.0)
+        assert float(f_out) == pytest.approx(float(f0) + 0.5 * float(fx0), rel=1e-9)
+        assert float(fx_out) == pytest.approx(float(fx0), rel=1e-9)
+
+    def test_extrapolation_continuous_at_boundary(self):
+        eps = 1e-9
+        inside = float(self.table(1.0 - eps, 0.7))
+        outside = float(self.table(1.0 + eps, 0.7))
+        assert inside == pytest.approx(outside, abs=1e-7)
+
+    def test_corner_extrapolation_includes_mixed_term(self):
+        f0, fx0, fy0 = self.table.evaluate(1.0, 2.0)
+        value = float(self.table(1.2, 2.4))
+        # quadratic() is exactly f0 + fx*dx + fy*dy + fxy*dx*dy here.
+        assert value == pytest.approx(quadratic(1.2, 2.4), abs=1e-9)
+
+    def test_scalar_and_array_evaluation_agree(self):
+        xs = np.array([0.1, -0.4, 0.9])
+        ys = np.array([0.2, 1.1, -1.5])
+        vec = self.table(xs, ys)
+        for k in range(3):
+            assert float(self.table(xs[k], ys[k])) == pytest.approx(float(vec[k]))
+
+    def test_broadcasting(self):
+        xs = np.array([0.0, 0.5])[:, None]
+        ys = np.array([0.0, 1.0, -1.0])[None, :]
+        out = self.table(xs, ys)
+        assert out.shape == (2, 3)
+
+
+class TestCurrentTable:
+    def _device_like(self, vgs, vds):
+        """A synthetic unidirectional characteristic spanning decades.
+
+        Smooth (C1) through vds = 0, matching the property of the real
+        physics model that the factored table relies on.
+        """
+        gate = 1e-17 + 1e-4 * np.exp((vgs - 1.0) / 0.08)
+        shape = np.sign(vds) * (1.0 - np.exp(-np.abs(vds) / 0.1))
+        reverse = 1e-12 * np.exp(-vds / 0.05)
+        return shape * (gate + reverse)
+
+    def setup_method(self):
+        self.vgs_grid = UniformGrid(-1.2, 1.2, 121)
+        self.vds_grid = UniformGrid(-1.2, 1.2, 121)
+        vgs = self.vgs_grid.points()[:, None]
+        vds = self.vds_grid.points()[None, :]
+        self.table = CurrentTable(
+            self.vgs_grid, self.vds_grid, self._device_like(vgs, vds), shape_voltage=0.1
+        )
+
+    def test_rejects_nonpositive_shape_voltage(self):
+        with pytest.raises(ValueError, match="shape_voltage"):
+            CurrentTable(self.vgs_grid, self.vds_grid, np.ones((121, 121)), shape_voltage=0.0)
+
+    def test_rejects_sign_inconsistent_current(self):
+        bad = np.full((121, 121), 1.0)  # positive at negative vds too
+        with pytest.raises(ValueError, match="strictly positive"):
+            CurrentTable(self.vgs_grid, self.vds_grid, bad)
+
+    @given(vgs=st.floats(-1.0, 1.0), vds=st.floats(-1.0, 1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_relative_accuracy_across_thirteen_decades(self, vgs, vds):
+        truth = float(self._device_like(np.asarray(vgs), np.asarray(vds)))
+        value = float(self.table(vgs, vds))
+        # The synthetic characteristic has a derivative kink at vds = 0
+        # (like the real device); allow a looser band in that column.
+        rel = 0.15 if abs(vds) < 0.05 else 0.05
+        assert value == pytest.approx(truth, rel=rel, abs=1e-22)
+
+    def test_zero_crossing_current_is_zero(self):
+        assert float(self.table(0.7, 0.0)) == 0.0
+
+    def test_linear_region_conductance_preserved(self):
+        # The analytic shape restores the exact resistive slope near 0.
+        _, _, gds = self.table.evaluate(1.0, 1e-5)
+        truth = (
+            self._device_like(np.asarray(1.0), np.asarray(1e-4))
+            - self._device_like(np.asarray(1.0), np.asarray(-1e-4))
+        ) / 2e-4
+        assert float(gds) == pytest.approx(float(truth), rel=0.05)
+
+    @given(vgs=st.floats(-0.9, 0.9), vds=st.floats(-0.9, 0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_derivatives_consistent_with_finite_difference(self, vgs, vds):
+        h = 1e-6
+        _, gm, gds = self.table.evaluate(vgs, vds)
+        gm_fd = (self.table(vgs + h, vds) - self.table(vgs - h, vds)) / (2 * h)
+        gds_fd = (self.table(vgs, vds + h) - self.table(vgs, vds - h)) / (2 * h)
+        scale = abs(float(gm_fd)) + abs(float(gds_fd)) + 1e-25
+        assert abs(float(gm) - float(gm_fd)) / scale < 1e-2
+        assert abs(float(gds) - float(gds_fd)) / scale < 1e-2
+
+    def test_grids_exposed(self):
+        assert self.table.vgs_grid is self.vgs_grid
+        assert self.table.vds_grid is self.vds_grid

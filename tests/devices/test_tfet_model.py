@@ -1,0 +1,144 @@
+"""Tests for the calibrated TFET physics model (paper Section 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import MOSFET_SS_LIMIT_MV_PER_DEC
+
+
+def j(model, vgs, vds):
+    return float(np.asarray(model.current_density(vgs, vds)))
+
+
+class TestCalibrationAnchors:
+    def test_on_current_anchor(self, tfet_physics):
+        assert tfet_physics.on_current(1.0) == pytest.approx(1e-4, rel=1e-4)
+
+    def test_off_current_anchor(self, tfet_physics):
+        assert tfet_physics.off_current(1.0) == pytest.approx(1e-17, rel=1e-4)
+
+    def test_on_off_ratio_thirteen_decades(self, tfet_physics):
+        assert tfet_physics.on_current(1.0) / tfet_physics.off_current(1.0) == pytest.approx(
+            1e13, rel=1e-3
+        )
+
+    def test_subthreshold_swing_beats_mosfet_limit(self, tfet_physics):
+        # The defining TFET property: sub-60 mV/dec at room temperature.
+        ss = tfet_physics.subthreshold_swing_mv_per_dec()
+        assert ss < MOSFET_SS_LIMIT_MV_PER_DEC
+
+
+class TestForwardCharacteristic:
+    @given(v1=st.floats(0.0, 1.2), v2=st.floats(0.0, 1.2))
+    @settings(max_examples=50, deadline=None)
+    def test_transfer_monotone(self, tfet_physics, v1, v2):
+        j1 = j(tfet_physics, v1, 0.8)
+        j2 = j(tfet_physics, v2, 0.8)
+        assert (j2 - j1) * (v2 - v1) >= 0.0
+
+    @given(v1=st.floats(0.0, 1.2), v2=st.floats(0.0, 1.2))
+    @settings(max_examples=50, deadline=None)
+    def test_output_monotone(self, tfet_physics, v1, v2):
+        j1 = j(tfet_physics, 0.8, v1)
+        j2 = j(tfet_physics, 0.8, v2)
+        assert (j2 - j1) * (v2 - v1) >= 0.0
+
+    def test_output_saturates_early(self, tfet_physics):
+        # Tunneling devices saturate within a few hundred millivolts.
+        linear = j(tfet_physics, 0.8, 0.3)
+        saturated = j(tfet_physics, 0.8, 0.8)
+        assert linear > 0.8 * saturated
+
+    def test_zero_vds_zero_current(self, tfet_physics):
+        assert j(tfet_physics, 0.8, 0.0) == pytest.approx(0.0, abs=1e-20)
+
+    def test_leakage_floor_dominates_off_state(self, tfet_physics):
+        tail = float(np.asarray(tfet_physics.gate_transfer_density(0.0)))
+        assert tail < 0.2 * tfet_physics.leakage_floor
+
+    def test_drain_saturation_factor_limits(self, tfet_physics):
+        assert float(np.asarray(tfet_physics.drain_saturation_factor(0.0))) == 0.0
+        deep = float(np.asarray(tfet_physics.drain_saturation_factor(1.0)))
+        assert deep == pytest.approx(1.05, abs=0.05)
+
+    def test_ambipolar_branch_rises_at_negative_gate_bias(self, tfet_physics):
+        ambipolar = j(tfet_physics, -1.2, 1.0)
+        off = j(tfet_physics, -0.2, 1.0)
+        assert ambipolar > off
+
+
+class TestUnidirectionalConduction:
+    """The property that drives the whole paper."""
+
+    def test_reverse_current_sign(self, tfet_physics):
+        assert j(tfet_physics, 0.5, -0.5) < 0.0
+
+    def test_gate_loses_control_at_high_reverse_bias(self, tfet_physics):
+        # Fig. 2(b): at |V_DS| = 1 V the curves collapse onto the diode.
+        spread = abs(j(tfet_physics, 1.0, -1.0) / j(tfet_physics, 0.0, -1.0))
+        assert spread < 1.1
+
+    def test_gate_controls_at_low_reverse_bias(self, tfet_physics):
+        spread = abs(j(tfet_physics, 1.0, -0.1) / j(tfet_physics, 0.0, -0.1))
+        assert spread > 1e6
+
+    def test_reverse_diode_magnitude_near_on_current(self, tfet_physics):
+        # "much smaller than the forward on current except for V_DS
+        # close to 1 V": at 1 V reverse the diode is within ~an order.
+        assert abs(j(tfet_physics, 0.0, -1.0)) > 0.05 * tfet_physics.on_current(1.0)
+
+    def test_reverse_current_far_exceeds_off_current_at_mid_bias(self, tfet_physics):
+        assert abs(j(tfet_physics, 0.0, -0.8)) > 1e6 * tfet_physics.off_current(1.0)
+
+    def test_reverse_orders_of_magnitude_ladder(self, tfet_physics):
+        # The static-power ladder of Sections 3/5: each 0.2 V of reverse
+        # bias costs orders of magnitude.
+        j05 = abs(j(tfet_physics, 0.0, -0.5))
+        j08 = abs(j(tfet_physics, 0.0, -0.8))
+        j10 = abs(j(tfet_physics, 0.0, -1.0))
+        assert 1e3 < j08 / j05 < 1e7
+        assert 1e1 < j10 / j08 < 1e4
+
+    @given(v=st.floats(0.02, 1.2))
+    @settings(max_examples=50, deadline=None)
+    def test_reverse_diode_envelope_monotone_in_bias(self, tfet_physics, v):
+        # With the gate off, only the p-i-n diode and the floor conduct;
+        # that envelope must grow monotonically with reverse bias.
+        shallow = abs(j(tfet_physics, 0.0, -v + 0.01))
+        deep = abs(j(tfet_physics, 0.0, -v))
+        assert deep >= shallow * 0.999
+
+    def test_reverse_gated_to_diode_handover_dips(self, tfet_physics):
+        # At high V_GS the gated component fades before the diode takes
+        # over, leaving a dip in |I(V_DS)| — the flat spot that the
+        # circuit solver's line search exists to handle.
+        shallow = abs(j(tfet_physics, 0.8, -0.1))
+        mid = abs(j(tfet_physics, 0.8, -0.55))
+        deep = abs(j(tfet_physics, 0.8, -1.0))
+        assert mid < shallow
+        assert mid < deep
+
+    def test_conductance_continuous_through_zero_vds(self, tfet_physics):
+        eps = 5e-4
+        g_fwd = j(tfet_physics, 0.8, eps) / eps
+        g_rev = j(tfet_physics, 0.8, -eps) / (-eps)
+        assert g_fwd == pytest.approx(g_rev, rel=0.05)
+
+
+class TestModelShape:
+    def test_broadcasting(self, tfet_physics):
+        vgs = np.linspace(0, 1, 5)[:, None]
+        vds = np.linspace(-1, 1, 7)[None, :]
+        out = np.asarray(tfet_physics.current_density(vgs, vds))
+        assert out.shape == (5, 7)
+
+    def test_scalar_returns_float(self, tfet_physics):
+        assert isinstance(tfet_physics.current_density(0.5, 0.5), float)
+
+    def test_swing_raises_on_flat_window(self, tfet_physics):
+        with pytest.raises(ValueError):
+            tfet_physics.subthreshold_swing_mv_per_dec(vgs_low=1.19, vgs_high=1.2, vds=0.0)

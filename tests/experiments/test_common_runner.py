@@ -1,0 +1,86 @@
+"""Tests for the experiment infrastructure and registry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    fmt_seconds,
+    fmt_value,
+    fmt_volts,
+)
+from repro.experiments.runner import REGISTRY, run_experiment
+
+
+class TestFormatting:
+    def test_fmt_seconds(self):
+        assert fmt_seconds(1.5e-10) == "150.0 ps"
+        assert fmt_seconds(math.inf) == "inf"
+
+    def test_fmt_volts(self):
+        assert fmt_volts(0.123) == "123.0 mV"
+
+    def test_fmt_value_scientific_for_extremes(self):
+        assert "e" in fmt_value(1e-17)
+        assert fmt_value(math.inf) == "inf"
+        assert fmt_value("text") == "text"
+        assert fmt_value(None) == "-"
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult("figX", "demo", ["a", "b"])
+
+    def test_add_row_and_column(self):
+        r = self.make()
+        r.add_row(1.0, 2.0)
+        r.add_row(3.0, 4.0)
+        assert r.column("b") == [2.0, 4.0]
+
+    def test_row_width_checked(self):
+        r = self.make()
+        with pytest.raises(ValueError):
+            r.add_row(1.0)
+
+    def test_format_contains_header_and_notes(self):
+        r = self.make()
+        r.add_row(1.0, math.inf)
+        r.notes.append("hello")
+        text = r.format()
+        assert "figX" in text and "a" in text and "inf" in text and "note: hello" in text
+
+    def test_unknown_column(self):
+        with pytest.raises(ValueError):
+            self.make().column("zzz")
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        paper = {
+            "fig02", "fig04", "fig06", "fig07", "fig08",
+            "fig09", "fig10", "fig11", "fig12", "tab_power", "tab_area",
+        }
+        assert paper <= set(REGISTRY)
+
+    def test_extensions_registered(self):
+        extensions = {"abl_static_dynamic", "abl_assist_fraction", "ext_half_select"}
+        assert extensions <= set(REGISTRY)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_descriptions_present(self):
+        for run, description in REGISTRY.values():
+            assert callable(run)
+            assert description
+
+    def test_main_prints_table(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["tab_area"]) == 0
+        out = capsys.readouterr().out
+        assert "tab_area" in out and "7T" in out

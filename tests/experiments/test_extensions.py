@@ -1,0 +1,72 @@
+"""Tests for the ablation and extension experiments."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    abl_assist_fraction,
+    abl_static_vs_dynamic,
+    ext_half_select,
+)
+
+
+class TestStaticVsDynamic:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return abl_static_vs_dynamic.run(betas=(0.6,), points=17)
+
+    def test_dynamic_margin_dominates_static(self, result):
+        row = result.rows[0]
+        h = result.header
+        assert row[h.index("TFET DRNM/SNM")] > 3.0
+
+    def test_cmos_static_margin_larger_than_tfet(self, result):
+        row = result.rows[0]
+        h = result.header
+        assert row[h.index("CMOS read SNM (mV)")] > row[h.index("TFET read SNM (mV)")]
+
+
+class TestAssistFraction:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return abl_assist_fraction.run(fractions=(0.15, 0.3, 0.45))
+
+    def test_drnm_monotone_in_fraction(self, result):
+        drnm = result.column(result.header[1])
+        assert drnm == sorted(drnm)
+
+    def test_wlcrit_improves_with_fraction(self, result):
+        wl = result.column(result.header[2])
+        finite = [v for v in wl if math.isfinite(v)]
+        assert finite == sorted(finite, reverse=True)
+        # The strongest assist must enable the write.
+        assert math.isfinite(wl[-1])
+
+
+class TestHalfSelect:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_half_select.run(betas=(0.6,))
+
+    def test_half_select_erodes_unassisted_margin(self, result):
+        row = result.rows[0]
+        h = result.header
+        selected = row[h.index("selected DRNM + RA (mV)")]
+        half = row[h.index("half-select DRNM, no RA (mV)")]
+        assert half < 0.25 * selected
+
+    def test_segmented_assist_recovers_margin(self, result):
+        row = result.rows[0]
+        h = result.header
+        recovered = row[h.index("half-select DRNM, segmented RA (mV)")]
+        plain = row[h.index("half-select DRNM, no RA (mV)")]
+        assert recovered > 10.0 * max(plain, 1e-3)
+
+    def test_registered_in_runner(self):
+        from repro.experiments.runner import REGISTRY
+
+        for key in ("abl_static_dynamic", "abl_assist_fraction", "ext_half_select"):
+            assert key in REGISTRY

@@ -1,0 +1,54 @@
+"""Tests for the Miller-coupling and energy-scaling extensions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext_energy_scaling, ext_miller_coupling
+
+
+class TestMillerCoupling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_miller_coupling.run(betas=(0.6,))
+
+    def test_tfet_boost_far_exceeds_cmos(self, result):
+        row = result.rows[0]
+        h = result.header
+        assert row[h.index("TFET peak boost (mV)")] > 5.0 * row[h.index("CMOS peak boost (mV)")]
+
+    def test_tfet_node_stays_boosted(self, result):
+        # The unidirectional pull-up cannot drain the injected charge:
+        # the node dwells above the rail for a long fraction of the
+        # access, while the CMOS node recovers immediately.
+        row = result.rows[0]
+        h = result.header
+        assert row[h.index("TFET dwell above rail (ps)")] > 100.0
+        assert row[h.index("CMOS dwell above rail (ps)")] < 50.0
+
+
+class TestEnergyScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_energy_scaling.run(vdds=(0.6, 0.8))
+
+    def test_standby_advantage_at_every_vdd(self, result):
+        h = result.header
+        for row in result.rows:
+            ratio = row[h.index("CMOS standby (W)")] / row[h.index("TFET standby (W)")]
+            assert ratio > 1e5
+
+    def test_energies_positive_and_femtojoule_scale(self, result):
+        h = result.header
+        for row in result.rows:
+            for col in ("TFET write E (fJ)", "TFET read E w/ RA (fJ)", "CMOS write E (fJ)"):
+                assert 0.0 < row[h.index(col)] < 100.0
+
+    def test_energy_grows_with_vdd(self, result):
+        col = result.column("TFET read E w/ RA (fJ)")
+        assert col == sorted(col)
+
+    def test_registered(self):
+        from repro.experiments.runner import REGISTRY
+
+        assert "ext_miller" in REGISTRY and "ext_energy" in REGISTRY

@@ -1,0 +1,55 @@
+"""Tests for experiment-result persistence."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.io import load_json, save_csv, save_json
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult("figX", "demo", ["beta", "wlcrit (ps)", "label"])
+    r.add_row(0.6, 742.0, "ok")
+    r.add_row(2.0, math.inf, "fails")
+    r.notes.append("a note")
+    return r
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self, result, tmp_path):
+        path = save_json(result, tmp_path / "r.json")
+        loaded = load_json(path)
+        assert loaded.experiment_id == result.experiment_id
+        assert loaded.title == result.title
+        assert loaded.header == result.header
+        assert loaded.notes == result.notes
+        assert loaded.rows[0] == result.rows[0]
+
+    def test_infinity_survives(self, result, tmp_path):
+        loaded = load_json(save_json(result, tmp_path / "r.json"))
+        assert math.isinf(loaded.rows[1][1])
+
+    def test_file_is_valid_json(self, result, tmp_path):
+        path = save_json(result, tmp_path / "r.json")
+        payload = json.loads(path.read_text())
+        assert payload["experiment_id"] == "figX"
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"title": "x"}))
+        with pytest.raises(ValueError, match="missing"):
+            load_json(path)
+
+
+class TestCsv:
+    def test_csv_has_header_and_rows(self, result, tmp_path):
+        path = save_csv(result, tmp_path / "r.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "beta,wlcrit (ps),label"
+        assert len(lines) == 3
+        assert "inf" in lines[2]

@@ -1,0 +1,86 @@
+"""Tests for the array-level planner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sram import READ_ASSISTS, AccessConfig, CellSizing, Cmos6TCell, Tfet6TCell
+from repro.sram.array import (
+    CELL_BITLINE_CAP,
+    FIXED_BITLINE_CAP,
+    ArrayGeometry,
+    plan_array,
+)
+
+VDD = 0.8
+
+
+@pytest.fixture(scope="module")
+def proposed():
+    return Tfet6TCell(CellSizing().with_beta(0.6), access=AccessConfig.INWARD_P)
+
+
+class TestGeometry:
+    def test_bits(self):
+        assert ArrayGeometry(128, 64).bits == 8192
+
+    def test_bitline_cap_scales_with_rows(self):
+        g64 = ArrayGeometry(64, 8)
+        g256 = ArrayGeometry(256, 8)
+        assert g256.bitline_capacitance > g64.bitline_capacitance
+        assert g64.bitline_capacitance == pytest.approx(
+            FIXED_BITLINE_CAP + 64 * CELL_BITLINE_CAP
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayGeometry(0, 8)
+
+
+class TestPlanArray:
+    @pytest.fixture(scope="class")
+    def small(self, request):
+        proposed = Tfet6TCell(CellSizing().with_beta(0.6), access=AccessConfig.INWARD_P)
+        return plan_array(
+            proposed,
+            ArrayGeometry(64, 32),
+            VDD,
+            read_assist=READ_ASSISTS["vgnd_lowering"],
+        )
+
+    def test_access_time_finite(self, small):
+        assert math.isfinite(small.read_access_time)
+        assert small.read_access_time > 5e-11  # includes the decode term
+
+    def test_standby_power_is_bits_times_cell(self, small, proposed):
+        from repro.analysis.power import hold_power
+
+        expected = 64 * 32 * hold_power(proposed, VDD)
+        assert small.standby_power == pytest.approx(expected, rel=1e-6)
+
+    def test_per_bit_power(self, small):
+        assert small.standby_power_per_bit == pytest.approx(
+            small.standby_power / 2048, rel=1e-9
+        )
+
+    def test_summary_mentions_key_numbers(self, small):
+        text = small.summary()
+        assert "64 x 32" in text
+        assert "fF" in text and "um^2" in text
+
+    def test_taller_column_reads_slower(self, proposed):
+        short = plan_array(proposed, ArrayGeometry(32, 8), VDD,
+                           read_assist=READ_ASSISTS["vgnd_lowering"])
+        tall = plan_array(proposed, ArrayGeometry(256, 8), VDD,
+                          read_assist=READ_ASSISTS["vgnd_lowering"])
+        assert tall.read_access_time > short.read_access_time
+        assert tall.bitline_capacitance > short.bitline_capacitance
+
+    def test_tfet_array_standby_orders_below_cmos(self, proposed):
+        geometry = ArrayGeometry(64, 16)
+        tfet = plan_array(proposed, geometry, VDD,
+                          read_assist=READ_ASSISTS["vgnd_lowering"])
+        cmos = plan_array(Cmos6TCell(CellSizing().with_beta(1.3)), geometry, VDD)
+        assert cmos.standby_power / tfet.standby_power > 1e5

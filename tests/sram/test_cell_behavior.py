@@ -1,0 +1,154 @@
+"""Behavioral integration tests: the paper's Section 3 observations.
+
+These run real transient simulations, so each case is kept short; the
+exhaustive sweeps live in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.power import hold_power, static_power
+from repro.analysis.stability import (
+    dynamic_read_noise_margin,
+    write_flips_cell,
+)
+from repro.circuit.transient import simulate_transient
+from repro.sram import (
+    AccessConfig,
+    AsymTfet6TCell,
+    CellSizing,
+    Cmos6TCell,
+    Tfet6TCell,
+    Tfet7TCell,
+)
+
+VDD = 0.8
+
+
+@pytest.fixture(scope="module")
+def proposed():
+    return Tfet6TCell(CellSizing().with_beta(0.6), access=AccessConfig.INWARD_P)
+
+
+class TestHold:
+    def test_cell_retains_state(self, proposed):
+        bench = proposed.hold_testbench(VDD)
+        res = simulate_transient(
+            bench.circuit, 2e-9, initial_conditions=bench.initial_conditions
+        )
+        assert res.final("q") == pytest.approx(VDD, abs=0.01)
+        assert res.final("qb") == pytest.approx(0.0, abs=0.01)
+
+    def test_cell_retains_opposite_state(self, proposed):
+        bench = proposed.hold_testbench(VDD, stored_one=False)
+        res = simulate_transient(
+            bench.circuit, 2e-9, initial_conditions=bench.initial_conditions
+        )
+        assert res.final("q") == pytest.approx(0.0, abs=0.01)
+        assert res.final("qb") == pytest.approx(VDD, abs=0.01)
+
+    def test_inward_cells_leak_like_tfets(self, proposed):
+        power = hold_power(proposed, VDD, average_states=False)
+        assert power < 1e-16  # attowatt regime
+
+    def test_outward_cells_burn_orders_more(self):
+        inward = Tfet6TCell(access=AccessConfig.INWARD_P)
+        outward = Tfet6TCell(access=AccessConfig.OUTWARD_N)
+        ratio = hold_power(outward, VDD, average_states=False) / hold_power(
+            inward, VDD, average_states=False
+        )
+        assert ratio > 1e8  # paper: ~9 orders at 0.8 V
+
+    def test_outward_penalty_shrinks_at_low_vdd(self):
+        outward = Tfet6TCell(access=AccessConfig.OUTWARD_N)
+        p06 = hold_power(outward, 0.6, average_states=False)
+        p08 = hold_power(outward, 0.8, average_states=False)
+        assert p08 / p06 > 1e2
+
+    def test_cmos_six_orders_above_tfet(self, proposed):
+        cmos = Cmos6TCell(CellSizing().with_beta(1.3))
+        ratio = hold_power(cmos, VDD, average_states=False) / hold_power(
+            proposed, VDD, average_states=False
+        )
+        assert 1e5 < ratio < 1e8  # paper: 6-7 orders
+
+    def test_asym_leakage_is_state_dependent(self):
+        cell = AsymTfet6TCell()
+        p_one = static_power(cell.hold_testbench(0.8, stored_one=True))
+        p_zero = static_power(cell.hold_testbench(0.8, stored_one=False))
+        assert max(p_one, p_zero) > 100 * min(p_one, p_zero)
+
+    def test_7t_holds_tfet_floor_despite_outward_access(self):
+        # The grounded write bitlines avoid the reverse-bias condition.
+        assert hold_power(Tfet7TCell(), VDD) < 1e-16
+
+
+class TestWrite:
+    def test_proposed_cell_writes(self, proposed):
+        assert write_flips_cell(proposed.write_testbench(VDD, 2e-9))
+
+    def test_inward_n_cannot_write(self):
+        cell = Tfet6TCell(CellSizing().with_beta(0.6), access=AccessConfig.INWARD_N)
+        assert not write_flips_cell(cell.write_testbench(VDD, 3e-9))
+
+    def test_large_beta_cannot_write(self):
+        cell = Tfet6TCell(CellSizing().with_beta(2.0), access=AccessConfig.INWARD_P)
+        assert not write_flips_cell(cell.write_testbench(VDD, 3e-9))
+
+    def test_too_short_pulse_fails(self, proposed):
+        assert not write_flips_cell(proposed.write_testbench(VDD, 2e-11))
+
+    def test_cmos_writes_fast(self):
+        cell = Cmos6TCell(CellSizing().with_beta(1.3))
+        assert write_flips_cell(cell.write_testbench(VDD, 5e-11))
+
+    def test_asym_writes_with_builtin_assist(self):
+        assert write_flips_cell(AsymTfet6TCell().write_testbench(VDD, 2e-9))
+
+    def test_7t_writes_through_outward_access(self):
+        assert write_flips_cell(Tfet7TCell().write_testbench(VDD, 3e-9))
+
+
+class TestRead:
+    def test_read_preserves_state(self, proposed):
+        drnm = dynamic_read_noise_margin(proposed.read_testbench(VDD))
+        assert drnm > 0.1
+
+    def test_bitline_discharges_through_zero_node(self, proposed):
+        bench = proposed.read_testbench(VDD, duration=1e-9)
+        res = simulate_transient(
+            bench.circuit,
+            bench.window.t_off,
+            initial_conditions=bench.initial_conditions,
+        )
+        # blb (attached to qb = 0) droops; bl stays near the rail.
+        assert res.final("blb") < VDD - 0.05
+        assert res.final("bl") > VDD - 0.03
+
+    def test_drnm_grows_with_beta(self):
+        small = Tfet6TCell(CellSizing().with_beta(0.4), access=AccessConfig.INWARD_P)
+        large = Tfet6TCell(CellSizing().with_beta(1.5), access=AccessConfig.INWARD_P)
+        assert dynamic_read_noise_margin(
+            large.read_testbench(VDD)
+        ) > dynamic_read_noise_margin(small.read_testbench(VDD))
+
+    def test_7t_read_is_nondestructive_and_stable(self):
+        cell = Tfet7TCell()
+        bench = cell.read_testbench(VDD, duration=1e-9)
+        res = simulate_transient(
+            bench.circuit,
+            bench.window.t_off,
+            initial_conditions=bench.initial_conditions,
+        )
+        assert res.final("rbl") < VDD - 0.05  # read signal developed
+        assert res.final("q") == pytest.approx(VDD, abs=0.05)  # undisturbed
+
+    def test_vgnd_lowering_boosts_drnm(self, proposed):
+        from repro.sram import READ_ASSISTS
+
+        plain = dynamic_read_noise_margin(proposed.read_testbench(VDD))
+        assisted = dynamic_read_noise_margin(
+            proposed.read_testbench(VDD, assist=READ_ASSISTS["vgnd_lowering"])
+        )
+        assert assisted > plain + 0.1

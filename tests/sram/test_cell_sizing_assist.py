@@ -1,0 +1,113 @@
+"""Tests for cell sizing and the assist-technique catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.waveforms import Constant, Pulse
+from repro.sram.assist import (
+    ALL_ASSISTS,
+    READ_ASSISTS,
+    WRITE_ASSISTS,
+    AccessWindow,
+    Assist,
+)
+from repro.sram.cell import CellSizing
+
+
+class TestCellSizing:
+    def test_beta_definition(self):
+        s = CellSizing(access_width=0.1, pulldown_width=0.06)
+        assert s.beta == pytest.approx(0.6)
+
+    def test_with_beta_moves_pulldown_only(self):
+        s = CellSizing().with_beta(2.0)
+        assert s.pulldown_width == pytest.approx(0.2)
+        assert s.access_width == 0.1
+        assert s.pullup_width == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CellSizing(access_width=0.0)
+        with pytest.raises(ValueError):
+            CellSizing().with_beta(-1.0)
+
+
+class TestAssistCatalog:
+    def test_four_write_four_read(self):
+        assert len(WRITE_ASSISTS) == 4
+        assert len(READ_ASSISTS) == 4
+        assert len(ALL_ASSISTS) == 8
+
+    def test_paper_directions(self):
+        # Note the pTFET-specific inversion: wordline *lowering* is the
+        # write assist, wordline *raising* the read assist.
+        assert WRITE_ASSISTS["wl_lowering"].sign == -1.0
+        assert READ_ASSISTS["wl_raising"].sign == +1.0
+        assert WRITE_ASSISTS["vdd_lowering"].sign == -1.0
+        assert READ_ASSISTS["vgnd_lowering"].sign == -1.0
+
+    def test_default_fraction_is_thirty_percent(self):
+        for assist in ALL_ASSISTS.values():
+            assert assist.fraction == 0.3
+
+    def test_delta(self):
+        assert WRITE_ASSISTS["vgnd_raising"].delta(0.8) == pytest.approx(0.24)
+        assert READ_ASSISTS["bl_lowering"].delta(0.8) == pytest.approx(-0.24)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Assist("x", "hold", "vdd", 1.0)
+        with pytest.raises(ValueError):
+            Assist("x", "write", "body", 1.0)
+        with pytest.raises(ValueError):
+            Assist("x", "write", "vdd", 0.5)
+        with pytest.raises(ValueError):
+            Assist("x", "write", "vdd", 1.0, fraction=1.5)
+
+
+class TestAssistWaveforms:
+    def window(self):
+        return AccessWindow(1e-9, 2e-9)
+
+    def test_rail_assist_produces_pulse(self):
+        a = WRITE_ASSISTS["vdd_lowering"]
+        wf = a.vdd_rail(0.8, self.window())
+        assert isinstance(wf, Pulse)
+        assert wf.value(1.5e-9) == pytest.approx(0.8 - 0.24)
+        assert wf.value(0.0) == pytest.approx(0.8)
+
+    def test_rail_assist_leads_the_wordline(self):
+        a = WRITE_ASSISTS["vgnd_raising"]
+        wf = a.gnd_rail(0.8, self.window())
+        # Asserted 600 ps before the access window opens.
+        assert wf.value(1e-9 - 1e-10) == pytest.approx(0.24)
+
+    def test_wl_bl_assists_have_short_lead(self):
+        assert WRITE_ASSISTS["bl_raising"].lead_time < WRITE_ASSISTS["vdd_lowering"].lead_time
+
+    def test_non_target_rails_stay_constant(self):
+        a = WRITE_ASSISTS["wl_lowering"]
+        assert isinstance(a.vdd_rail(0.8, self.window()), Constant)
+        assert isinstance(a.gnd_rail(0.8, self.window()), Constant)
+
+    def test_wl_level_shift(self):
+        a = WRITE_ASSISTS["wl_lowering"]
+        assert a.wl_active_level(0.0, 0.8) == pytest.approx(-0.24)
+        b = READ_ASSISTS["wl_raising"]
+        assert b.wl_active_level(0.0, 0.8) == pytest.approx(0.24)
+
+    def test_bitline_level_shift(self):
+        a = WRITE_ASSISTS["bl_raising"]
+        assert a.bitline_level(0.8, 0.8) == pytest.approx(1.04)
+        b = READ_ASSISTS["bl_lowering"]
+        assert b.bitline_level(0.8, 0.8) == pytest.approx(0.56)
+
+    def test_window_too_early_for_lead_raises(self):
+        a = WRITE_ASSISTS["vdd_lowering"]
+        with pytest.raises(ValueError, match="lead time"):
+            a.vdd_rail(0.8, AccessWindow(1e-10, 2e-10))
+
+    def test_access_window_validation(self):
+        with pytest.raises(ValueError):
+            AccessWindow(1e-9, 1e-9)

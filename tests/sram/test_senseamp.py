@@ -1,0 +1,86 @@
+"""Tests for the sense amplifier and the full read path."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuit.transient import simulate_transient
+from repro.experiments.designs import cmos_cell, proposed_cell, proposed_read_assist
+from repro.sram.senseamp import (
+    SenseAmpSizing,
+    minimum_sense_delay,
+    read_path_testbench,
+    sense_resolves_correctly,
+)
+
+VDD = 0.8
+
+
+class TestSizing:
+    def test_defaults_valid(self):
+        SenseAmpSizing()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SenseAmpSizing(latch_nmos=0.0)
+        with pytest.raises(ValueError):
+            SenseAmpSizing(mismatch=0.6)
+
+
+class TestReadPath:
+    def test_latch_resolves_with_ample_delay(self):
+        bench = read_path_testbench(
+            proposed_cell(), VDD, 2e-9, assist=proposed_read_assist(), duration=3e-9
+        )
+        result = simulate_transient(
+            bench.circuit,
+            bench.notes["fire_time"] + 1e-9,
+            initial_conditions=bench.initial_conditions,
+        )
+        # blb discharges (qb side), so sa_out must latch high.
+        assert result.final("sa_out") > 0.7 * VDD
+        assert result.final("sa_outb") < 0.1 * VDD
+
+    def test_cell_state_survives_the_sense_operation(self):
+        bench = read_path_testbench(
+            proposed_cell(), VDD, 1e-9, assist=proposed_read_assist(), duration=2e-9
+        )
+        result = simulate_transient(
+            bench.circuit,
+            bench.notes["fire_time"] + 1e-9,
+            initial_conditions=bench.initial_conditions,
+        )
+        assert result.final("q") > result.final("qb")
+
+    def test_premature_fire_misresolves_with_offset(self):
+        # With a 4 % offset and almost no split, the latch falls the
+        # wrong way — this is what sets the minimum sense delay.
+        assert not sense_resolves_correctly(
+            cmos_cell(), VDD, 1e-11, sizing=SenseAmpSizing(mismatch=0.3)
+        )
+
+    def test_ideal_latch_resolves_tiny_split(self):
+        assert sense_resolves_correctly(
+            cmos_cell(), VDD, 8e-11, sizing=SenseAmpSizing(mismatch=0.0)
+        )
+
+
+class TestMinimumSenseDelay:
+    def test_cmos_sense_delay_reasonable(self):
+        d = minimum_sense_delay(cmos_cell(), VDD)
+        assert 2e-11 < d < 5e-10
+
+    def test_tfet_pays_for_slow_bitline(self):
+        d_tfet = minimum_sense_delay(proposed_cell(), VDD, assist=proposed_read_assist())
+        d_cmos = minimum_sense_delay(cmos_cell(), VDD)
+        assert d_tfet > 3.0 * d_cmos
+
+    def test_infinite_when_offset_unbeatable(self):
+        # The slow TFET bitline cannot out-split a 30 % offset within a
+        # 120 ps budget: the search reports failure.
+        d = minimum_sense_delay(
+            proposed_cell(), VDD, sizing=SenseAmpSizing(mismatch=0.3), upper=1.2e-10
+        )
+        assert math.isinf(d)

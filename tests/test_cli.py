@@ -1,0 +1,60 @@
+"""Tests for the top-level command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDeviceInfo:
+    def test_prints_anchors(self, capsys):
+        assert main(["device-info"]) == 0
+        out = capsys.readouterr().out
+        assert "1.000e-04" in out
+        assert "1.000e-17" in out
+        assert "MOSFET" in out
+
+
+class TestCell:
+    def test_proposed_cell_report(self, capsys):
+        assert main(["cell", "proposed", "--vdd", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "hold power" in out
+        assert "WL_crit" in out
+        assert "read assist" in out
+
+    def test_asym_wlcrit_undefined(self, capsys):
+        assert main(["cell", "asym"]) == 0
+        assert "undefined (no separatrix)" in capsys.readouterr().out
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cell", "nonsense"])
+
+
+class TestExperiment:
+    def test_delegates_to_runner(self, capsys):
+        assert main(["experiment", "tab_area"]) == 0
+        assert "7T" in capsys.readouterr().out
+
+
+class TestNetlist:
+    def test_op_analysis(self, tmp_path, capsys):
+        deck = tmp_path / "div.sp"
+        deck.write_text("* divider\nV1 in 0 1.0\nR1 in mid 1k\nR2 mid 0 1k\n.end\n")
+        assert main(["netlist", str(deck)]) == 0
+        out = capsys.readouterr().out
+        assert "v(mid) = +0.500000 V" in out
+
+    def test_transient(self, tmp_path, capsys):
+        deck = tmp_path / "rc.sp"
+        deck.write_text("V1 in 0 PULSE(0 1 0.1n 100n)\nR1 in out 1k\nC1 out 0 10f\n")
+        assert main(["netlist", str(deck), "--tran", "1e-9"]) == 0
+        out = capsys.readouterr().out
+        assert "transient" in out
+        assert "v(out) final" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

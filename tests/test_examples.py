@@ -1,0 +1,60 @@
+"""The example scripts must stay runnable as the library evolves."""
+
+from __future__ import annotations
+
+import ast
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExampleHygiene:
+    def test_examples_exist(self):
+        names = {p.name for p in ALL_EXAMPLES}
+        assert {
+            "quickstart.py",
+            "access_transistor_study.py",
+            "assist_explorer.py",
+            "design_signoff.py",
+            "monte_carlo_yield.py",
+            "array_planner.py",
+        } <= names
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_parses_and_has_main(self, path):
+        tree = ast.parse(path.read_text())
+        functions = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in functions
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_has_usage_docstring(self, path):
+        module = ast.parse(path.read_text())
+        doc = ast.get_docstring(module)
+        assert doc and "Usage" in doc
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_imports_resolve(self, path):
+        # Importing the module (without running main) catches API drift.
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                __import__(node.module)
+
+
+class TestQuickstartRuns:
+    def test_quickstart_end_to_end(self, capsys):
+        argv = sys.argv
+        sys.argv = ["quickstart.py"]
+        try:
+            runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+        finally:
+            sys.argv = argv
+        out = capsys.readouterr().out
+        assert "I_on" in out
+        assert "WL_crit" in out
+        assert "SUITABLE" not in out  # that's the other example
