@@ -31,6 +31,7 @@ from repro.analysis import (
     read_delay,
     write_delay,
 )
+from repro import telemetry
 from repro.circuit import Circuit, simulate_transient, solve_dc
 from repro.devices.library import (
     nmos_device,
@@ -60,6 +61,7 @@ __all__ = [
     "Circuit",
     "simulate_transient",
     "solve_dc",
+    "telemetry",
     "nmos_device",
     "nominal_tfet_physics",
     "pmos_device",

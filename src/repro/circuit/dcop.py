@@ -6,10 +6,19 @@ the solver runs the standard SPICE escalation: plain Newton-Raphson
 (with a per-iteration voltage-step limit), then gmin stepping, then
 source stepping.  Callers seed the bistable state via ``initial_guess``
 and/or :class:`VoltageClamp` entries.
+
+Both solvers are instrumented against :mod:`repro.telemetry`: when a
+session is active, each ``newton_solve`` records its iteration count,
+line-search backtracks, and trust-region shrinks, and ``solve_dc``
+records which fallback tier finally converged.  With telemetry off the
+cost is one guard check per solve.  On failure, a forensic snapshot
+(worst-residual node names, last dV, fallback tier reached) rides on
+the :class:`ConvergenceError` so the exception alone is diagnosable.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,12 +26,37 @@ import numpy as np
 from repro.circuit.mna import MnaSystem, TransientState, VoltageClamp
 from repro.circuit.netlist import Circuit
 from repro.circuit.results import OperatingPoint
+from repro.telemetry import core as telemetry
 
 __all__ = ["SolverOptions", "ConvergenceError", "newton_solve", "solve_dc"]
 
 
+def _format_forensic(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3e}"
+    if isinstance(value, (list, tuple)):
+        return "|".join(_format_forensic(v) for v in value)
+    return str(value)
+
+
 class ConvergenceError(RuntimeError):
-    """The nonlinear solver failed to converge."""
+    """The nonlinear solver failed to converge.
+
+    ``forensics`` carries a structured snapshot of the failure (worst
+    residual nodes, last voltage step, fallback tier reached, …); it is
+    also rendered into the message so a bare traceback is enough to
+    diagnose the failure.
+    """
+
+    def __init__(self, message: str, forensics: dict | None = None):
+        self.forensics = dict(forensics or {})
+        if self.forensics:
+            detail = ", ".join(
+                f"{key}={_format_forensic(value)}"
+                for key, value in self.forensics.items()
+            )
+            message = f"{message} [{detail}]"
+        super().__init__(message)
 
 
 @dataclass(frozen=True)
@@ -42,6 +76,19 @@ class SolverOptions:
     """Maximum residual-norm backtracking halvings per iteration."""
 
 
+def _worst_residual_nodes(
+    system: MnaSystem, f: np.ndarray, top: int = 3
+) -> list[str]:
+    """The ``top`` node names with the largest KCL residual, annotated."""
+    names = system.circuit.node_names
+    n = min(system.n_nodes, len(names))
+    if n == 0:
+        return []
+    magnitudes = np.abs(f[:n])
+    order = np.argsort(magnitudes)[::-1][:top]
+    return [f"{names[int(i)]}:{magnitudes[int(i)]:.2e}" for i in order]
+
+
 def newton_solve(
     system: MnaSystem,
     x0: np.ndarray,
@@ -59,6 +106,13 @@ def newton_solve(
     produce huge raw Newton steps; a residual-norm line search keeps the
     iteration descending instead of oscillating across the flat spot.
     """
+    if options.max_iterations < 1:
+        raise ValueError(
+            f"SolverOptions.max_iterations must be >= 1, got {options.max_iterations}"
+        )
+    tel = telemetry.active()
+    wall_start = time.perf_counter() if tel is not None else 0.0
+
     x = x0.copy()
     n = system.n_nodes
 
@@ -75,13 +129,24 @@ def newton_solve(
     f, jac = residual(x)
     residual_ok_streak = 0
     trust = options.step_limit
+    backtracks = 0
+    trust_shrinks = 0
+    step = float("nan")
     for iteration in range(1, options.max_iterations + 1):
         try:
             delta = np.linalg.solve(jac, -f)
         except np.linalg.LinAlgError as exc:
-            raise ConvergenceError(f"singular Jacobian at iteration {iteration}") from exc
+            if tel is not None:
+                tel.count("newton.singular_jacobians")
+            raise ConvergenceError(
+                f"singular Jacobian at iteration {iteration}",
+                forensics={"worst_residual_nodes": _worst_residual_nodes(system, f)},
+            ) from exc
         if not np.all(np.isfinite(delta)):
-            raise ConvergenceError(f"non-finite Newton step at iteration {iteration}")
+            raise ConvergenceError(
+                f"non-finite Newton step at iteration {iteration}",
+                forensics={"worst_residual_nodes": _worst_residual_nodes(system, f)},
+            )
 
         max_dv = float(np.max(np.abs(delta[:n]))) if n else 0.0
         if max_dv > trust:
@@ -96,6 +161,7 @@ def newton_solve(
             if float(np.linalg.norm(f_try)) <= norm_old or norm_old == 0.0:
                 break
             scale *= 0.5
+            backtracks += 1
         x, f, jac = x_try, f_try, jac_try
         step = scale * max_dv
 
@@ -104,6 +170,7 @@ def newton_solve(
         # metastable point) — shrink the cap; a clean full step restores it.
         if scale < 1.0:
             trust = max(0.25 * trust, 1e-7)
+            trust_shrinks += 1
         else:
             trust = min(2.0 * trust, options.step_limit)
 
@@ -115,13 +182,42 @@ def newton_solve(
             # the requested current accuracy at every iterate.  Accept
             # once the residual has stayed converged for a few steps.
             if step < options.voltage_tolerance or residual_ok_streak >= 3:
+                if tel is not None:
+                    _record_newton(tel, wall_start, iteration, backtracks,
+                                   trust_shrinks, converged=True)
                 return x, iteration
         else:
             residual_ok_streak = 0
+
+    if tel is not None:
+        _record_newton(tel, wall_start, options.max_iterations, backtracks,
+                       trust_shrinks, converged=False)
     raise ConvergenceError(
-        f"Newton did not converge in {options.max_iterations} iterations "
-        f"(last max dV = {step:.3e}, max |f| = {float(np.max(np.abs(f))):.3e})"
+        f"Newton did not converge in {options.max_iterations} iterations",
+        forensics={
+            "last_dv": step,
+            "max_residual": float(np.max(np.abs(f))),
+            "worst_residual_nodes": _worst_residual_nodes(system, f),
+            "extra_gmin": extra_gmin,
+            "source_scale": source_scale,
+        },
     )
+
+
+def _record_newton(
+    tel, wall_start: float, iterations: int, backtracks: int,
+    trust_shrinks: int, converged: bool,
+) -> None:
+    tel.count("newton.solves")
+    tel.count("newton.iterations", iterations)
+    tel.count("newton.backtracks", backtracks)
+    tel.count("newton.trust_shrinks", trust_shrinks)
+    tel.observe("newton.iterations_per_solve", iterations)
+    tel.add_time("newton.wall_s", time.perf_counter() - wall_start)
+    if not converged:
+        tel.count("newton.failures")
+        tel.event("newton.failure", level="debug", iterations=iterations,
+                  backtracks=backtracks)
 
 
 def _initial_vector(system: MnaSystem, initial_guess: dict[str, float] | None) -> np.ndarray:
@@ -132,6 +228,12 @@ def _initial_vector(system: MnaSystem, initial_guess: dict[str, float] | None) -
             if idx >= 0:
                 x0[idx] = value
     return x0
+
+
+def _tier_converged(tel, tier: str, t: float) -> None:
+    if tel is not None:
+        tel.count(f"dcop.converged.{tier}")
+        tel.event("dcop.converged", level="debug", tier=tier, sim_time=t)
 
 
 def solve_dc(
@@ -148,6 +250,11 @@ def solve_dc(
     cell.  The clamps stay active in the returned solution, so release
     them (or hand the solution to the transient integrator, which does)
     before interpreting branch currents that the clamps might carry.
+
+    Escalation tiers (telemetry counters ``dcop.converged.<tier>`` tell
+    which one succeeded): ``warm_start`` (the caller's guess),
+    ``cold_start`` (all-zeros restart), ``gmin_stepping``,
+    ``source_stepping``.
     """
     options = options or SolverOptions()
     system = MnaSystem(circuit)
@@ -158,8 +265,15 @@ def solve_dc(
     )
     x0 = _initial_vector(system, initial_guess)
 
+    tel = telemetry.active()
+    if tel is not None:
+        tel.count("dcop.solves")
+
+    warm = bool(np.any(x0 != 0.0))
+    first_tier = "warm_start" if warm else "cold_start"
     try:
         x, _ = newton_solve(system, x0, t, options, clamps=clamps)
+        _tier_converged(tel, first_tier, t)
         return OperatingPoint(circuit, x, options.gmin)
     except ConvergenceError:
         pass
@@ -168,9 +282,10 @@ def solve_dc(
     # minimum of the TFET reverse branch (node driven above a rail);
     # the all-zeros start approaches every junction from the forward
     # side and avoids the pocket.
-    if np.any(x0 != 0.0):
+    if warm:
         try:
             x, _ = newton_solve(system, np.zeros(system.size), t, options, clamps=clamps)
+            _tier_converged(tel, "cold_start", t)
             return OperatingPoint(circuit, x, options.gmin)
         except ConvergenceError:
             pass
@@ -181,12 +296,25 @@ def solve_dc(
         for extra in np.geomspace(1e-2, 1e-12, 11):
             x, _ = newton_solve(system, x, t, options, clamps=clamps, extra_gmin=extra)
         x, _ = newton_solve(system, x, t, options, clamps=clamps)
+        _tier_converged(tel, "gmin_stepping", t)
         return OperatingPoint(circuit, x, options.gmin)
     except ConvergenceError:
         pass
 
     # Source stepping: ramp all independent sources from zero.
     x = np.zeros(system.size)
-    for scale in np.linspace(0.1, 1.0, 10):
-        x, _ = newton_solve(system, x, t, options, clamps=clamps, source_scale=scale)
+    try:
+        for scale in np.linspace(0.1, 1.0, 10):
+            x, _ = newton_solve(system, x, t, options, clamps=clamps, source_scale=scale)
+    except ConvergenceError as exc:
+        if tel is not None:
+            tel.count("dcop.failures")
+            tel.event("dcop.failure", level="error", sim_time=t, **{
+                k: v for k, v in exc.forensics.items() if k != "worst_residual_nodes"
+            })
+        raise ConvergenceError(
+            "DC operating point failed after every fallback tier",
+            forensics={"fallback_tier": "source_stepping", **exc.forensics},
+        ) from exc
+    _tier_converged(tel, "source_stepping", t)
     return OperatingPoint(circuit, x, options.gmin)

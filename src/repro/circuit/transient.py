@@ -11,11 +11,17 @@ Step control combines three mechanisms:
 * a step is rejected when Newton fails or when any node moves more than
   ``max_voltage_step`` in one step (temporal resolution guard);
 * the step grows after easy steps and shrinks after hard ones.
+
+With a :mod:`repro.telemetry` session active, the integrator records
+accepted/rejected step counts (split by rejection cause), a step-size
+histogram, and breakpoint landings; disabled, the cost is one guard
+check per simulation call.
 """
 
 from __future__ import annotations
 
 import bisect
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,6 +35,7 @@ from repro.circuit.dcop import (
 from repro.circuit.mna import MnaSystem, TransientState
 from repro.circuit.netlist import Circuit
 from repro.circuit.results import TransientResult
+from repro.telemetry import core as telemetry
 
 __all__ = ["TransientOptions", "simulate_transient"]
 
@@ -60,6 +67,61 @@ class TransientOptions:
             raise ValueError(f"unknown integration method {self.method!r}")
 
 
+def _attempt_step(
+    system: MnaSystem,
+    x: np.ndarray,
+    t: float,
+    h_try: float,
+    charges: np.ndarray,
+    currents: np.ndarray,
+    options: TransientOptions,
+    tel,
+) -> tuple[np.ndarray, int, TransientState, float]:
+    """Shrink ``h_try`` until one step from ``t`` is accepted.
+
+    Returns ``(x_new, iterations, state, h_used)`` — all four always
+    bound on return, so the caller never touches conditionally-assigned
+    locals.  Raises :class:`ConvergenceError` (with forensics) when the
+    step underflows ``min_step``.
+    """
+    while True:
+        state = TransientState(
+            timestep=h_try,
+            capacitor_charges=charges,
+            capacitor_currents=currents,
+            method=options.method,
+        )
+        reason = "newton"
+        dv = float("nan")
+        try:
+            x_new, iterations = newton_solve(
+                system, x, t + h_try, options.solver, transient=state
+            )
+            dv = float(np.max(np.abs(x_new[: system.n_nodes] - x[: system.n_nodes])))
+            if dv <= options.max_voltage_step or h_try <= options.min_step:
+                return x_new, iterations, state, h_try
+            reason = "dv_limit"
+        except ConvergenceError:
+            pass
+
+        if tel is not None:
+            tel.count("transient.steps_rejected")
+            tel.count(f"transient.rejected_{reason}")
+        h_try *= options.shrink
+        if h_try < options.min_step:
+            if tel is not None:
+                tel.count("transient.step_underflows")
+            raise ConvergenceError(
+                f"transient step underflow at t = {t:.3e} s",
+                forensics={
+                    "time_s": t,
+                    "step_s": h_try,
+                    "last_rejection": reason,
+                    "last_dv": dv,
+                },
+            ) from None
+
+
 def simulate_transient(
     circuit: Circuit,
     t_stop: float,
@@ -74,6 +136,9 @@ def simulate_transient(
     if t_stop <= 0.0:
         raise ValueError("t_stop must be positive")
     options = options or TransientOptions()
+
+    tel = telemetry.active()
+    wall_start = time.perf_counter() if tel is not None else 0.0
 
     op = solve_dc(
         circuit,
@@ -98,30 +163,11 @@ def simulate_transient(
         # Never step across a breakpoint; land on it exactly.
         k = bisect.bisect_right(breakpoints, t)
         next_break = breakpoints[k] if k < len(breakpoints) else t_stop
-        h_try = min(h, options.max_step, next_break - t)
+        h_cap = min(h, options.max_step, next_break - t)
 
-        accepted = False
-        while not accepted:
-            state = TransientState(
-                timestep=h_try,
-                capacitor_charges=charges,
-                capacitor_currents=currents,
-                method=options.method,
-            )
-            try:
-                x_new, iterations = newton_solve(
-                    system, x, t + h_try, options.solver, transient=state
-                )
-                dv = float(np.max(np.abs(x_new[: system.n_nodes] - x[: system.n_nodes])))
-                if dv > options.max_voltage_step and h_try > options.min_step:
-                    raise ConvergenceError("voltage step limit")
-                accepted = True
-            except ConvergenceError:
-                h_try *= options.shrink
-                if h_try < options.min_step:
-                    raise ConvergenceError(
-                        f"transient step underflow at t = {t:.3e} s"
-                    ) from None
+        x_new, iterations, state, h_try = _attempt_step(
+            system, x, t, h_cap, charges, currents, options, tel
+        )
 
         t += h_try
         x = x_new
@@ -130,9 +176,24 @@ def simulate_transient(
         times.append(t)
         states.append(x.copy())
 
+        if tel is not None:
+            tel.count("transient.steps_accepted")
+            tel.observe("transient.step_seconds", h_try)
+            if t >= next_break - 1e-21:
+                tel.count("transient.breakpoint_landings")
+
         if iterations <= options.easy_iterations and h_try >= h:
             h = min(h_try * options.growth, options.max_step)
         else:
             h = h_try
 
+    if tel is not None:
+        tel.count("transient.simulations")
+        tel.add_time("transient.wall_s", time.perf_counter() - wall_start)
+        tel.event(
+            "transient.complete",
+            level="debug",
+            t_stop=t_stop,
+            points=len(times),
+        )
     return TransientResult(circuit, np.array(times), np.array(states))

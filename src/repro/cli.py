@@ -6,9 +6,12 @@ Commands:
 * ``cell <design> [--vdd V]`` — hold power, margins, and delays of one
   of the studied cells;
 * ``experiment <id>`` — regenerate a paper figure/table (alias of
-  ``python -m repro.experiments``);
+  ``python -m repro.experiments``, including the telemetry flags
+  ``--profile``, ``--trace``, ``--log-level``, ``--output-dir``);
 * ``netlist <deck.sp> [--op | --tran T]`` — parse a SPICE-subset deck
-  and print its DC operating point or run a transient.
+  and print its DC operating point or run a transient;
+* ``diag [paths...]`` — solver-health summary of saved run manifests
+  (default: ``results/``).
 """
 
 from __future__ import annotations
@@ -99,7 +102,24 @@ def _cmd_cell(args) -> int:
 def _cmd_experiment(args) -> int:
     from repro.experiments.runner import main as experiments_main
 
-    return experiments_main([args.experiment_id])
+    argv = [args.experiment_id]
+    if args.profile:
+        argv.append("--profile")
+    if args.trace:
+        argv.extend(["--trace", args.trace])
+    if args.log_level:
+        argv.extend(["--log-level", args.log_level])
+    if args.output_dir:
+        argv.extend(["--output-dir", args.output_dir])
+    return experiments_main(argv)
+
+
+def _cmd_diag(args) -> int:
+    from repro.telemetry.diag import format_diag_report, load_manifests
+
+    manifests = load_manifests(args.paths)
+    print(format_diag_report(manifests))
+    return 0 if manifests else 1
 
 
 def _cmd_netlist(args) -> int:
@@ -135,10 +155,23 @@ def main(argv: list[str] | None = None) -> int:
 
     exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp.add_argument("experiment_id")
+    exp.add_argument("--profile", action="store_true",
+                     help="collect solver telemetry and write a run manifest")
+    exp.add_argument("--trace", metavar="PATH", default=None,
+                     help="write the structured JSON event trace to PATH")
+    exp.add_argument("--log-level", default=None,
+                     choices=("debug", "info", "warning", "error"),
+                     help="event threshold for the trace/event log")
+    exp.add_argument("--output-dir", metavar="DIR", default=None,
+                     help="directory for result JSON and run manifests")
 
     net = sub.add_parser("netlist", help="parse and solve a SPICE-subset deck")
     net.add_argument("deck")
     net.add_argument("--tran", type=float, default=None, help="transient stop time (s)")
+
+    diag = sub.add_parser("diag", help="summarize saved run manifests")
+    diag.add_argument("paths", nargs="*", default=["results"],
+                      help="manifest files or directories (default: results/)")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -146,6 +179,7 @@ def main(argv: list[str] | None = None) -> int:
         "cell": _cmd_cell,
         "experiment": _cmd_experiment,
         "netlist": _cmd_netlist,
+        "diag": _cmd_diag,
     }
     return handlers[args.command](args)
 

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.telemetry import core as telemetry
+
 __all__ = ["UniformGrid", "CubicTable2D", "CurrentTable"]
 
 
@@ -105,6 +107,10 @@ class CubicTable2D:
         self.values = values
         self._padded = _pad_linear(values)
         self._padded_flat = self._padded.reshape(-1)
+        tel = telemetry.active()
+        if tel is not None:
+            tel.count("tables.builds")
+            tel.count("tables.build_points", values.size)
 
     def evaluate(
         self, x: np.ndarray | float, y: np.ndarray | float
@@ -117,6 +123,11 @@ class CubicTable2D:
         x = np.asarray(x, dtype=float)
         y = np.asarray(y, dtype=float)
         x, y = np.broadcast_arrays(x, y)
+
+        tel = telemetry.active()
+        if tel is not None:
+            tel.count("tables.evals")
+            tel.count("tables.eval_points", x.size)
 
         xc = np.clip(x, self.x_grid.start, self.x_grid.stop)
         yc = np.clip(y, self.y_grid.start, self.y_grid.stop)
@@ -235,6 +246,9 @@ class CurrentTable:
                 "current must share the sign of the drain shape function"
             )
         self._table = CubicTable2D(vgs_grid, vds_grid, np.log(residue))
+        tel = telemetry.active()
+        if tel is not None:
+            tel.count("tables.current_builds")
 
     def _shape(self, vds: np.ndarray) -> np.ndarray:
         return np.sign(vds) * (1.0 - np.exp(-np.abs(vds) / self.shape_voltage))

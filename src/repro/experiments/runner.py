@@ -2,12 +2,21 @@
 
 ``python -m repro.experiments fig04`` regenerates one paper artifact;
 ``python -m repro.experiments all`` regenerates everything (slow — the
-Monte-Carlo figures run hundreds of transient bisections).
+Monte-Carlo figures run hundreds of transient bisections);
+``python -m repro.experiments --list`` prints the registry.
+
+Observability flags: ``--profile`` collects solver telemetry and
+writes a run manifest (wall time, Newton/fallback/step statistics,
+result checksum) next to the results; ``--trace out.json`` additionally
+dumps the structured event trace; ``--log-level debug`` widens what the
+trace records.  ``repro diag`` summarizes saved manifests.
 """
 
 from __future__ import annotations
 
 import argparse
+import time
+from pathlib import Path
 from typing import Callable
 
 from repro.experiments import (
@@ -31,8 +40,14 @@ from repro.experiments import (
     table_static_power,
 )
 from repro.experiments.common import ExperimentResult
+from repro.experiments.io import save_json
+from repro.telemetry import core as telemetry
+from repro.telemetry.manifest import build_manifest, manifest_path, write_manifest
 
-__all__ = ["REGISTRY", "run_experiment", "main"]
+__all__ = ["REGISTRY", "run_experiment", "main", "DEFAULT_MANIFEST_DIR"]
+
+DEFAULT_MANIFEST_DIR = "results"
+"""Where run manifests land when ``--output-dir`` is not given."""
 
 REGISTRY: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
     "fig02": (fig02_tfet_iv.run, "TFET forward/reverse I-V characteristics"),
@@ -78,13 +93,49 @@ REGISTRY: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
 }
 
 
-def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by its registry id."""
+def run_experiment(
+    experiment_id: str,
+    *,
+    profile: bool = False,
+    trace_path: str | Path | None = None,
+    log_level: str | None = None,
+    output_dir: str | Path | None = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Run one experiment by its registry id.
+
+    Telemetry options: ``profile`` collects solver statistics and
+    writes a run manifest into ``output_dir`` (default ``results/``);
+    ``trace_path`` also dumps the structured event log; ``log_level``
+    sets the event threshold (implies collection).  ``output_dir``
+    additionally saves the result table as ``<id>.json``.  Remaining
+    keyword arguments (solver knobs, sweeps like ``betas=``/``vdd=``)
+    are forwarded verbatim to the experiment's ``run`` function.
+    """
     if experiment_id not in REGISTRY:
         known = ", ".join(sorted(REGISTRY))
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
-    run, _ = REGISTRY[experiment_id]
-    return run(**kwargs)
+    run, title = REGISTRY[experiment_id]
+
+    instrument = bool(profile or trace_path or log_level)
+    if not instrument:
+        result = run(**kwargs)
+    else:
+        with telemetry.enabled(log_level=log_level or "info") as session:
+            start = time.perf_counter()
+            with session.span(f"experiment.{experiment_id}"):
+                result = run(**kwargs)
+            wall = time.perf_counter() - start
+            manifest = build_manifest(experiment_id, title, result, session, wall)
+            write_manifest(manifest, output_dir or DEFAULT_MANIFEST_DIR)
+            if trace_path:
+                session.write_trace(trace_path)
+
+    if output_dir is not None:
+        directory = Path(output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_json(result, directory / f"{experiment_id}.json")
+    return result
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -94,14 +145,63 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         help="experiment id (%s) or 'all'" % ", ".join(sorted(REGISTRY)),
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the experiment registry with descriptions and exit",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect solver telemetry and write a run manifest",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write the structured JSON event trace to PATH (implies telemetry)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=sorted(telemetry.LEVELS, key=telemetry.LEVELS.get),
+        default=None,
+        help="event threshold for the trace/event log (implies telemetry)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for result JSON and run manifests (default: %s)"
+        % DEFAULT_MANIFEST_DIR,
     )
     args = parser.parse_args(argv)
 
+    if args.list:
+        width = max(len(eid) for eid in REGISTRY)
+        for experiment_id in sorted(REGISTRY):
+            print(f"{experiment_id.ljust(width)}  {REGISTRY[experiment_id][1]}")
+        return 0
+    if not args.experiment:
+        parser.error("an experiment id (or 'all') is required unless --list is given")
+
     ids = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:
-        result = run_experiment(experiment_id)
+        result = run_experiment(
+            experiment_id,
+            profile=args.profile,
+            trace_path=args.trace,
+            log_level=args.log_level,
+            output_dir=args.output_dir,
+        )
         print(result.format())
+        if args.profile or args.trace or args.log_level:
+            print(
+                "manifest: %s"
+                % manifest_path(args.output_dir or DEFAULT_MANIFEST_DIR, experiment_id)
+            )
         print()
     return 0
 

@@ -1,0 +1,280 @@
+"""Telemetry primitives: counters, histograms, timers, spans, events.
+
+The simulation core (Newton solver, transient integrator, device
+tables) is instrumented against this module.  Telemetry is **off by
+default**: every instrumentation point starts with one call to
+:func:`active`, which returns ``None`` unless a session has been
+installed, so the disabled cost is a single module-global read per
+instrumented operation (verified by ``benchmarks/test_telemetry_overhead.py``).
+
+A :class:`TelemetrySession` aggregates three metric families plus a
+structured event log:
+
+* **counters** — monotonically increasing integers (``tel.count(name, n)``);
+* **histograms** — count/sum/min/max plus a bounded sample reservoir
+  for percentile estimates (``tel.observe(name, value)``);
+* **timers** — histograms of wall-clock seconds (``tel.add_time`` or
+  the ``tel.time_block(name)`` context manager);
+* **events** — level-filtered structured records (``tel.event``),
+  timestamped relative to session start and tagged with the current
+  span path.
+
+Spans (``with tel.span("experiment.fig04"): ...``) nest; each one
+records a timer under ``span.<path>`` and emits begin/end events, so a
+trace file reconstructs the call hierarchy of a run.
+
+Everything is plain-Python and dependency-free; sessions are not
+thread-safe (the simulator is single-threaded).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = [
+    "LEVELS",
+    "Histogram",
+    "TelemetrySession",
+    "active",
+    "disable",
+    "enable",
+    "enabled",
+]
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class Histogram:
+    """Streaming summary of one observed quantity.
+
+    Exact count/sum/min/max plus a bounded reservoir of the first
+    ``max_samples`` observations for percentile estimates — enough for
+    step-size and iteration-count distributions without unbounded
+    memory on million-step campaigns.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "samples", "max_samples")
+
+    def __init__(self, max_samples: int = 512):
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.samples: list[float] = []
+        self.max_samples = max_samples
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-th percentile (0-100) from the sample reservoir."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = (len(ordered) - 1) * min(max(q, 0.0), 100.0) / 100.0
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+
+    def snapshot(self) -> dict:
+        if not self.count:
+            return {"count": 0, "total": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+        }
+
+
+class TelemetrySession:
+    """One enabled telemetry collection window."""
+
+    def __init__(
+        self,
+        log_level: str = "info",
+        max_events: int = 100_000,
+        clock=time.perf_counter,
+    ):
+        if log_level not in LEVELS:
+            raise ValueError(
+                f"unknown log level {log_level!r}; choose from {sorted(LEVELS)}"
+            )
+        self.log_level = log_level
+        self.max_events = max_events
+        self.clock = clock
+        self.counters: dict[str, int] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.timers: dict[str, Histogram] = {}
+        self.events: list[dict] = []
+        self.dropped_events = 0
+        self._span_stack: list[str] = []
+        self._seq = 0
+        self.started = clock()
+
+    # -- metrics ---------------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment the named counter by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.record(value)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Record one wall-clock duration into the named timer."""
+        timer = self.timers.get(name)
+        if timer is None:
+            timer = self.timers[name] = Histogram()
+        timer.record(seconds)
+
+    @contextmanager
+    def time_block(self, name: str):
+        """Time the enclosed block into the named timer."""
+        start = self.clock()
+        try:
+            yield
+        finally:
+            self.add_time(name, self.clock() - start)
+
+    # -- events and spans -------------------------------------------------------
+
+    @property
+    def span_path(self) -> str:
+        return "/".join(self._span_stack)
+
+    def event(self, name: str, level: str = "info", **fields) -> None:
+        """Append one structured event (dropped below the session level)."""
+        if LEVELS.get(level, 0) < LEVELS[self.log_level]:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self._seq += 1
+        # Core keys win over caller fields so a field named "t" or
+        # "name" cannot corrupt the record structure.
+        record = dict(fields) if fields else {}
+        record.update(
+            seq=self._seq,
+            t=self.clock() - self.started,
+            level=level,
+            name=name,
+        )
+        if self._span_stack:
+            record["span"] = self.span_path
+        self.events.append(record)
+
+    @contextmanager
+    def span(self, name: str, **fields):
+        """Hierarchical timed section; nests with enclosing spans."""
+        self._span_stack.append(name)
+        path = self.span_path
+        self.event("span.begin", level="debug", **fields)
+        start = self.clock()
+        try:
+            yield self
+        finally:
+            duration = self.clock() - start
+            self.add_time(f"span.{path}", duration)
+            self.event("span.end", level="debug", duration_s=duration)
+            self._span_stack.pop()
+
+    # -- export ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All metric families as one plain-JSON-serializable dict."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: hist.snapshot()
+                for name, hist in sorted(self.histograms.items())
+            },
+            "timers": {
+                name: timer.snapshot()
+                for name, timer in sorted(self.timers.items())
+            },
+        }
+
+    def write_trace(self, path: str | Path) -> Path:
+        """Write the full session (metrics + events) as one JSON file."""
+        path = Path(path)
+        payload = {
+            "schema": "repro.telemetry.trace/v1",
+            "created_unix": time.time(),
+            "log_level": self.log_level,
+            "duration_s": self.clock() - self.started,
+            "metrics": self.snapshot(),
+            "events": self.events,
+            "dropped_events": self.dropped_events,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+
+# -- global session management --------------------------------------------------
+
+_session: TelemetrySession | None = None
+
+
+def active() -> TelemetrySession | None:
+    """The installed session, or ``None`` when telemetry is off.
+
+    This is the hot-path guard: instrumentation points bail out on the
+    ``None`` return, so keep this function trivial.
+    """
+    return _session
+
+
+def enable(log_level: str = "info", **kwargs) -> TelemetrySession:
+    """Install (and return) a fresh global session."""
+    global _session
+    _session = TelemetrySession(log_level=log_level, **kwargs)
+    return _session
+
+
+def disable() -> TelemetrySession | None:
+    """Remove the global session; returns it for post-hoc inspection."""
+    global _session
+    session, _session = _session, None
+    return session
+
+
+@contextmanager
+def enabled(log_level: str = "info", **kwargs):
+    """Scoped telemetry: installs a session, restores the previous one.
+
+    Nesting is supported — an inner scope shadows (does not merge into)
+    the outer session, which keeps per-experiment manifests isolated
+    when a campaign loops over experiments.
+    """
+    global _session
+    previous = _session
+    session = TelemetrySession(log_level=log_level, **kwargs)
+    _session = session
+    try:
+        yield session
+    finally:
+        _session = previous

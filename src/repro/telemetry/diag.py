@@ -1,0 +1,102 @@
+"""Convergence-forensics summary report over saved run manifests.
+
+``python -m repro diag [paths...]`` loads every ``*_manifest.json``
+under the given files/directories (default ``results/``) and prints a
+per-experiment solver health table: wall time, Newton effort, which DC
+fallback tiers fired, and the transient accept/reject balance.  The
+point is trend-spotting — a run that suddenly needs gmin stepping or
+rejects 30 % of its steps shows up here without rerunning anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["load_manifests", "format_diag_report"]
+
+_TIER_LABELS = (
+    ("warm_start", "warm"),
+    ("cold_start", "cold"),
+    ("gmin_stepping", "gmin"),
+    ("source_stepping", "src"),
+)
+
+
+def load_manifests(paths) -> list[dict]:
+    """Load manifests from files and/or directories, sorted by id.
+
+    Non-manifest JSON files (e.g. the result tables that share the
+    directory) are skipped by schema check, not filename guessing.
+    """
+    candidates: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            candidates.extend(sorted(entry.glob("*_manifest.json")))
+        elif entry.exists():
+            candidates.append(entry)
+    manifests = []
+    for path in candidates:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(payload, dict) and str(payload.get("schema", "")).startswith(
+            "repro.run-manifest/"
+        ):
+            manifests.append(payload)
+    manifests.sort(key=lambda m: m.get("experiment_id", ""))
+    return manifests
+
+
+def _fallback_summary(counters: dict) -> str:
+    parts = [
+        f"{label}:{counters[f'dcop.converged.{tier}']}"
+        for tier, label in _TIER_LABELS
+        if counters.get(f"dcop.converged.{tier}")
+    ]
+    return " ".join(parts) if parts else "-"
+
+
+def format_diag_report(manifests: list[dict]) -> str:
+    """Fixed-width solver health table, one row per manifest."""
+    header = [
+        "experiment",
+        "wall (s)",
+        "dc solves",
+        "newton iters",
+        "fallback tiers",
+        "tran acc/rej",
+        "checksum",
+    ]
+    rows = []
+    for manifest in manifests:
+        counters = manifest.get("telemetry", {}).get("counters", {})
+        rejected = counters.get("transient.rejected_newton", 0) + counters.get(
+            "transient.rejected_dv_limit", 0
+        )
+        checksum = manifest.get("result", {}).get("checksum_sha256", "")
+        rows.append(
+            [
+                str(manifest.get("experiment_id", "?")),
+                f"{manifest.get('wall_time_s', 0.0):.2f}",
+                str(counters.get("dcop.solves", 0)),
+                str(counters.get("newton.iterations", 0)),
+                _fallback_summary(counters),
+                f"{counters.get('transient.steps_accepted', 0)}/{rejected}",
+                checksum[:12],
+            ]
+        )
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])
+        for c in range(len(header))
+    ]
+    lines = ["== solver diagnostics =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    if not rows:
+        lines.append("(no run manifests found — run an experiment with --profile)")
+    return "\n".join(lines)

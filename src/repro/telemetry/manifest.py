@@ -1,0 +1,94 @@
+"""Run manifests: one JSON provenance record per experiment run.
+
+Telemetry sits below every other layer, so this module treats the
+experiment result as a duck-typed table (``experiment_id``, ``header``,
+``rows``, ``notes``) rather than importing :mod:`repro.experiments`.
+
+A manifest captures what a run produced (row/column shape plus a
+content checksum of the result table) and what it cost (wall time and
+the full solver-telemetry rollup).  Written next to the result files in
+``results/`` by default, so regressions in solver behaviour — a new
+gmin-stepping fallback, a 10x jump in rejected transient steps — are
+diagnosable from the artifacts alone; ``repro diag`` renders them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import time
+from pathlib import Path
+
+from repro.telemetry.core import TelemetrySession
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "manifest_path",
+    "result_checksum",
+    "write_manifest",
+]
+
+MANIFEST_SCHEMA = "repro.run-manifest/v1"
+
+
+def _canonical(value):
+    """JSON-safe canonical form (infinities become tagged strings)."""
+    if isinstance(value, float) and math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    return value
+
+
+def result_checksum(result) -> str:
+    """SHA-256 over the canonical JSON encoding of the result table.
+
+    Stable across runs of a deterministic experiment, so two manifests
+    with different checksums mean the numbers (not just the timing)
+    changed.
+    """
+    payload = {
+        "experiment_id": result.experiment_id,
+        "header": result.header,
+        "rows": [[_canonical(v) for v in row] for row in result.rows],
+    }
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+def build_manifest(
+    experiment_id: str,
+    title: str,
+    result,
+    session: TelemetrySession,
+    wall_time_s: float,
+) -> dict:
+    """Assemble the manifest dict for one completed run."""
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "experiment_id": experiment_id,
+        "title": title,
+        "created_unix": time.time(),
+        "wall_time_s": wall_time_s,
+        "result": {
+            "rows": len(result.rows),
+            "columns": list(result.header),
+            "notes": list(result.notes),
+            "checksum_sha256": result_checksum(result),
+        },
+        "telemetry": session.snapshot(),
+    }
+
+
+def manifest_path(directory: str | Path, experiment_id: str) -> Path:
+    return Path(directory) / f"{experiment_id}_manifest.json"
+
+
+def write_manifest(manifest: dict, directory: str | Path) -> Path:
+    """Write the manifest as ``<directory>/<id>_manifest.json``."""
+    path = manifest_path(directory, manifest["experiment_id"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2))
+    return path

@@ -128,6 +128,59 @@ class TestNonlinearCapacitor:
         assert span(0.45, 0.7) > 2.0 * span(0.1, 0.35)
 
 
+class TestTelemetryAndForensics:
+    @pytest.fixture(autouse=True)
+    def _no_leaked_session(self):
+        from repro.telemetry import core as telemetry
+
+        telemetry.disable()
+        yield
+        telemetry.disable()
+
+    def test_step_accounting_counters(self):
+        from repro.telemetry import core as telemetry
+
+        with telemetry.enabled() as tel:
+            simulate_transient(rc_circuit(), 2e-9)
+        c = tel.counters
+        assert c["transient.simulations"] == 1
+        assert c["transient.steps_accepted"] >= 10
+        # The 1 ps pulse edges force dV-limit rejections at the default
+        # 60 mV step cap.
+        assert c["transient.rejected_dv_limit"] >= 1
+        assert c["transient.steps_rejected"] >= c["transient.rejected_dv_limit"]
+        assert c["transient.breakpoint_landings"] >= 2
+        hist = tel.histograms["transient.step_seconds"]
+        assert hist.count == c["transient.steps_accepted"]
+
+    def test_disabled_session_records_nothing(self):
+        from repro.telemetry import core as telemetry
+
+        simulate_transient(rc_circuit(), 1e-9)
+        assert telemetry.active() is None
+
+    def test_underflow_carries_forensics(self, monkeypatch):
+        import repro.circuit.transient as tr
+        from repro.telemetry import core as telemetry
+
+        real = tr.newton_solve
+
+        def fail_in_transient(system, x0, t, options, transient=None, **kwargs):
+            if transient is not None:
+                raise ConvergenceError("forced transient failure")
+            return real(system, x0, t, options, transient=transient, **kwargs)
+
+        monkeypatch.setattr(tr, "newton_solve", fail_in_transient)
+        with telemetry.enabled() as tel:
+            with pytest.raises(ConvergenceError, match="step underflow") as excinfo:
+                simulate_transient(rc_circuit(), 1e-9)
+        forensics = excinfo.value.forensics
+        assert forensics["last_rejection"] == "newton"
+        assert forensics["step_s"] < 1e-16
+        assert tel.counters["transient.step_underflows"] == 1
+        assert tel.counters["transient.rejected_newton"] >= 1
+
+
 class TestOptionsAndErrors:
     def test_rejects_nonpositive_stop_time(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,115 @@
+"""Tests for the runner's telemetry options and new CLI flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.experiments.runner as runner
+from repro.circuit.dcop import solve_dc
+from repro.circuit.netlist import Circuit
+from repro.experiments.common import ExperimentResult
+from repro.telemetry import core as telemetry
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def fake_run(gain: float = 2.0) -> ExperimentResult:
+    """A registry-shaped experiment that performs one real DC solve."""
+    c = Circuit()
+    c.add_voltage_source("v1", "in", "0", 1.0)
+    c.add_resistor("in", "out", 1e3)
+    c.add_resistor("out", "0", 1e3)
+    op = solve_dc(c)
+    result = ExperimentResult("fake", "fake experiment", ["gain", "v(out)"])
+    result.add_row(gain, gain * op.voltage("out"))
+    return result
+
+
+@pytest.fixture
+def fake_registry(monkeypatch):
+    monkeypatch.setitem(runner.REGISTRY, "fake", (fake_run, "fake experiment"))
+
+
+class TestRunExperiment:
+    def test_plain_run_leaves_telemetry_off(self, fake_registry):
+        result = runner.run_experiment("fake")
+        assert result.column("v(out)") == [pytest.approx(1.0, rel=1e-6)]
+        assert telemetry.active() is None
+
+    def test_kwargs_forwarded_to_experiment(self, fake_registry):
+        result = runner.run_experiment("fake", gain=3.0)
+        assert result.column("gain") == [3.0]
+
+    def test_profile_writes_manifest_with_solver_counters(
+        self, fake_registry, tmp_path
+    ):
+        runner.run_experiment("fake", profile=True, output_dir=tmp_path)
+        manifest = json.loads((tmp_path / "fake_manifest.json").read_text())
+        assert manifest["experiment_id"] == "fake"
+        counters = manifest["telemetry"]["counters"]
+        assert counters["dcop.solves"] == 1
+        assert counters["dcop.converged.cold_start"] == 1
+        assert counters["newton.iterations"] >= 1
+        assert "span.experiment.fake" in manifest["telemetry"]["timers"]
+        assert manifest["wall_time_s"] > 0.0
+        assert len(manifest["result"]["checksum_sha256"]) == 64
+        # The session is torn down after the run.
+        assert telemetry.active() is None
+
+    def test_trace_written(self, fake_registry, tmp_path):
+        trace = tmp_path / "trace.json"
+        runner.run_experiment(
+            "fake", trace_path=trace, log_level="debug", output_dir=tmp_path
+        )
+        payload = json.loads(trace.read_text())
+        assert payload["schema"] == "repro.telemetry.trace/v1"
+        names = [e["name"] for e in payload["events"]]
+        assert "dcop.converged" in names
+        assert payload["metrics"]["counters"]["newton.solves"] >= 1
+
+    def test_output_dir_saves_result_json(self, fake_registry, tmp_path):
+        out = tmp_path / "nested"
+        runner.run_experiment("fake", output_dir=out)
+        saved = json.loads((out / "fake.json").read_text())
+        assert saved["experiment_id"] == "fake"
+        # No manifest without telemetry options.
+        assert not (out / "fake_manifest.json").exists()
+
+    def test_unknown_id_still_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            runner.run_experiment("fig99")
+
+
+class TestMainFlags:
+    def test_list_prints_registry(self, capsys):
+        assert runner.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04" in out
+        assert "DRNM and WL_crit vs beta" in out
+
+    def test_missing_experiment_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            runner.main([])
+        assert "required unless --list" in capsys.readouterr().err
+
+    def test_profile_run_prints_manifest_path(
+        self, fake_registry, tmp_path, capsys
+    ):
+        assert (
+            runner.main(
+                ["fake", "--profile", "--output-dir", str(tmp_path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fake experiment" in out
+        assert "fake_manifest.json" in out
+        assert (tmp_path / "fake_manifest.json").exists()
+        assert (tmp_path / "fake.json").exists()

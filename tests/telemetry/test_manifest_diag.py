@@ -1,0 +1,120 @@
+"""Tests for run manifests and the diag report."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.experiments.common import ExperimentResult
+from repro.telemetry.core import TelemetrySession
+from repro.telemetry.diag import format_diag_report, load_manifests
+from repro.telemetry.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    manifest_path,
+    result_checksum,
+    write_manifest,
+)
+
+
+def make_result():
+    result = ExperimentResult("figX", "demo", ["beta", "wl (ps)"])
+    result.add_row(0.6, 14.0)
+    result.add_row(1.0, math.inf)
+    result.notes.append("shape note")
+    return result
+
+
+class TestChecksum:
+    def test_deterministic(self):
+        assert result_checksum(make_result()) == result_checksum(make_result())
+
+    def test_sensitive_to_values(self):
+        a = make_result()
+        b = make_result()
+        b.rows[0][1] = 15.0
+        assert result_checksum(a) != result_checksum(b)
+
+    def test_handles_nonfinite_rows(self):
+        result = make_result()
+        result.add_row(2.0, float("nan"))
+        assert len(result_checksum(result)) == 64
+
+
+class TestManifest:
+    def build(self):
+        tel = TelemetrySession()
+        tel.count("dcop.solves", 3)
+        tel.count("dcop.converged.warm_start", 2)
+        tel.count("dcop.converged.gmin_stepping", 1)
+        tel.count("newton.iterations", 40)
+        tel.count("transient.steps_accepted", 100)
+        tel.count("transient.rejected_dv_limit", 5)
+        return build_manifest("figX", "demo title", make_result(), tel, 1.25)
+
+    def test_schema_and_shape(self):
+        manifest = self.build()
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["experiment_id"] == "figX"
+        assert manifest["wall_time_s"] == 1.25
+        assert manifest["result"]["rows"] == 2
+        assert manifest["result"]["columns"] == ["beta", "wl (ps)"]
+        assert manifest["result"]["notes"] == ["shape note"]
+        assert manifest["telemetry"]["counters"]["dcop.solves"] == 3
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        manifest = self.build()
+        path = write_manifest(manifest, tmp_path / "deep" / "dir")
+        assert path == manifest_path(tmp_path / "deep" / "dir", "figX")
+        loaded = load_manifests([path.parent])
+        assert len(loaded) == 1
+        assert loaded[0]["experiment_id"] == "figX"
+
+    def test_manifest_is_valid_json(self, tmp_path):
+        path = write_manifest(self.build(), tmp_path)
+        json.loads(path.read_text())
+
+
+class TestLoadManifests:
+    def test_skips_non_manifest_json(self, tmp_path):
+        (tmp_path / "fig02.json").write_text(json.dumps({"rows": []}))
+        (tmp_path / "broken_manifest.json").write_text("{not json")
+        tel = TelemetrySession()
+        write_manifest(build_manifest("a", "t", make_result(), tel, 0.1), tmp_path)
+        loaded = load_manifests([tmp_path])
+        assert [m["experiment_id"] for m in loaded] == ["a"]
+
+    def test_accepts_explicit_files_and_sorts(self, tmp_path):
+        tel = TelemetrySession()
+        p_b = write_manifest(build_manifest("b", "t", make_result(), tel, 0.1), tmp_path)
+        p_a = write_manifest(build_manifest("a", "t", make_result(), tel, 0.1), tmp_path)
+        loaded = load_manifests([p_b, p_a])
+        assert [m["experiment_id"] for m in loaded] == ["a", "b"]
+
+    def test_missing_path_ignored(self, tmp_path):
+        assert load_manifests([tmp_path / "nope"]) == []
+
+
+class TestDiagReport:
+    def test_report_rows(self, tmp_path):
+        tel = TelemetrySession()
+        tel.count("dcop.solves", 7)
+        tel.count("dcop.converged.gmin_stepping", 2)
+        tel.count("newton.iterations", 99)
+        tel.count("transient.steps_accepted", 50)
+        tel.count("transient.rejected_newton", 3)
+        tel.count("transient.rejected_dv_limit", 1)
+        manifest = build_manifest("figX", "demo", make_result(), tel, 2.5)
+        write_manifest(manifest, tmp_path)
+
+        report = format_diag_report(load_manifests([tmp_path]))
+        assert "figX" in report
+        assert "2.50" in report
+        assert "gmin:2" in report
+        assert "50/4" in report  # accepted / (newton + dv rejections)
+        assert "99" in report
+
+    def test_empty_report_hint(self):
+        report = format_diag_report([])
+        assert "no run manifests" in report
+        assert "--profile" in report

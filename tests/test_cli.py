@@ -39,6 +39,43 @@ class TestExperiment:
         assert "7T" in capsys.readouterr().out
 
 
+class TestExperimentTelemetryFlags:
+    def test_profile_flags_forwarded(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "tab_area",
+                    "--profile",
+                    "--trace",
+                    str(tmp_path / "trace.json"),
+                    "--output-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "tab_area_manifest.json" in out
+        assert (tmp_path / "tab_area_manifest.json").exists()
+        assert (tmp_path / "trace.json").exists()
+
+
+class TestDiag:
+    def test_summarizes_manifests(self, tmp_path, capsys):
+        assert main(["experiment", "tab_area", "--profile",
+                     "--output-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["diag", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "solver diagnostics" in out
+        assert "tab_area" in out
+
+    def test_empty_directory_fails_with_hint(self, tmp_path, capsys):
+        assert main(["diag", str(tmp_path)]) == 1
+        assert "no run manifests" in capsys.readouterr().out
+
+
 class TestNetlist:
     def test_op_analysis(self, tmp_path, capsys):
         deck = tmp_path / "div.sp"
