@@ -6,24 +6,27 @@ V_GND-lowering read assist — reporting the DRNM and WL_crit
 distributions and a simple parametric yield (fraction of samples whose
 margins clear configurable limits).
 
+The sampling runs on the batch engine (`repro.engine`): `--jobs N`
+fans samples across N worker processes that share one on-disk
+device-table cache, `--resume` continues an interrupted run from its
+JSONL checkpoint, and any jobs/resume combination is bit-identical to
+a serial run with the same seed.
+
 Usage::
 
     python examples/monte_carlo_yield.py [--samples 24] [--seed 2011]
+                                         [--jobs 4] [--resume]
 """
 
 from __future__ import annotations
 
 import argparse
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
-from repro.analysis.montecarlo import MonteCarloStudy
-from repro.analysis.stability import (
-    WlCritSearch,
-    critical_wordline_pulse,
-    dynamic_read_noise_margin,
-)
-from repro.sram import READ_ASSISTS, AccessConfig, CellSizing, Tfet6TCell
+from repro.engine import EngineConfig, McMetricSpec, MonteCarloBatch
 
 VDD = 0.8
 BETA = 0.6
@@ -43,31 +46,52 @@ def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--samples", type=int, default=24)
     parser.add_argument("--seed", type=int, default=2011)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted run from its checkpoints",
+    )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        help="directory for checkpoints and the device-table cache "
+        "(default: a temp directory; pass a path to make --resume useful)",
+    )
     args = parser.parse_args()
 
-    sizing = CellSizing().with_beta(BETA)
-    assist = READ_ASSISTS["vgnd_lowering"]
-
-    def factory(devices):
-        return Tfet6TCell(sizing, AccessConfig.INWARD_P, devices=devices)
+    run_dir = Path(args.run_dir) if args.run_dir else Path(tempfile.mkdtemp(prefix="mc_yield_"))
+    specs = {
+        "drnm": McMetricSpec(
+            metric="drnm", beta=BETA, vdd=VDD, assist="vgnd_lowering",
+            metric_name="DRNM",
+        ),
+        "wlcrit": McMetricSpec(
+            metric="wlcrit", beta=BETA, vdd=VDD, wlcrit_upper_bound=8e-9,
+            metric_name="WLcrit",
+        ),
+    }
 
     print(
         f"Monte-Carlo ({args.samples} samples, +/-5% t_ox per transistor) of the "
-        f"proposed cell at V_DD = {VDD} V"
+        f"proposed cell at V_DD = {VDD} V  [jobs={args.jobs}]"
     )
 
-    drnm_mc = MonteCarloStudy(
-        factory,
-        metric=lambda c: dynamic_read_noise_margin(c.read_testbench(VDD, assist=assist)),
-        metric_name="DRNM",
-    ).run(args.samples, seed=args.seed)
-    wl_mc = MonteCarloStudy(
-        factory,
-        metric=lambda c: critical_wordline_pulse(
-            c, VDD, search=WlCritSearch(upper_bound=8e-9)
-        ),
-        metric_name="WLcrit",
-    ).run(args.samples, seed=args.seed)
+    results = {}
+    for key, spec in specs.items():
+        engine = EngineConfig(
+            jobs=args.jobs,
+            checkpoint_path=run_dir / f"{key}.jsonl",
+            resume=args.resume,
+            run_key=f"mc_yield:{key}:beta={BETA}:vdd={VDD}",
+            root_seed=args.seed,
+            cache_dir=run_dir / "table_cache",
+        )
+        results[key] = MonteCarloBatch(spec).run(
+            args.samples, seed=args.seed, engine=engine
+        )
+
+    drnm_mc, wl_mc = results["drnm"], results["wlcrit"]
 
     print()
     print(f"DRNM   : mean {drnm_mc.mean() * 1e3:6.1f} mV, spread {drnm_mc.spread() * 100:.1f} %")
@@ -82,11 +106,37 @@ def main() -> None:
     counts, edges = wl_mc.histogram(bins=8)
     print_histogram("distribution:", counts, edges, 1e-12, "ps")
 
+    print()
+    print("metric   | failure fraction | spread (std/mean)")
+    print("---------+------------------+------------------")
+    for key, mc in results.items():
+        print(
+            f"{mc.metric_name:<8} | {mc.failure_fraction:16.1%} | {mc.spread():.4f}"
+        )
+
     read_yield = float(np.mean(drnm_mc.samples > DRNM_LIMIT))
     write_yield = float(np.mean(wl_mc.samples < WLCRIT_LIMIT))
     print()
     print(f"parametric yield: read (DRNM > {DRNM_LIMIT * 1e3:.0f} mV)  = {read_yield:6.1%}")
     print(f"                  write (WL_crit < {WLCRIT_LIMIT * 1e12:.0f} ps) = {write_yield:6.1%}")
+
+    print()
+    print("engine   : "
+          + "; ".join(
+              f"{mc.metric_name}: {mc.report.ok_count} ok, "
+              f"{mc.report.failed_count} failed, {mc.report.retry_count} retries, "
+              f"{mc.report.resumed_count} resumed, {mc.report.wall_s:.1f} s "
+              f"at jobs={mc.report.jobs}"
+              for mc in results.values()
+          ))
+    cache_totals = {"hits": 0, "misses": 0, "stores": 0}
+    for mc in results.values():
+        for name, n in mc.report.cache_stats().items():
+            cache_totals[name] += n
+    print(
+        f"dev cache: {cache_totals['hits']} hits, {cache_totals['misses']} misses, "
+        f"{cache_totals['stores']} stores ({run_dir / 'table_cache'})"
+    )
     print()
     print("Paper, Section 4.3: the write-sized, read-assisted cell 'shows")
     print("strong immunity to process variations.'")

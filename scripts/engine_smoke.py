@@ -1,0 +1,121 @@
+"""CI smoke test for the batch engine: parallel MC, forced retry, resume.
+
+Exercises the three engine behaviours CI must never regress, end to end
+and in minutes, not hours:
+
+1. a small *real* Monte-Carlo batch (DRNM samples) on 2 workers with the
+   shared on-disk device-table cache;
+2. forced ConvergenceError retries with solver-knob escalation (a task
+   function that diverges on its first attempt);
+3. a simulated kill-and-resume cycle: a prefix of the batch is
+   checkpointed, the resumed run computes only the remainder, and the
+   combined values are bit-identical to an uninterrupted serial run.
+
+Run with ``PYTHONPATH=src python scripts/engine_smoke.py``; exits
+non-zero on the first violated expectation.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.circuit.dcop import ConvergenceError
+from repro.engine import (
+    EngineConfig,
+    McMetricSpec,
+    MonteCarloBatch,
+    Task,
+    derive_seed,
+    run_tasks,
+)
+
+SAMPLES = 4
+SEED = 7
+
+
+def flaky_value(payload, ctx) -> float:
+    """Diverges on the first attempt; succeeds once escalated."""
+    if ctx.attempt == 0:
+        raise ConvergenceError(f"task {ctx.index}: first attempt diverges")
+    return float(ctx.rng().standard_normal())
+
+
+def check(condition: bool, label: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {label}")
+    if not condition:
+        sys.exit(1)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="engine_smoke_") as tmp:
+        tmp_path = Path(tmp)
+
+        print("1. parallel Monte-Carlo (DRNM, 2 workers, shared table cache)")
+        batch = MonteCarloBatch(
+            McMetricSpec(metric="drnm", beta=0.6, vdd=0.8, metric_name="DRNM")
+        )
+        mc = batch.run(
+            SAMPLES,
+            seed=SEED,
+            engine=EngineConfig(jobs=2, cache_dir=tmp_path / "table_cache"),
+        )
+        check(mc.report.ok_count == SAMPLES, f"{SAMPLES}/{SAMPLES} samples computed")
+        check(mc.failure_count == 0, "no diverged samples")
+        stats = mc.report.cache_stats()
+        check(stats["stores"] > 0, f"table cache populated ({stats})")
+
+        serial = batch.run(SAMPLES, seed=SEED)
+        check(
+            list(serial.samples) == list(mc.samples),
+            "jobs=2 bit-identical to jobs=1",
+        )
+
+        print("2. forced ConvergenceError retry with escalation")
+        tasks = [
+            Task(index=k, fn=flaky_value, payload=None, seed=derive_seed(SEED, k))
+            for k in range(8)
+        ]
+        report = run_tasks(tasks, EngineConfig(jobs=2, retries=2))
+        check(report.ok_count == 8, "all tasks recovered on retry")
+        check(report.retry_count == 8, "each task used exactly one retry")
+
+        no_retry = run_tasks(tasks, EngineConfig(jobs=2, retries=0))
+        check(
+            no_retry.failed_count == 8
+            and all(f.error_type == "ConvergenceError" for f in no_retry.failures()),
+            "without retries the failures are structured, not fatal",
+        )
+
+        print("3. kill-and-resume cycle")
+        path = tmp_path / "smoke.jsonl"
+        reference = run_tasks(tasks, EngineConfig(retries=1))
+        run_tasks(
+            tasks[:5],
+            EngineConfig(retries=1, checkpoint_path=path, run_key="smoke", root_seed=SEED),
+        )
+        resumed = run_tasks(
+            tasks,
+            EngineConfig(
+                jobs=2,
+                retries=1,
+                checkpoint_path=path,
+                run_key="smoke",
+                root_seed=SEED,
+                resume=True,
+            ),
+        )
+        check(resumed.resumed_count == 5, "5/8 outcomes replayed from the checkpoint")
+        check(
+            resumed.values() == reference.values(),
+            "resumed run bit-identical to an uninterrupted run",
+        )
+
+    print("engine smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Monte-Carlo process-variation engine (Section 4.3).
+"""Monte-Carlo process-variation studies (Section 4.3).
 
 Each sample draws an independent gate-insulator thickness for every
 transistor position, regenerates (or fetches from cache) the
@@ -6,6 +6,15 @@ corresponding device tables, rebuilds the cell, and evaluates a metric.
 Infinite metric values (write failures) are kept, not dropped — the
 failure count is itself a paper result (wordline-lowering WA fails
 under variation).
+
+Sampling is *per-task*: sample ``k`` of a study with root seed ``s``
+draws its scales from a generator seeded by ``(s, k)`` (see
+:func:`repro.engine.mc.sample_scales`), so the sample stream is
+independent of worker count and sample total.  Execution runs on
+:mod:`repro.engine` — pass an :class:`~repro.engine.scheduler.EngineConfig`
+to parallelize, checkpoint/resume, and retry; note that multi-process
+runs need picklable callables, for which the spec-based
+:class:`repro.engine.mc.MonteCarloBatch` is the intended front-end.
 """
 
 from __future__ import annotations
@@ -39,10 +48,19 @@ def varied_device_set(scales) -> TfetDeviceSet:
 
 @dataclass(frozen=True)
 class MonteCarloResult:
-    """Metric samples from one Monte-Carlo study."""
+    """Metric samples from one Monte-Carlo study.
+
+    ``samples`` may contain ``inf`` (the metric itself diverged — a
+    write failure) and ``nan`` (the engine recorded a structured task
+    failure: retry exhaustion, timeout, or a died worker); both count
+    as failures in the statistics.  ``report`` carries the
+    :class:`~repro.engine.scheduler.BatchReport` when the study ran on
+    the batch engine.
+    """
 
     metric_name: str
     samples: np.ndarray
+    report: object | None = field(default=None, compare=False, repr=False)
 
     @property
     def finite(self) -> np.ndarray:
@@ -95,6 +113,19 @@ class MonteCarloResult:
         A Gaussian tail extrapolates the small-sample histogram the way
         SRAM margining traditionally does; write failures (non-finite
         samples) are subtracted from the fitted yield.
+
+        Degenerate cases (explicitly part of the contract):
+
+        * fewer than two finite samples (including an empty sample
+          array) — no spread can be fitted, returns ``nan``;
+        * all finite samples identical — the fitted std is clamped to
+          ``1e-30`` rather than zero, so ``norm.cdf`` degenerates to a
+          step function at the common value: the fitted factor is
+          ``0.0`` for a limit below it, ``1.0`` above it (and ``0.5``
+          exactly at it), scaled by the finite fraction as usual.  A
+          distribution with literally no observed spread pins the
+          entire fitted mass on one side of any other limit; callers
+          wanting a smoother tail must supply samples with spread.
         """
         from scipy.stats import norm
 
@@ -105,12 +136,25 @@ class MonteCarloResult:
         return fitted * (1.0 - self.failure_fraction)
 
 
+def _study_sample(payload, ctx) -> float:
+    """Engine task function for :class:`MonteCarloStudy` samples."""
+    cell_factory, metric, scales = payload
+    cell = cell_factory(varied_device_set(scales))
+    return float(metric(cell))
+
+
 @dataclass
 class MonteCarloStudy:
     """Runs a metric over sampled device sets.
 
     ``cell_factory(device_set)`` builds the cell under study;
     ``metric(cell)`` evaluates it (returning a float, possibly inf).
+
+    Execution rides on :mod:`repro.engine`; the default configuration
+    runs inline (single job, no checkpoint), so closures remain valid
+    callables.  Passing ``engine=EngineConfig(jobs=4, ...)`` requires
+    ``cell_factory`` and ``metric`` to be picklable — prefer
+    :class:`repro.engine.mc.MonteCarloBatch` for parallel runs.
     """
 
     cell_factory: Callable[[TfetDeviceSet], object]
@@ -119,15 +163,30 @@ class MonteCarloStudy:
     variation: OxideVariation = field(default_factory=OxideVariation)
     transistor_count: int = 6
 
-    def run(self, sample_count: int, seed: int = 2011) -> MonteCarloResult:
+    def run(
+        self, sample_count: int, seed: int = 2011, engine=None
+    ) -> MonteCarloResult:
+        from repro.engine.jobs import Task, derive_seed
+        from repro.engine.mc import sample_scales
+        from repro.engine.scheduler import EngineConfig, run_tasks
+
         if sample_count <= 0:
             raise ValueError("sample_count must be positive")
-        rng = np.random.default_rng(seed)
-        scales = self.variation.sample_per_transistor(
-            rng, sample_count, self.transistor_count
+        tasks = [
+            Task(
+                index=k,
+                fn=_study_sample,
+                payload=(
+                    self.cell_factory,
+                    self.metric,
+                    sample_scales(self.variation, seed, k, self.transistor_count),
+                ),
+                seed=derive_seed(seed, k),
+            )
+            for k in range(sample_count)
+        ]
+        report = run_tasks(tasks, engine or EngineConfig())
+        values = np.array(
+            [v if v is not None else math.nan for v in report.values()], dtype=float
         )
-        values = np.empty(sample_count)
-        for k in range(sample_count):
-            cell = self.cell_factory(varied_device_set(scales[k]))
-            values[k] = self.metric(cell)
-        return MonteCarloResult(self.metric_name, values)
+        return MonteCarloResult(self.metric_name, values, report=report)

@@ -7,7 +7,9 @@ Commands:
   of the studied cells;
 * ``experiment <id>`` — regenerate a paper figure/table (alias of
   ``python -m repro.experiments``, including the telemetry flags
-  ``--profile``, ``--trace``, ``--log-level``, ``--output-dir``);
+  ``--profile``, ``--trace``, ``--log-level``, ``--output-dir`` and the
+  batch-engine flags ``--samples``, ``--seed``, ``--jobs``,
+  ``--resume``);
 * ``netlist <deck.sp> [--op | --tran T]`` — parse a SPICE-subset deck
   and print its DC operating point or run a transient;
 * ``diag [paths...]`` — solver-health summary of saved run manifests
@@ -111,6 +113,14 @@ def _cmd_experiment(args) -> int:
         argv.extend(["--log-level", args.log_level])
     if args.output_dir:
         argv.extend(["--output-dir", args.output_dir])
+    if args.samples is not None:
+        argv.extend(["--samples", str(args.samples)])
+    if args.seed is not None:
+        argv.extend(["--seed", str(args.seed)])
+    if args.jobs is not None:
+        argv.extend(["--jobs", str(args.jobs)])
+    if args.resume:
+        argv.append("--resume")
     return experiments_main(argv)
 
 
@@ -164,6 +174,14 @@ def main(argv: list[str] | None = None) -> int:
                      help="event threshold for the trace/event log")
     exp.add_argument("--output-dir", metavar="DIR", default=None,
                      help="directory for result JSON and run manifests")
+    exp.add_argument("--samples", type=int, default=None, metavar="N",
+                     help="Monte-Carlo sample count (sampling experiments)")
+    exp.add_argument("--seed", type=int, default=None, metavar="S",
+                     help="root seed for the batch engine's per-sample seeds")
+    exp.add_argument("--jobs", type=int, default=None, metavar="J",
+                     help="worker processes; bit-identical to --jobs 1")
+    exp.add_argument("--resume", action="store_true",
+                     help="resume an interrupted run from its checkpoints")
 
     net = sub.add_parser("netlist", help="parse and solve a SPICE-subset deck")
     net.add_argument("deck")

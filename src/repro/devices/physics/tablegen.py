@@ -17,7 +17,12 @@ from repro.devices.physics.geometry import TfetDesign
 from repro.devices.physics.tfet_model import TfetPhysicalModel
 from repro.devices.tables import CurrentTable, UniformGrid
 
-__all__ = ["TfetCharges", "build_current_table", "build_charge_model"]
+__all__ = [
+    "TfetCharges",
+    "build_current_table",
+    "build_charge_model",
+    "sample_current_grid",
+]
 
 DEFAULT_VOLTAGE_SPAN = 1.4
 """Tables cover +/-1.4 V: V_DD up to 0.9 V plus 30 % assist headroom."""
@@ -28,17 +33,31 @@ OVERLAP_CAPACITANCE_PER_UM = 4.0e-17
 """Gate overlap/fringe capacitance in F per um of width (per terminal)."""
 
 
+def sample_current_grid(
+    model: TfetPhysicalModel,
+    voltage_span: float = DEFAULT_VOLTAGE_SPAN,
+    points: int = DEFAULT_GRID_POINTS,
+) -> tuple[UniformGrid, UniformGrid, np.ndarray]:
+    """Sample the physics model onto a raw (V_GS, V_DS) current grid.
+
+    This is the expensive physics step; the returned samples are what
+    the batch engine's on-disk device-table cache persists.
+    """
+    vgs_grid = UniformGrid(-voltage_span, voltage_span, points)
+    vds_grid = UniformGrid(-voltage_span, voltage_span, points)
+    vgs = vgs_grid.points()[:, np.newaxis]
+    vds = vds_grid.points()[np.newaxis, :]
+    current = np.asarray(model.current_density(vgs, vds))
+    return vgs_grid, vds_grid, current
+
+
 def build_current_table(
     model: TfetPhysicalModel,
     voltage_span: float = DEFAULT_VOLTAGE_SPAN,
     points: int = DEFAULT_GRID_POINTS,
 ) -> CurrentTable:
     """Sample the physics model onto a (V_GS, V_DS) current table (A/um)."""
-    vgs_grid = UniformGrid(-voltage_span, voltage_span, points)
-    vds_grid = UniformGrid(-voltage_span, voltage_span, points)
-    vgs = vgs_grid.points()[:, np.newaxis]
-    vds = vds_grid.points()[np.newaxis, :]
-    current = np.asarray(model.current_density(vgs, vds))
+    vgs_grid, vds_grid, current = sample_current_grid(model, voltage_span, points)
     return CurrentTable(
         vgs_grid, vds_grid, current, shape_voltage=model.drain_saturation_voltage
     )

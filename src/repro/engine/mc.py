@@ -1,0 +1,187 @@
+"""Engine-backed Monte-Carlo: picklable sample specs and batch runs.
+
+The serial :class:`repro.analysis.montecarlo.MonteCarloStudy` takes
+arbitrary callables, which cannot cross a process boundary when they
+are closures.  This module provides the parallel counterpart: a
+:class:`McMetricSpec` *describes* the cell and metric as plain data
+(beta, access configuration, assist name, metric kind), and a
+module-level task function rebuilds and evaluates it inside any worker
+process.
+
+Per-sample thickness scales derive from ``(root_seed, sample_index)``
+via the engine's seed derivation, so a batch is reproducible at any
+worker count, resumable, and extendable (a 200-sample run shares its
+first 64 samples with a 64-sample run of the same seed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.dcop import SolverOptions
+from repro.circuit.transient import TransientOptions
+from repro.devices.variation import OxideVariation
+from repro.engine.jobs import Task, TaskContext, derive_seed, task_rng
+from repro.engine.scheduler import BatchReport, EngineConfig, run_tasks
+
+__all__ = [
+    "McMetricSpec",
+    "MonteCarloBatch",
+    "escalated_transient_options",
+    "evaluate_mc_sample",
+    "sample_scales",
+]
+
+
+def sample_scales(
+    variation: OxideVariation, root_seed: int, index: int, transistor_count: int
+) -> tuple[float, ...]:
+    """The per-transistor thickness scales of one Monte-Carlo sample.
+
+    A pure function of ``(root_seed, index)`` — the engine's
+    determinism and resume guarantees for Monte-Carlo rest on exactly
+    this property.
+    """
+    rng = task_rng(root_seed, index)
+    return tuple(variation.sample_per_transistor(rng, 1, transistor_count)[0])
+
+
+def escalated_transient_options(attempt: int) -> TransientOptions | None:
+    """Solver knobs for retry attempt ``attempt`` (0 = experiment defaults).
+
+    Escalation follows the standard SPICE playbook: first give Newton
+    more room (iterations, backtracks, gentler step rejection), then
+    additionally raise the gmin floor to shunt the near-singular
+    operating points that defeat attempt 1.
+    """
+    if attempt <= 0:
+        return None
+    if attempt == 1:
+        solver = SolverOptions(max_iterations=160, line_search_backtracks=8)
+        return TransientOptions(solver=solver, shrink=0.25)
+    solver = SolverOptions(
+        max_iterations=240, line_search_backtracks=10, gmin=1e-11
+    )
+    return TransientOptions(solver=solver, shrink=0.2, max_voltage_step=0.04)
+
+
+@dataclass(frozen=True)
+class McMetricSpec:
+    """Plain-data description of one Monte-Carlo metric evaluation.
+
+    ``metric`` is ``"wlcrit"`` (critical wordline pulse; ``assist``
+    names an entry of ``WRITE_ASSISTS``) or ``"drnm"`` (dynamic read
+    noise margin; ``assist`` names an entry of ``READ_ASSISTS``).
+    ``access`` is an :class:`~repro.sram.AccessConfig` member name.
+    Everything here is picklable, so a spec travels to worker
+    processes by value.
+    """
+
+    metric: str
+    beta: float
+    vdd: float = 0.8
+    access: str = "INWARD_P"
+    assist: str | None = None
+    wlcrit_upper_bound: float = 4.0e-9
+    metric_name: str = "metric"
+    transistor_count: int = 6
+    variation: OxideVariation = field(default_factory=OxideVariation)
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("wlcrit", "drnm"):
+            raise ValueError(
+                f"metric must be 'wlcrit' or 'drnm', got {self.metric!r}"
+            )
+
+
+def evaluate_mc_sample(payload, ctx: TaskContext) -> float:
+    """Task function: build the varied cell and evaluate the spec's metric.
+
+    ``payload`` is ``(spec, scales)``.  On retries the transient solver
+    runs with :func:`escalated_transient_options` for the attempt.
+    """
+    from repro.analysis.montecarlo import varied_device_set
+    from repro.analysis.stability import (
+        WlCritSearch,
+        critical_wordline_pulse,
+        dynamic_read_noise_margin,
+    )
+    from repro.sram import (
+        READ_ASSISTS,
+        WRITE_ASSISTS,
+        AccessConfig,
+        CellSizing,
+        Tfet6TCell,
+    )
+
+    spec, scales = payload
+    options = escalated_transient_options(ctx.attempt)
+    devices = varied_device_set(scales)
+    cell = Tfet6TCell(
+        CellSizing().with_beta(spec.beta), AccessConfig[spec.access], devices=devices
+    )
+    if spec.metric == "wlcrit":
+        assist = WRITE_ASSISTS[spec.assist] if spec.assist else None
+        search = WlCritSearch(upper_bound=spec.wlcrit_upper_bound, options=options)
+        return float(
+            critical_wordline_pulse(cell, spec.vdd, assist=assist, search=search)
+        )
+    assist = READ_ASSISTS[spec.assist] if spec.assist else None
+    return float(
+        dynamic_read_noise_margin(
+            cell.read_testbench(spec.vdd, assist=assist), options=options
+        )
+    )
+
+
+@dataclass(frozen=True)
+class MonteCarloBatch:
+    """Monte-Carlo study of one :class:`McMetricSpec` on the batch engine."""
+
+    spec: McMetricSpec
+
+    def tasks(self, sample_count: int, seed: int) -> list[Task]:
+        """The batch's task list (sample scales drawn parent-side)."""
+        if sample_count <= 0:
+            raise ValueError("sample_count must be positive")
+        return [
+            Task(
+                index=k,
+                fn=evaluate_mc_sample,
+                payload=(
+                    self.spec,
+                    sample_scales(
+                        self.spec.variation, seed, k, self.spec.transistor_count
+                    ),
+                ),
+                seed=derive_seed(seed, k),
+            )
+            for k in range(sample_count)
+        ]
+
+    def run(
+        self,
+        sample_count: int,
+        seed: int = 2011,
+        engine: EngineConfig | None = None,
+    ):
+        """Evaluate ``sample_count`` samples; returns a
+        :class:`~repro.analysis.montecarlo.MonteCarloResult` whose
+        ``report`` attribute carries the :class:`BatchReport`.
+
+        Engine-level task failures (retry exhaustion, timeout, a died
+        worker) enter the sample array as ``nan`` — distinguishable
+        from the metric's own ``inf`` write failures, but equally
+        counted by ``MonteCarloResult.failure_count``.
+        """
+        from repro.analysis.montecarlo import MonteCarloResult
+
+        config = engine or EngineConfig()
+        report = run_tasks(self.tasks(sample_count, seed), config)
+        values = np.array(
+            [v if v is not None else math.nan for v in report.values()], dtype=float
+        )
+        return MonteCarloResult(self.spec.metric_name, values, report=report)

@@ -1,0 +1,149 @@
+"""Worker-side task execution: retry, escalation, timeout, telemetry.
+
+This module is imported by name inside every worker process, so
+everything here must be module-level and import-safe.  The execution
+wrapper never lets an exception escape — a task that fails after all
+retries produces a structured ``failed`` outcome, keeping the pool and
+the rest of the batch alive (graceful degradation).
+
+Retry policy: :class:`~repro.circuit.dcop.ConvergenceError` is
+retryable — the task function sees an incremented ``ctx.attempt`` and
+is expected to escalate its solver knobs (see
+:func:`repro.engine.mc.escalated_transient_options`).  A
+:class:`TaskTimeout` is *not* retryable: the work is deterministic, so
+a second attempt would time out the same way; it is recorded as a
+structured failure immediately.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+
+from repro.circuit.dcop import ConvergenceError
+from repro.engine.jobs import Task, TaskContext, TaskOutcome
+from repro.telemetry import core as telemetry
+
+__all__ = ["TaskTimeout", "execute_task", "worker_init"]
+
+RETRYABLE_ERRORS = (ConvergenceError,)
+
+
+class TaskTimeout(RuntimeError):
+    """A task attempt exceeded the configured wall-clock budget."""
+
+
+def worker_init(cache_dir) -> None:
+    """Process-pool initializer: installs the shared device-table cache."""
+    if cache_dir is not None:
+        from repro.devices.library import set_table_cache
+        from repro.engine.cache import DeviceTableCache
+
+        set_table_cache(DeviceTableCache(cache_dir))
+
+
+class _attempt_deadline:
+    """SIGALRM-based soft deadline around one task attempt.
+
+    Only usable on the main thread of a process (true for pool workers
+    and for inline single-job runs); elsewhere it degrades to no
+    enforcement rather than failing the task.
+    """
+
+    def __init__(self, timeout_s: float | None):
+        self.timeout_s = timeout_s
+        self._armed = False
+        self._previous = None
+
+    def __enter__(self):
+        if (
+            self.timeout_s is not None
+            and threading.current_thread() is threading.main_thread()
+            and hasattr(signal, "SIGALRM")
+        ):
+            def _on_alarm(signum, frame):
+                raise TaskTimeout(
+                    f"task attempt exceeded {self.timeout_s:g} s wall-clock budget"
+                )
+
+            self._previous = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, self.timeout_s)
+            self._armed = True
+        return self
+
+    def __exit__(self, *exc_info):
+        if self._armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+            self._armed = False
+
+
+def execute_task(
+    task: Task,
+    retries: int = 0,
+    timeout_s: float | None = None,
+    collect_telemetry: bool = True,
+) -> TaskOutcome:
+    """Run one task to a structured outcome; never raises.
+
+    ``retries`` is the number of *additional* attempts after the first;
+    each attempt gets a fresh ``TaskContext`` with the attempt number,
+    and (when enabled) runs under its own telemetry session whose
+    counters ride back on the outcome for cross-worker aggregation.
+    """
+    start = time.perf_counter()
+    counters: dict[str, int] = {}
+    attempt = 0
+    while True:
+        ctx = TaskContext(index=task.index, seed=task.seed, attempt=attempt)
+        try:
+            if collect_telemetry:
+                with telemetry.enabled(log_level="error") as session:
+                    with _attempt_deadline(timeout_s):
+                        value = task.fn(task.payload, ctx)
+                _merge_counts(counters, session.counters)
+            else:
+                with _attempt_deadline(timeout_s):
+                    value = task.fn(task.payload, ctx)
+            return TaskOutcome(
+                index=task.index,
+                status="ok",
+                value=value,
+                attempts=attempt + 1,
+                wall_s=time.perf_counter() - start,
+                counters=counters,
+            )
+        except RETRYABLE_ERRORS as exc:
+            counters["engine.convergence_errors"] = (
+                counters.get("engine.convergence_errors", 0) + 1
+            )
+            if attempt < retries:
+                attempt += 1
+                counters["engine.retries"] = counters.get("engine.retries", 0) + 1
+                continue
+            return _failure(task, exc, attempt + 1, start, counters)
+        except TaskTimeout as exc:
+            counters["engine.timeouts"] = counters.get("engine.timeouts", 0) + 1
+            return _failure(task, exc, attempt + 1, start, counters)
+        except Exception as exc:  # noqa: BLE001 — the pool must survive
+            return _failure(task, exc, attempt + 1, start, counters)
+
+
+def _failure(task, exc, attempts, start, counters) -> TaskOutcome:
+    return TaskOutcome(
+        index=task.index,
+        status="failed",
+        value=None,
+        attempts=attempts,
+        wall_s=time.perf_counter() - start,
+        error_type=type(exc).__name__,
+        error="".join(traceback.format_exception_only(exc)).strip(),
+        counters=counters,
+    )
+
+
+def _merge_counts(into: dict[str, int], source: dict[str, int]) -> None:
+    for name, n in source.items():
+        into[name] = into.get(name, 0) + n

@@ -5,18 +5,19 @@ transistor) with the cell sized at beta = 2 (write needs assistance).
 Paper shape: WL_crit varies strongly for every WA technique, with
 wordline lowering suffering outright write failures under variation,
 while the DRNM of the same cells is barely affected.
+
+Runs on :mod:`repro.engine`: ``jobs`` parallelizes the samples across
+worker processes (sharing one on-disk device-table cache),
+``checkpoint_dir`` + ``resume`` make interrupted campaigns restartable,
+and the per-sample seed derivation keeps any ``jobs``/``resume``
+combination bit-identical to a serial run.
 """
 
 from __future__ import annotations
 
-from repro.analysis.montecarlo import MonteCarloStudy
-from repro.analysis.stability import (
-    WlCritSearch,
-    critical_wordline_pulse,
-    dynamic_read_noise_margin,
-)
+from repro.engine.mc import McMetricSpec, MonteCarloBatch
 from repro.experiments.common import ExperimentResult
-from repro.sram import WRITE_ASSISTS, AccessConfig, CellSizing, Tfet6TCell
+from repro.experiments.mc_common import engine_config_for
 
 DEFAULT_BETA = 2.0
 DEFAULT_SAMPLES = 40
@@ -25,12 +26,20 @@ DEFAULT_SAMPLES = 40
 #: failure count (the paper drops its histogram for the same reason).
 TECHNIQUES = ("vgnd_raising", "wl_lowering", "bl_raising")
 
+WLCRIT_UPPER_BOUND = 8e-9
+
 
 def run(
     samples: int = DEFAULT_SAMPLES,
     beta: float = DEFAULT_BETA,
     vdd: float = 0.8,
     seed: int = 9,
+    jobs: int = 1,
+    resume: bool = False,
+    checkpoint_dir: str | None = None,
+    cache_dir: str | None = None,
+    retries: int = 2,
+    timeout_s: float | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         "fig09",
@@ -44,30 +53,61 @@ def run(
             "write failures",
         ],
     )
-    sizing = CellSizing().with_beta(beta)
-    search = WlCritSearch(upper_bound=8e-9)
 
-    for name in TECHNIQUES:
-        assist = WRITE_ASSISTS[name]
-        study = MonteCarloStudy(
-            cell_factory=lambda d: Tfet6TCell(sizing, AccessConfig.INWARD_P, devices=d),
-            metric=lambda c, a=assist: critical_wordline_pulse(c, vdd, assist=a, search=search),
+    specs = [
+        McMetricSpec(
+            metric="wlcrit",
+            beta=beta,
+            vdd=vdd,
+            assist=name,
+            wlcrit_upper_bound=WLCRIT_UPPER_BOUND,
             metric_name=f"WLcrit[{name}]",
         )
-        mc = study.run(samples, seed=seed)
-        result.add_row(
-            name, "WLcrit (ps)", 1e12 * mc.mean(), 1e12 * mc.std(), mc.spread(), mc.failure_count
-        )
+        for name in TECHNIQUES
+    ] + [
+        McMetricSpec(metric="drnm", beta=beta, vdd=vdd, metric_name="DRNM"),
+    ]
 
-    drnm_study = MonteCarloStudy(
-        cell_factory=lambda d: Tfet6TCell(sizing, AccessConfig.INWARD_P, devices=d),
-        metric=lambda c: dynamic_read_noise_margin(c.read_testbench(vdd)),
-        metric_name="DRNM",
-    )
-    mc = drnm_study.run(samples, seed=seed)
-    result.add_row("(no assist)", "DRNM (mV)", 1e3 * mc.mean(), 1e3 * mc.std(), mc.spread(), 0)
+    task_failures = 0
+    for spec in specs:
+        engine = engine_config_for(
+            "fig09",
+            spec,
+            seed,
+            jobs=jobs,
+            resume=resume,
+            checkpoint_dir=checkpoint_dir,
+            cache_dir=cache_dir,
+            retries=retries,
+            timeout_s=timeout_s,
+        )
+        mc = MonteCarloBatch(spec).run(samples, seed=seed, engine=engine)
+        task_failures += mc.report.failed_count
+        if spec.metric == "wlcrit":
+            result.add_row(
+                spec.assist,
+                "WLcrit (ps)",
+                1e12 * mc.mean(),
+                1e12 * mc.std(),
+                mc.spread(),
+                mc.failure_count,
+            )
+        else:
+            result.add_row(
+                "(no assist)",
+                "DRNM (mV)",
+                1e3 * mc.mean(),
+                1e3 * mc.std(),
+                mc.spread(),
+                mc.failure_count,
+            )
     result.notes.append(
         "paper shape: WL_crit spreads widely under variation (wl_lowering "
         "shows outright failures); DRNM is barely affected"
     )
+    if task_failures:
+        result.notes.append(
+            f"engine: {task_failures} task(s) failed after retries and were "
+            "recorded as nan samples"
+        )
     return result

@@ -1,0 +1,75 @@
+"""Shared engine plumbing for the Monte-Carlo experiments.
+
+Centralizes how ``fig09``/``fig10`` (and the examples) map a metric
+spec onto an :class:`~repro.engine.scheduler.EngineConfig`: one
+checkpoint file per study (named from the experiment id and metric),
+one shared device-table cache per run directory, and a ``run_key``
+that pins checkpoints to their study parameters so ``--resume`` can
+never silently mix runs.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.engine.mc import McMetricSpec
+from repro.engine.scheduler import EngineConfig
+
+__all__ = ["engine_config_for", "DEFAULT_CHECKPOINT_DIR", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CHECKPOINT_DIR = "results/checkpoints"
+DEFAULT_CACHE_DIR = "results/table_cache"
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", text).strip("_")
+
+
+def run_key_for(experiment_id: str, spec: McMetricSpec) -> str:
+    """Identity of one study's work (excludes the sample count, so a
+    checkpoint can seed a larger rerun of the same study)."""
+    return (
+        f"{experiment_id}:{spec.metric_name}:metric={spec.metric}"
+        f":beta={spec.beta:g}:vdd={spec.vdd:g}:assist={spec.assist}"
+    )
+
+
+def engine_config_for(
+    experiment_id: str,
+    spec: McMetricSpec,
+    seed: int,
+    *,
+    jobs: int = 1,
+    resume: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    cache_dir: str | Path | None = None,
+    retries: int = 2,
+    timeout_s: float | None = None,
+) -> EngineConfig:
+    """The engine configuration for one experiment study.
+
+    ``checkpoint_dir=None`` disables checkpointing (library callers opt
+    in; the CLI runner always passes a directory so interrupted command
+    line runs are resumable by default).  ``resume=True`` without a
+    checkpoint directory resumes from the default location.
+    """
+    if resume and checkpoint_dir is None:
+        checkpoint_dir = DEFAULT_CHECKPOINT_DIR
+    checkpoint_path = None
+    if checkpoint_dir is not None:
+        checkpoint_path = (
+            Path(checkpoint_dir) / f"{experiment_id}_{_slug(spec.metric_name)}.jsonl"
+        )
+    if cache_dir is None and jobs > 1:
+        cache_dir = DEFAULT_CACHE_DIR
+    return EngineConfig(
+        jobs=jobs,
+        retries=retries,
+        timeout_s=timeout_s,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        run_key=run_key_for(experiment_id, spec),
+        root_seed=seed,
+        cache_dir=cache_dir,
+    )

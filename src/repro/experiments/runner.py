@@ -8,13 +8,25 @@ Monte-Carlo figures run hundreds of transient bisections);
 Observability flags: ``--profile`` collects solver telemetry and
 writes a run manifest (wall time, Newton/fallback/step statistics,
 result checksum) next to the results; ``--trace out.json`` additionally
-dumps the structured event trace; ``--log-level debug`` widens what the
-trace records.  ``repro diag`` summarizes saved manifests.
+dumps the structured event trace (suffixed per experiment id when
+several experiments run in one invocation); ``--log-level debug``
+widens what the trace records.  ``repro diag`` summarizes saved
+manifests.
+
+Batch-engine flags (sampling experiments such as ``fig09``/``fig10``):
+``--samples N`` sets the Monte-Carlo size, ``--jobs J`` fans the
+samples across J worker processes (bit-identical to ``--jobs 1``),
+``--seed S`` sets the root seed, and ``--resume`` continues an
+interrupted run from its JSONL checkpoints under
+``<output-dir>/checkpoints/``.  Experiments that do not sample ignore
+these flags with a note.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import sys
 import time
 from pathlib import Path
 from typing import Callable
@@ -177,6 +189,35 @@ def main(argv: list[str] | None = None) -> int:
         help="directory for result JSON and run manifests (default: %s)"
         % DEFAULT_MANIFEST_DIR,
     )
+    engine_group = parser.add_argument_group(
+        "batch engine (experiments that sample, e.g. fig09/fig10)"
+    )
+    engine_group.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Monte-Carlo sample count",
+    )
+    engine_group.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="root seed; per-sample seeds derive from (seed, index)",
+    )
+    engine_group.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="J",
+        help="worker processes (results are bit-identical at any J)",
+    )
+    engine_group.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the run's JSONL checkpoints instead of recomputing",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -188,13 +229,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("an experiment id (or 'all') is required unless --list is given")
 
     ids = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    engine_kwargs = _engine_kwargs(args)
     for experiment_id in ids:
         result = run_experiment(
             experiment_id,
             profile=args.profile,
-            trace_path=args.trace,
+            trace_path=_trace_path_for(args.trace, experiment_id, multi=len(ids) > 1),
             log_level=args.log_level,
             output_dir=args.output_dir,
+            **_supported_kwargs(experiment_id, engine_kwargs),
         )
         print(result.format())
         if args.profile or args.trace or args.log_level:
@@ -204,6 +247,61 @@ def main(argv: list[str] | None = None) -> int:
             )
         print()
     return 0
+
+
+def _trace_path_for(
+    trace: str | None, experiment_id: str, multi: bool
+) -> str | Path | None:
+    """Per-experiment trace path: when several experiments run in one
+    invocation (``all``), each trace gets the experiment id suffixed so
+    the last experiment cannot clobber the earlier ones."""
+    if trace is None or not multi:
+        return trace
+    path = Path(trace)
+    return path.with_name(f"{path.stem}_{experiment_id}{path.suffix or '.json'}")
+
+
+def _engine_kwargs(args) -> dict:
+    """The batch-engine kwargs the user explicitly set on the command line.
+
+    The CLI always checkpoints engine-backed experiments (so a ^C run is
+    resumable), placing the JSONL logs under the output directory.
+    """
+    kwargs = {}
+    if args.samples is not None:
+        kwargs["samples"] = args.samples
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.jobs is not None:
+        kwargs["jobs"] = args.jobs
+    if args.resume:
+        kwargs["resume"] = True
+    if kwargs or args.resume:
+        base = Path(args.output_dir or DEFAULT_MANIFEST_DIR)
+        kwargs["checkpoint_dir"] = str(base / "checkpoints")
+        kwargs["cache_dir"] = str(base / "table_cache")
+    return kwargs
+
+
+def _supported_kwargs(experiment_id: str, kwargs: dict) -> dict:
+    """Filter kwargs to the parameters the experiment's run() accepts.
+
+    Warns (stderr) when an explicitly requested flag is dropped, so
+    ``fig02 --samples 64`` is visibly a no-op rather than an error that
+    would break ``all`` runs.
+    """
+    if not kwargs:
+        return {}
+    run, _ = REGISTRY[experiment_id]
+    accepted = set(inspect.signature(run).parameters)
+    supported = {k: v for k, v in kwargs.items() if k in accepted}
+    dropped = [k for k in ("samples", "seed", "jobs", "resume") if k in kwargs and k not in accepted]
+    if dropped:
+        print(
+            f"note: {experiment_id} does not take --{', --'.join(dropped)}; ignored",
+            file=sys.stderr,
+        )
+    return supported
 
 
 if __name__ == "__main__":

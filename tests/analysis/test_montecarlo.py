@@ -152,3 +152,28 @@ class TestYieldEstimates:
 
     def test_gaussian_yield_nan_for_tiny_sample(self):
         assert math.isnan(self.make([1.0]).gaussian_yield_below(2.0))
+
+    def test_gaussian_yield_nan_for_empty_samples(self):
+        assert math.isnan(self.make([]).gaussian_yield_below(2.0))
+
+    def test_gaussian_yield_nan_when_no_finite_samples(self):
+        r = self.make([math.inf, math.nan, math.inf])
+        assert math.isnan(r.gaussian_yield_below(2.0))
+
+    def test_gaussian_yield_degenerate_spread_is_step_function(self):
+        # All finite samples identical: the clamped-std fit degenerates
+        # to a step at the common value (documented contract).
+        r = self.make([1.0, 1.0, 1.0])
+        assert r.gaussian_yield_below(0.5) == pytest.approx(0.0)
+        assert r.gaussian_yield_below(1.0) == pytest.approx(0.5)
+        assert r.gaussian_yield_below(1.5) == pytest.approx(1.0)
+
+    def test_gaussian_yield_degenerate_spread_scales_with_failures(self):
+        r = self.make([1.0, 1.0, math.inf, math.inf])
+        assert r.gaussian_yield_below(2.0) == pytest.approx(0.5)
+
+    def test_counting_yields_nan_for_empty_samples(self):
+        r = self.make([])
+        assert math.isnan(r.yield_below(1.0))
+        assert math.isnan(r.yield_above(1.0))
+        assert r.failure_fraction == 0.0

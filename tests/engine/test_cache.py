@@ -1,0 +1,97 @@
+"""Tests for the on-disk device-table cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import DeviceTableCache
+
+
+@pytest.fixture
+def payload():
+    rng = np.random.default_rng(1)
+    return {
+        "current": rng.standard_normal((5, 5)) * 1e-6,
+        "vgs": (0.0, 1.0, 5),
+        "vds": (-1.0, 1.0, 5),
+        "shape_voltage": 0.15,
+    }
+
+
+class TestRoundTrip:
+    def test_store_then_load_is_bit_identical(self, tmp_path, payload):
+        cache = DeviceTableCache(tmp_path)
+        cache.store(1.0025, 5, payload["current"], payload["vgs"],
+                    payload["vds"], payload["shape_voltage"])
+        loaded = cache.load(1.0025, 5)
+        assert loaded is not None
+        assert np.array_equal(loaded["current"], payload["current"])
+        assert tuple(loaded["vgs"]) == payload["vgs"]
+        assert tuple(loaded["vds"]) == payload["vds"]
+        assert loaded["shape_voltage"] == payload["shape_voltage"]
+
+    def test_keys_distinguish_scale_and_points(self, tmp_path, payload):
+        cache = DeviceTableCache(tmp_path)
+        cache.store(1.0, 5, payload["current"], payload["vgs"],
+                    payload["vds"], payload["shape_voltage"])
+        assert cache.load(1.0025, 5) is None
+        assert cache.load(1.0, 7) is None
+        assert cache.load(1.0, 5) is not None
+
+
+class TestDegradation:
+    def test_miss_on_empty_directory(self, tmp_path):
+        cache = DeviceTableCache(tmp_path / "nonexistent")
+        assert cache.load(1.0, 141) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, payload):
+        cache = DeviceTableCache(tmp_path)
+        path = cache.store(1.0, 5, payload["current"], payload["vgs"],
+                           payload["vds"], payload["shape_voltage"])
+        path.write_bytes(b"garbage, not an npz archive")
+        assert cache.load(1.0, 5) is None
+
+    def test_stats_count_activity(self, tmp_path, payload):
+        cache = DeviceTableCache(tmp_path)
+        cache.load(1.0, 5)
+        cache.store(1.0, 5, payload["current"], payload["vgs"],
+                    payload["vds"], payload["shape_voltage"])
+        cache.load(1.0, 5)
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+
+
+class TestLibraryIntegration:
+    def test_cached_device_tables_match_uncached(self, tmp_path):
+        """A table rebuilt from the disk cache is bit-identical to one
+        sampled fresh — the cache stores the raw physics samples and
+        only the (deterministic) interpolant is rebuilt on load."""
+        from dataclasses import replace
+
+        from repro.devices.library import (
+            _current_table_cached,
+            nominal_tfet_physics,
+            set_table_cache,
+            table_cache,
+        )
+
+        nominal = nominal_tfet_physics()
+        model = replace(nominal, design=nominal.design.with_oxide_scale(1.0025))
+        fresh = _current_table_cached(model, 1.0025, 31)
+
+        previous = table_cache()
+        cache = DeviceTableCache(tmp_path)
+        set_table_cache(cache)
+        try:
+            first = _current_table_cached(model, 1.0025, 31)   # miss + store
+            second = _current_table_cached(model, 1.0025, 31)  # hit
+        finally:
+            set_table_cache(previous)
+
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert len(list(tmp_path.glob("tfet_s*.npz"))) == 1
+        vgs = np.linspace(0.0, 1.0, 13)
+        vds = np.linspace(-0.9, 0.9, 13)
+        assert np.array_equal(first(vgs, vds), fresh(vgs, vds))
+        assert np.array_equal(second(vgs, vds), fresh(vgs, vds))
+        assert first.shape_voltage == second.shape_voltage == fresh.shape_voltage

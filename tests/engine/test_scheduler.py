@@ -1,0 +1,174 @@
+"""Tests for the batch scheduler: determinism, resume, fault tolerance.
+
+The determinism tests are the engine's headline contract: the same root
+seed produces bit-identical results at ``jobs=1`` and ``jobs=4``, and
+across a kill-and-resume cycle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.checkpoint import CheckpointLog, CheckpointMismatch
+from repro.engine.jobs import Task, derive_seed
+from repro.engine.scheduler import EngineConfig, run_tasks
+from repro.telemetry import core as telemetry
+
+from engine_helpers import always_diverges, raises_value_error, seeded_value, succeed_on_attempt
+
+
+def make_tasks(count, root_seed=9, fn=seeded_value, payload=0.0):
+    return [
+        Task(index=k, fn=fn, payload=payload, seed=derive_seed(root_seed, k))
+        for k in range(count)
+    ]
+
+
+class TestDeterminism:
+    def test_jobs4_bit_identical_to_jobs1(self):
+        tasks = make_tasks(12)
+        serial = run_tasks(tasks, EngineConfig(jobs=1))
+        parallel = run_tasks(tasks, EngineConfig(jobs=4))
+        assert serial.values() == parallel.values()
+        assert serial.ok_count == parallel.ok_count == 12
+
+    def test_values_are_in_index_order(self):
+        tasks = make_tasks(8)
+        report = run_tasks(tasks, EngineConfig(jobs=4))
+        by_index = {o.index: o.value for o in report.outcomes}
+        assert report.values() == [by_index[k] for k in range(8)]
+
+    def test_prefix_of_larger_run_matches_smaller_run(self):
+        small = run_tasks(make_tasks(4), EngineConfig())
+        large = run_tasks(make_tasks(16), EngineConfig())
+        assert large.values()[:4] == small.values()
+
+
+class TestResume:
+    def test_kill_and_resume_is_bit_identical(self, tmp_path):
+        """Simulated interruption: the first run checkpoints a prefix of
+        the batch (as a killed run would have), the resumed run computes
+        only the rest, and the combined values match an uninterrupted run."""
+        path = tmp_path / "run.jsonl"
+        tasks = make_tasks(10)
+        uninterrupted = run_tasks(tasks, EngineConfig())
+
+        interrupted = run_tasks(
+            tasks[:6],
+            EngineConfig(checkpoint_path=path, run_key="t", root_seed=9),
+        )
+        assert interrupted.ok_count == 6
+
+        resumed = run_tasks(
+            tasks,
+            EngineConfig(checkpoint_path=path, run_key="t", root_seed=9, resume=True),
+        )
+        assert resumed.resumed_count == 6
+        assert resumed.values() == uninterrupted.values()
+
+    def test_resume_with_parallel_completion(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tasks = make_tasks(10)
+        run_tasks(tasks[:5], EngineConfig(checkpoint_path=path, run_key="t", root_seed=9))
+        resumed = run_tasks(
+            tasks,
+            EngineConfig(
+                jobs=4, checkpoint_path=path, run_key="t", root_seed=9, resume=True
+            ),
+        )
+        assert resumed.resumed_count == 5
+        assert resumed.values() == run_tasks(tasks, EngineConfig()).values()
+
+    def test_fully_checkpointed_resume_recomputes_nothing(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tasks = make_tasks(4)
+        first = run_tasks(tasks, EngineConfig(checkpoint_path=path, run_key="t", root_seed=9))
+        again = run_tasks(
+            tasks,
+            EngineConfig(checkpoint_path=path, run_key="t", root_seed=9, resume=True),
+        )
+        assert again.resumed_count == 4
+        assert again.values() == first.values()
+
+    def test_without_resume_flag_checkpoint_is_truncated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tasks = make_tasks(3)
+        run_tasks(tasks, EngineConfig(checkpoint_path=path, run_key="t", root_seed=9))
+        report = run_tasks(tasks, EngineConfig(checkpoint_path=path, run_key="t", root_seed=9))
+        assert report.resumed_count == 0
+
+    def test_resume_rejects_other_runs_checkpoint(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tasks = make_tasks(3)
+        run_tasks(tasks, EngineConfig(checkpoint_path=path, run_key="a", root_seed=9))
+        with pytest.raises(CheckpointMismatch):
+            run_tasks(
+                tasks,
+                EngineConfig(checkpoint_path=path, run_key="b", root_seed=9, resume=True),
+            )
+
+    def test_failures_are_checkpointed_and_replayed(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tasks = make_tasks(3, fn=always_diverges)
+        run_tasks(tasks, EngineConfig(retries=0, checkpoint_path=path, run_key="t", root_seed=9))
+        resumed = run_tasks(
+            tasks,
+            EngineConfig(retries=0, checkpoint_path=path, run_key="t", root_seed=9, resume=True),
+        )
+        assert resumed.resumed_count == 3
+        assert resumed.failed_count == 3
+
+
+class TestFaultTolerance:
+    def test_task_failure_does_not_abort_the_batch(self):
+        tasks = make_tasks(4) + [
+            Task(index=4, fn=raises_value_error, payload=None, seed=derive_seed(9, 4))
+        ]
+        report = run_tasks(tasks, EngineConfig(jobs=2))
+        assert report.ok_count == 4
+        assert report.failed_count == 1
+        failure = report.failures()[0]
+        assert failure.index == 4
+        assert failure.error_type == "ValueError"
+        assert report.values(failed_value=-1.0)[4] == -1.0
+
+    def test_retry_counts_aggregate_across_workers(self):
+        tasks = make_tasks(6, fn=succeed_on_attempt, payload=1)
+        report = run_tasks(tasks, EngineConfig(jobs=3, retries=2))
+        assert report.ok_count == 6
+        assert report.retry_count == 6
+        assert report.counters["engine.retries"] == 6
+
+
+class TestConfigValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            EngineConfig(jobs=0)
+        with pytest.raises(ValueError):
+            EngineConfig(retries=-1)
+        with pytest.raises(ValueError):
+            EngineConfig(timeout_s=0.0)
+
+    def test_rejects_duplicate_indices(self):
+        task = make_tasks(1)[0]
+        with pytest.raises(ValueError):
+            run_tasks([task, task], EngineConfig())
+
+
+class TestTelemetryAggregation:
+    def test_engine_counters_reach_the_active_session(self):
+        tasks = make_tasks(5, fn=succeed_on_attempt, payload=1)
+        with telemetry.enabled() as session:
+            run_tasks(tasks, EngineConfig(jobs=2, retries=1))
+        assert session.counters["engine.tasks_total"] == 5
+        assert session.counters["engine.tasks_ok"] == 5
+        assert session.counters["engine.retries"] == 5
+        assert session.counters["engine.jobs"] == 2
+
+    def test_inline_runs_do_not_double_count(self):
+        tasks = make_tasks(3, fn=succeed_on_attempt, payload=1)
+        with telemetry.enabled() as session:
+            run_tasks(tasks, EngineConfig(jobs=1, retries=1))
+        # Counters arrive once via aggregation, not once per nested
+        # session plus once via the merge.
+        assert session.counters["engine.retries"] == 3

@@ -1,0 +1,84 @@
+"""Tests for worker-side execution: retries, timeouts, structured failure."""
+
+from __future__ import annotations
+
+from repro.engine.jobs import Task, derive_seed
+from repro.engine.worker import execute_task
+
+from engine_helpers import (
+    always_diverges,
+    busy_sleep,
+    raises_value_error,
+    seeded_value,
+    succeed_on_attempt,
+)
+
+
+def make_task(fn, payload, index=0, seed=None):
+    return Task(index=index, fn=fn, payload=payload,
+                seed=derive_seed(0, index) if seed is None else seed)
+
+
+class TestRetries:
+    def test_convergence_error_is_retried_with_escalated_attempt(self):
+        out = execute_task(make_task(succeed_on_attempt, 1), retries=2)
+        assert out.ok
+        assert out.value == 1.0  # succeeded on the escalated attempt
+        assert out.attempts == 2
+        assert out.counters["engine.retries"] == 1
+        assert out.counters["engine.convergence_errors"] == 1
+
+    def test_retry_exhaustion_is_structured_failure(self):
+        out = execute_task(make_task(always_diverges, None), retries=2)
+        assert not out.ok
+        assert out.attempts == 3
+        assert out.error_type == "ConvergenceError"
+        assert "no operating point" in out.error
+        assert out.counters["engine.convergence_errors"] == 3
+
+    def test_zero_retries_fails_on_first_divergence(self):
+        out = execute_task(make_task(succeed_on_attempt, 1), retries=0)
+        assert not out.ok
+        assert out.attempts == 1
+
+    def test_non_retryable_error_is_not_retried(self):
+        out = execute_task(make_task(raises_value_error, None), retries=5)
+        assert not out.ok
+        assert out.attempts == 1
+        assert out.error_type == "ValueError"
+
+
+class TestTimeout:
+    def test_timeout_produces_structured_failure_without_retry(self):
+        out = execute_task(make_task(busy_sleep, 30.0), retries=3, timeout_s=0.2)
+        assert not out.ok
+        assert out.error_type == "TaskTimeout"
+        assert out.attempts == 1  # deterministic work: retrying would hang again
+        assert out.counters["engine.timeouts"] == 1
+        assert out.wall_s < 5.0
+
+    def test_fast_task_unaffected_by_timeout(self):
+        out = execute_task(make_task(seeded_value, 0.0), timeout_s=30.0)
+        assert out.ok
+
+
+class TestOutcomeShape:
+    def test_ok_outcome_records_wall_time_and_value(self):
+        task = make_task(seeded_value, 10.0)
+        out = execute_task(task)
+        assert out.ok
+        assert out.attempts == 1
+        assert out.wall_s >= 0.0
+        assert 5.0 < out.value < 15.0
+
+    def test_never_raises(self):
+        # The wrapper's contract: any exception becomes a failed outcome.
+        out = execute_task(make_task(raises_value_error, None))
+        assert out.status == "failed"
+
+    def test_telemetry_disabled_still_counts_retries(self):
+        out = execute_task(
+            make_task(succeed_on_attempt, 1), retries=1, collect_telemetry=False
+        )
+        assert out.ok
+        assert out.counters["engine.retries"] == 1

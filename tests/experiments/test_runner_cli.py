@@ -87,6 +87,103 @@ class TestRunExperiment:
             runner.run_experiment("fig99")
 
 
+def fake_sampling_run(
+    samples: int = 4,
+    seed: int = 0,
+    jobs: int = 1,
+    resume: bool = False,
+    checkpoint_dir=None,
+    cache_dir=None,
+) -> ExperimentResult:
+    """Registry-shaped stand-in for an engine-backed sampling experiment."""
+    result = ExperimentResult("fakemc", "fake sampling", ["samples", "seed", "jobs"])
+    result.add_row(samples, seed, jobs)
+    result.notes.append(f"checkpoint_dir={checkpoint_dir} cache_dir={cache_dir} resume={resume}")
+    return result
+
+
+class TestTracePathSuffixing:
+    def test_multi_run_gets_experiment_suffix(self):
+        assert (
+            str(runner._trace_path_for("out.json", "fig02", multi=True))
+            == "out_fig02.json"
+        )
+
+    def test_single_run_keeps_the_exact_path(self):
+        assert runner._trace_path_for("out.json", "fig02", multi=False) == "out.json"
+
+    def test_none_stays_none(self):
+        assert runner._trace_path_for(None, "fig02", multi=True) is None
+
+    def test_suffix_added_when_path_has_no_extension(self):
+        assert (
+            str(runner._trace_path_for("trace", "fig04", multi=True))
+            == "trace_fig04.json"
+        )
+
+    def test_all_run_writes_one_trace_per_experiment(
+        self, monkeypatch, tmp_path
+    ):
+        # Regression: `all --trace out.json` used to clobber every trace
+        # with the last experiment's.
+        monkeypatch.setattr(
+            runner,
+            "REGISTRY",
+            {"fake_a": (fake_run, "a"), "fake_b": (fake_run, "b")},
+        )
+        trace = tmp_path / "out.json"
+        assert (
+            runner.main(
+                ["all", "--trace", str(trace), "--output-dir", str(tmp_path)]
+            )
+            == 0
+        )
+        assert not trace.exists()
+        assert (tmp_path / "out_fake_a.json").exists()
+        assert (tmp_path / "out_fake_b.json").exists()
+
+
+class TestEngineFlagPlumbing:
+    @pytest.fixture
+    def sampling_registry(self, monkeypatch):
+        monkeypatch.setitem(
+            runner.REGISTRY, "fakemc", (fake_sampling_run, "fake sampling")
+        )
+
+    def test_engine_flags_forwarded(self, sampling_registry, tmp_path, capsys):
+        assert (
+            runner.main(
+                [
+                    "fakemc",
+                    "--samples", "8",
+                    "--seed", "3",
+                    "--jobs", "2",
+                    "--output-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "8" in out and "3" in out and "2" in out
+        # The runner always points engine-backed runs at checkpoints
+        # under the output directory so ^C runs are resumable.
+        assert f"checkpoint_dir={tmp_path}/checkpoints" in out
+        assert f"cache_dir={tmp_path}/table_cache" in out
+
+    def test_non_sampling_experiment_ignores_flags_with_note(
+        self, fake_registry, tmp_path, capsys
+    ):
+        assert (
+            runner.main(
+                ["fake", "--samples", "8", "--output-dir", str(tmp_path)]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "does not take --samples" in captured.err
+        assert "fake experiment" in captured.out
+
+
 class TestMainFlags:
     def test_list_prints_registry(self, capsys):
         assert runner.main(["--list"]) == 0
