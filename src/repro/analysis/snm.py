@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.circuit.dcop import SolverOptions, solve_dc
+from repro.circuit.mna import MnaSystem
 from repro.circuit.netlist import Circuit
 from repro.circuit.waveforms import Constant
 
@@ -111,19 +112,25 @@ def butterfly_curves(
         circuit, _, _ = _half_cell_circuit(cell, vdd, read_condition)
         m = circuit.source_index("sweep")
         original = circuit.voltage_sources[m]
-        # Re-point the sweep source at the requested storage node.
+        # Re-point the sweep source at the requested storage node, then
+        # build the assembler once — only the waveform changes per point.
         circuit.voltage_sources[m] = type(original)(
             circuit.index_of(drive_node), original.b, Constant(0.0), original.name
         )
+        system = MnaSystem(circuit)
         outputs = np.empty_like(inputs)
         guess = {sense_node: vdd}
+        x_warm = None
         for k, v in enumerate(inputs):
             circuit.voltage_sources[m] = type(original)(
                 circuit.index_of(drive_node), original.b, Constant(float(v)), "sweep"
             )
-            op = solve_dc(circuit, initial_guess=guess, options=options)
+            op = solve_dc(
+                circuit, initial_guess=guess, options=options,
+                system=system, x0=x_warm,
+            )
             outputs[k] = op.voltage(sense_node)
-            guess = {name: op.voltage(name) for name in circuit.node_names}
+            x_warm = op.x
         return outputs
 
     forward = sweep("q", "qb")

@@ -58,16 +58,25 @@ def dynamic_read_noise_margin(
     )
 
 
-def write_flips_cell(
-    bench: Testbench, options: TransientOptions | None = None
-) -> bool:
-    """Whether a write testbench ends with the cell state flipped."""
-    result = simulate_transient(
+def _write_result(
+    bench: Testbench,
+    options: TransientOptions | None,
+    operating_point_guess: dict[str, float] | None = None,
+):
+    return simulate_transient(
         bench.circuit,
         bench.settle_stop(SETTLE_TIME),
         initial_conditions=bench.initial_conditions,
         options=options,
+        operating_point_guess=operating_point_guess,
     )
+
+
+def write_flips_cell(
+    bench: Testbench, options: TransientOptions | None = None
+) -> bool:
+    """Whether a write testbench ends with the cell state flipped."""
+    result = _write_result(bench, options)
     final = result.final(bench.one_node) - result.final(bench.zero_node)
     return final < FLIP_MARGIN
 
@@ -78,6 +87,12 @@ class WlCritSearch:
     ``upper_bound`` is the widest pulse tried; if even that pulse fails
     to flip the cell the write is declared impossible and the search
     returns ``math.inf`` — the paper's "infinite WL_crit".
+
+    Every bisection iteration simulates the same cell with only the
+    pulse width changed, so the t = 0 operating point is identical;
+    the search caches the first converged DC solution (node voltages)
+    and seeds every subsequent simulation with it, skipping the
+    repeated homotopy-from-zero DC solve.
     """
 
     def __init__(
@@ -95,19 +110,28 @@ class WlCritSearch:
         self.upper_bound = upper_bound
         self.relative_tolerance = relative_tolerance
         self.options = options
+        self._op_guess: dict[str, float] | None = None
 
     def _flips(self, bench_factory, width: float) -> bool:
         bench = bench_factory(width)
         try:
-            return write_flips_cell(bench, self.options)
+            result = _write_result(bench, self.options, self._op_guess)
         except ConvergenceError:
             # A non-converging corner case is treated as "did not
             # flip": the bisection then errs toward a *larger* WL_crit,
             # the conservative direction for a reliability metric.
             return False
+        # states[0] is the converged t = 0 operating point; node_names
+        # and state columns share the same index ordering.
+        self._op_guess = dict(
+            zip(bench.circuit.node_names, (float(v) for v in result.states[0]))
+        )
+        final = result.final(bench.one_node) - result.final(bench.zero_node)
+        return final < FLIP_MARGIN
 
     def search(self, bench_factory) -> float:
         """``bench_factory(pulse_width) -> Testbench`` for this cell/assist."""
+        self._op_guess = None  # a new cell/assist invalidates the cached OP
         if not self._flips(bench_factory, self.upper_bound):
             return math.inf
         if self._flips(bench_factory, self.lower_bound):

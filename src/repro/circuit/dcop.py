@@ -7,13 +7,25 @@ the solver runs the standard SPICE escalation: plain Newton-Raphson
 source stepping.  Callers seed the bistable state via ``initial_guess``
 and/or :class:`VoltageClamp` entries.
 
+The Newton iteration is a *modified* Newton: the LU factorization of
+the Jacobian is kept and re-used across iterations
+(``scipy.linalg.lu_factor``/``lu_solve`` when scipy is present, a
+pure-numpy fallback otherwise), and the Jacobian is re-stamped only
+when the iteration stalls — a backtracked line search, a weak residual
+reduction, or the factorization aging out (``SolverOptions``'s
+``jacobian_reuse``/``max_jacobian_age``/``reuse_descent_factor``).
+Line searches evaluate the residual only (no Jacobian stores), so a
+backtrack costs a fraction of a full assembly.
+
 Both solvers are instrumented against :mod:`repro.telemetry`: when a
 session is active, each ``newton_solve`` records its iteration count,
-line-search backtracks, and trust-region shrinks, and ``solve_dc``
-records which fallback tier finally converged.  With telemetry off the
-cost is one guard check per solve.  On failure, a forensic snapshot
-(worst-residual node names, last dV, fallback tier reached) rides on
-the :class:`ConvergenceError` so the exception alone is diagnosable.
+line-search backtracks, trust-region shrinks, and Jacobian
+stamp/reuse split (``newton.jacobian_stamps`` vs
+``newton.jacobian_reuses``), and ``solve_dc`` records which fallback
+tier finally converged.  With telemetry off the cost is one guard
+check per solve.  On failure, a forensic snapshot (worst-residual node
+names, last dV, fallback tier reached) rides on the
+:class:`ConvergenceError` so the exception alone is diagnosable.
 """
 
 from __future__ import annotations
@@ -27,6 +39,18 @@ from repro.circuit.mna import MnaSystem, TransientState, VoltageClamp
 from repro.circuit.netlist import Circuit
 from repro.circuit.results import OperatingPoint
 from repro.telemetry import core as telemetry
+
+try:  # pragma: no cover - exercised via either branch in CI images
+    from scipy.linalg import get_lapack_funcs
+
+    # Raw LAPACK getrf/getrs: the scipy lu_factor/lu_solve wrappers add
+    # ~100 us of validation per call, which is comparable to the
+    # factorization itself at SRAM-cell matrix sizes (~20x20).
+    _getrf, _getrs = get_lapack_funcs(("getrf", "getrs"), (np.empty((1, 1)),))
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    _HAVE_SCIPY = False
 
 __all__ = ["SolverOptions", "ConvergenceError", "newton_solve", "solve_dc"]
 
@@ -75,6 +99,50 @@ class SolverOptions:
     line_search_backtracks: int = 6
     """Maximum residual-norm backtracking halvings per iteration."""
 
+    jacobian_reuse: bool = True
+    """Re-use the LU factorization across iterations (modified Newton)."""
+
+    max_jacobian_age: int = 6
+    """Iterations a factorization may serve before a forced re-stamp."""
+
+    reuse_descent_factor: float = 0.5
+    """Re-stamp when ``||f_new|| > factor * ||f_old||`` on a reused
+    factorization — a stale direction that stops making fast progress
+    is refreshed rather than ridden into a stall."""
+
+
+class _Factorization:
+    """LU of one stamped Jacobian (scipy when present, numpy fallback).
+
+    The scipy path factorizes once and back-substitutes per solve; the
+    numpy fallback stores a copy of the matrix and runs
+    ``np.linalg.solve`` per request — identical semantics, no
+    factorization caching (numpy exposes none), so reuse still saves
+    the re-stamp even without scipy.
+    """
+
+    __slots__ = ("_lu", "_piv", "_matrix")
+
+    def __init__(self, jac: np.ndarray):
+        if _HAVE_SCIPY:
+            lu, piv, info = _getrf(jac)
+            # getrf signals exact singularity via info > 0 (zero U
+            # diagonal) instead of raising; a NaN/Inf Jacobian passes
+            # through LAPACK silently.  Normalize both to the
+            # LinAlgError contract np.linalg.solve provides.
+            if info != 0 or not np.all(np.isfinite(lu)):
+                raise np.linalg.LinAlgError("singular matrix in LU factorization")
+            self._lu, self._piv, self._matrix = lu, piv, None
+        else:
+            self._lu = self._piv = None
+            self._matrix = jac.copy()
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        if self._matrix is None:
+            x, _ = _getrs(self._lu, self._piv, rhs)
+            return x
+        return np.linalg.solve(self._matrix, rhs)
+
 
 def _worst_residual_nodes(
     system: MnaSystem, f: np.ndarray, top: int = 3
@@ -99,12 +167,17 @@ def newton_solve(
     extra_gmin: float = 0.0,
     source_scale: float = 1.0,
 ) -> tuple[np.ndarray, int]:
-    """Damped Newton iteration with backtracking; returns (x, iterations).
+    """Damped modified Newton with backtracking; returns (x, iterations).
 
     Device characteristics with locally flat regions (e.g. the dip where
     the TFET's gated reverse component hands over to the p-i-n diode)
     produce huge raw Newton steps; a residual-norm line search keeps the
     iteration descending instead of oscillating across the flat spot.
+
+    The Jacobian LU is re-used across iterations and re-stamped only on
+    stall (see :class:`SolverOptions`); a step taken from a stale
+    factorization that fails to descend is discarded and retried with a
+    fresh stamp before the iteration counts as failed.
     """
     if options.max_iterations < 1:
         raise ValueError(
@@ -115,34 +188,76 @@ def newton_solve(
 
     x = x0.copy()
     n = system.n_nodes
+    gmin = options.gmin + extra_gmin
 
-    def residual(xv: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        return system.assemble(
-            xv,
-            t,
-            gmin=options.gmin + extra_gmin,
-            transient=transient,
-            clamps=clamps,
+    def residual(xv: np.ndarray) -> np.ndarray:
+        return system.assemble_residual(
+            xv, t, gmin=gmin, transient=transient, clamps=clamps,
             source_scale=source_scale,
         )
 
-    f, jac = residual(x)
+    f = residual(x)
+    factor: _Factorization | None = None
+    age = 0
+    stamps = 0
+    reuses = 0
     residual_ok_streak = 0
     trust = options.step_limit
     backtracks = 0
     trust_shrinks = 0
     step = float("nan")
-    for iteration in range(1, options.max_iterations + 1):
+    iteration = 0
+    while iteration < options.max_iterations:
+        iteration += 1
+
+        refresh = (
+            factor is None
+            or not options.jacobian_reuse
+            or age >= options.max_jacobian_age
+        )
+        if refresh:
+            _, jac = system.assemble(
+                x, t, gmin=gmin, transient=transient, clamps=clamps,
+                source_scale=source_scale, copy=False,
+            )
+            try:
+                factor = _Factorization(jac)
+            except np.linalg.LinAlgError as exc:
+                if tel is not None:
+                    tel.count("newton.singular_jacobians")
+                    _record_newton(tel, wall_start, iteration, backtracks,
+                                   trust_shrinks, stamps, reuses, converged=False)
+                raise ConvergenceError(
+                    f"singular Jacobian at iteration {iteration}",
+                    forensics={"worst_residual_nodes": _worst_residual_nodes(system, f)},
+                ) from exc
+            age = 0
+            stamps += 1
+        else:
+            age += 1
+            reuses += 1
+
         try:
-            delta = np.linalg.solve(jac, -f)
+            delta = factor.solve(-f)
         except np.linalg.LinAlgError as exc:
             if tel is not None:
                 tel.count("newton.singular_jacobians")
+                _record_newton(tel, wall_start, iteration, backtracks,
+                               trust_shrinks, stamps, reuses, converged=False)
             raise ConvergenceError(
                 f"singular Jacobian at iteration {iteration}",
                 forensics={"worst_residual_nodes": _worst_residual_nodes(system, f)},
             ) from exc
         if not np.all(np.isfinite(delta)):
+            if age > 0:
+                # The stale factorization produced garbage; retry this
+                # iteration with a fresh stamp before giving up.
+                factor = None
+                iteration -= 1
+                continue
+            if tel is not None:
+                _record_newton(tel, wall_start, iteration, backtracks,
+                               trust_shrinks, stamps, reuses, converged=False)
             raise ConvergenceError(
                 f"non-finite Newton step at iteration {iteration}",
                 forensics={"worst_residual_nodes": _worst_residual_nodes(system, f)},
@@ -155,14 +270,24 @@ def newton_solve(
 
         norm_old = float(np.linalg.norm(f))
         scale = 1.0
+        descended = False
         for _ in range(options.line_search_backtracks + 1):
             x_try = x + scale * delta
-            f_try, jac_try = residual(x_try)
+            f_try = residual(x_try)
             if float(np.linalg.norm(f_try)) <= norm_old or norm_old == 0.0:
+                descended = True
                 break
             scale *= 0.5
             backtracks += 1
-        x, f, jac = x_try, f_try, jac_try
+        if not descended and age > 0:
+            # A stale direction that cannot descend at any scale is not
+            # a Newton failure — discard the step, re-stamp at the
+            # current point, and retry the iteration (f is untouched:
+            # residual() returns fresh arrays).
+            factor = None
+            iteration -= 1
+            continue
+        x, f = x_try, f_try
         step = scale * max_dv
 
         # Trust-region adaptation: a backtracked step means the Newton
@@ -171,27 +296,42 @@ def newton_solve(
         if scale < 1.0:
             trust = max(0.25 * trust, 1e-7)
             trust_shrinks += 1
+            factor = None  # curvature moved under us; re-stamp next iteration
         else:
             trust = min(2.0 * trust, options.step_limit)
+            norm_new = float(np.linalg.norm(f))
+            if age > 0 and norm_new > options.reuse_descent_factor * norm_old:
+                factor = None  # stale direction stopped making fast progress
 
         max_f = float(np.max(np.abs(f)))
         if max_f < options.residual_tolerance:
-            residual_ok_streak += 1
-            # Near a metastable/bistable boundary the Jacobian is close
-            # to singular: the step never settles although KCL holds to
-            # the requested current accuracy at every iterate.  Accept
-            # once the residual has stayed converged for a few steps.
-            if step < options.voltage_tolerance or residual_ok_streak >= 3:
-                if tel is not None:
-                    _record_newton(tel, wall_start, iteration, backtracks,
-                                   trust_shrinks, converged=True)
-                return x, iteration
+            # Convergence is only judged on *fresh*-factorization
+            # iterations: a stale LU underestimates the true Newton
+            # step, so a reused-Jacobian iterate that looks settled can
+            # still carry microvolts of error.  A stale iteration in
+            # the endgame re-stamps and confirms on the next pass —
+            # acceptance accuracy is identical to full Newton.
+            if age == 0:
+                residual_ok_streak += 1
+                # Near a metastable/bistable boundary the Jacobian is
+                # close to singular: the step never settles although
+                # KCL holds to the requested current accuracy at every
+                # iterate.  Accept once the residual has stayed
+                # converged for a few (fresh) steps.
+                if step < options.voltage_tolerance or residual_ok_streak >= 3:
+                    if tel is not None:
+                        _record_newton(tel, wall_start, iteration, backtracks,
+                                       trust_shrinks, stamps, reuses,
+                                       converged=True)
+                    return x, iteration
+            else:
+                factor = None
         else:
             residual_ok_streak = 0
 
     if tel is not None:
         _record_newton(tel, wall_start, options.max_iterations, backtracks,
-                       trust_shrinks, converged=False)
+                       trust_shrinks, stamps, reuses, converged=False)
     raise ConvergenceError(
         f"Newton did not converge in {options.max_iterations} iterations",
         forensics={
@@ -206,12 +346,14 @@ def newton_solve(
 
 def _record_newton(
     tel, wall_start: float, iterations: int, backtracks: int,
-    trust_shrinks: int, converged: bool,
+    trust_shrinks: int, stamps: int, reuses: int, converged: bool,
 ) -> None:
     tel.count("newton.solves")
     tel.count("newton.iterations", iterations)
     tel.count("newton.backtracks", backtracks)
     tel.count("newton.trust_shrinks", trust_shrinks)
+    tel.count("newton.jacobian_stamps", stamps)
+    tel.count("newton.jacobian_reuses", reuses)
     tel.observe("newton.iterations_per_solve", iterations)
     tel.add_time("newton.wall_s", time.perf_counter() - wall_start)
     if not converged:
@@ -242,6 +384,8 @@ def solve_dc(
     clamp_nodes: dict[str, float] | None = None,
     options: SolverOptions | None = None,
     t: float = 0.0,
+    system: MnaSystem | None = None,
+    x0: np.ndarray | None = None,
 ) -> OperatingPoint:
     """DC operating point with gmin- and source-stepping fallbacks.
 
@@ -251,19 +395,32 @@ def solve_dc(
     them (or hand the solution to the transient integrator, which does)
     before interpreting branch currents that the clamps might carry.
 
+    Sweep and bisection loops that solve the same circuit repeatedly
+    pass ``system`` (a prebuilt :class:`MnaSystem`, skipping stamp
+    recompilation) and/or ``x0`` (a full previous solution vector
+    including branch currents, overriding ``initial_guess``) to
+    warm-start each point from the last one.
+
     Escalation tiers (telemetry counters ``dcop.converged.<tier>`` tell
     which one succeeded): ``warm_start`` (the caller's guess),
     ``cold_start`` (all-zeros restart), ``gmin_stepping``,
     ``source_stepping``.
     """
     options = options or SolverOptions()
-    system = MnaSystem(circuit)
+    system = system or MnaSystem(circuit)
     clamps = tuple(
         VoltageClamp(circuit.index_of(name), target)
         for name, target in (clamp_nodes or {}).items()
         if circuit.index_of(name) >= 0
     )
-    x0 = _initial_vector(system, initial_guess)
+    if x0 is None:
+        x0 = _initial_vector(system, initial_guess)
+    else:
+        x0 = np.asarray(x0, dtype=float).copy()
+        if x0.shape != (system.size,):
+            raise ValueError(
+                f"x0 has shape {x0.shape}, expected ({system.size},)"
+            )
 
     tel = telemetry.active()
     if tel is not None:

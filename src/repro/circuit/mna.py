@@ -1,18 +1,46 @@
-"""Modified nodal analysis: residual and Jacobian assembly.
+"""Modified nodal analysis: precompiled residual and Jacobian assembly.
 
 Unknown vector layout: ``x = [node voltages | voltage-source branch
 currents]``.  The residual is Kirchhoff's current law at every node
 (current *out* of the node positive) plus the source branch equations
 ``v_a - v_b - V(t) = 0``.
 
-Transistors belonging to the same device model are evaluated in one
-vectorized call — with table-interpolated TFET models this is the
-difference between the device model dominating the runtime and not.
+Assembly is the innermost loop of every analysis — thousands of Newton
+iterations per WL_crit bisection, millions per Monte-Carlo campaign —
+so :class:`MnaSystem` *precompiles* the netlist at construction:
+
+* linear elements (resistors, voltage-source incidence) are folded
+  into one constant matrix copied into the Jacobian buffer per call,
+  and their residual contribution is a single mat-vec;
+* transistors are flattened into index/sign/kind arrays so the whole
+  nonlinear stamp is a handful of vectorized gathers, one batched
+  device-model call per distinct model, and two ``np.add.at``
+  scatter-adds (residual and flat Jacobian);
+* capacitors keep their vectorized charge evaluation and get
+  precomputed scatter index arrays;
+* ``f`` and the dense Jacobian live in preallocated buffers — the hot
+  path allocates nothing proportional to ``size**2``.
+
+``assemble`` returns defensive copies by default so external callers
+(AC analysis, finite-difference tests) keep snapshot semantics; the
+Newton solver opts into the shared Jacobian buffer with ``copy=False``
+and into residual-only evaluation (line searches) with
+:meth:`MnaSystem.assemble_residual`.
+
+The pre-optimization loop-based assembler is retained verbatim in
+:mod:`repro.circuit.mna_reference`; an equivalence test pins this
+implementation to it at ~1e-12 on randomized circuits.
+
+Topology is snapshotted at construction: swapping a waveform on an
+existing source (as ``dc_sweep`` does) is picked up per call, and
+adding/removing elements triggers an automatic recompile via a cheap
+element-count guard, but rewiring an existing element to different
+nodes requires a fresh :class:`MnaSystem`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -109,12 +137,17 @@ class _CapacitorBank:
             else:
                 self.kind[k] = 2
                 self.other.append((k, cap.charge))
+        self._all_linear = bool(np.all(self.kind == 0))
+        self._scaled_lin = self.scale * self.c_lin
 
     def __len__(self) -> int:
         return len(self.a)
 
     def charges_and_caps(self, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Charge and capacitance for each element at branch voltages v."""
+        if self._all_linear:
+            # Constant capacitances need none of the logistic machinery.
+            return self._scaled_lin * v, self._scaled_lin
         vm = self.mirror * v
         x = np.clip((vm - self.v_step) / self.width, -200.0, 200.0)
         softplus = self.width * np.logaddexp(0.0, x)
@@ -131,16 +164,109 @@ class _CapacitorBank:
         return self.scale * q, self.scale * c
 
 
+def _concat_intp(parts: list[np.ndarray]) -> np.ndarray:
+    if not parts:
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate(parts).astype(np.intp)
+
+
 class MnaSystem:
-    """Assembler bound to one circuit."""
+    """Assembler bound to one circuit, with precompiled element stamps."""
 
     def __init__(self, circuit: Circuit):
         self.circuit = circuit
+        self._compile()
+
+    # -- precompilation --------------------------------------------------------
+
+    def _topology_key(self) -> tuple:
+        c = self.circuit
+        return (
+            c.node_count,
+            len(c.resistors),
+            len(c.capacitors),
+            len(c.voltage_sources),
+            len(c.current_sources),
+            len(c.transistors),
+        )
+
+    def _compile(self) -> None:
+        circuit = self.circuit
         self.n_nodes = circuit.node_count
         self.n_branches = len(circuit.voltage_sources)
         self.size = self.n_nodes + self.n_branches
+        self._topology = self._topology_key()
+        n, size = self.n_nodes, self.size
+
+        # Scratch buffers reused across assemblies.
+        self._f = np.zeros(size)
+        self._jac = np.zeros((size, size))
+        self._jac_flat = self._jac.reshape(-1)
+        self._xg = np.zeros(n + 1)  # ground aliased to the extra slot
+        self._vs_values = np.zeros(self.n_branches)
+        self._is_values = np.zeros(len(circuit.current_sources))
+
+        # Constant linear stamp: resistor conductances plus voltage-source
+        # incidence.  Both the Jacobian contribution (copied in wholesale)
+        # and the x-linear residual contribution (one mat-vec) come from
+        # this single matrix.
+        lin = np.zeros((size, size))
+        for r in circuit.resistors:
+            g = 1.0 / r.resistance
+            for node, sign in ((r.a, 1.0), (r.b, -1.0)):
+                if node == GROUND:
+                    continue
+                if r.a != GROUND:
+                    lin[node, r.a] += sign * g
+                if r.b != GROUND:
+                    lin[node, r.b] -= sign * g
+        for m, src in enumerate(circuit.voltage_sources):
+            row = n + m
+            if src.a != GROUND:
+                lin[src.a, row] += 1.0
+                lin[row, src.a] += 1.0
+            if src.b != GROUND:
+                lin[src.b, row] -= 1.0
+                lin[row, src.b] -= 1.0
+        self._lin = lin
+        self._diag_flat = np.arange(n, dtype=np.intp) * (size + 1)
+
+        # Current sources: static scatter targets, per-call waveform values.
+        is_a = np.array([s.a for s in circuit.current_sources], dtype=np.intp)
+        is_b = np.array([s.b for s in circuit.current_sources], dtype=np.intp)
+        members = np.arange(len(circuit.current_sources), dtype=np.intp)
+        self._is_idx = _concat_intp([is_a[is_a != GROUND], is_b[is_b != GROUND]])
+        self._is_sign = np.concatenate(
+            [np.ones(int(np.sum(is_a != GROUND))), -np.ones(int(np.sum(is_b != GROUND)))]
+        )
+        self._is_member = _concat_intp([members[is_a != GROUND], members[is_b != GROUND]])
+
         self._groups = self._group_transistors(circuit)
+        self._compile_transistors()
         self._caps = _CapacitorBank(circuit)
+        self._compile_capacitors()
+        self._clamp_cache: tuple | None = None
+
+        # Last-point evaluation caches.  Newton's accepted line-search
+        # residual and the next iteration's Jacobian re-stamp hit the
+        # *same* x, as do the post-solve charge/current queries of the
+        # transient integrator — the device models and charge functions
+        # are pure, so those repeated evaluations are served from the
+        # previous result for the cost of an array compare.
+        self._t_x = np.full(self.n_nodes, np.nan)
+        self._t_valid = False
+        self._c_v = np.empty(0)
+        self._c_q = np.empty(0)
+        self._c_c = np.empty(0)
+        self._c_valid = False
+        # Source waveforms are functions of t alone, and every Newton
+        # iteration of one solve shares the same t; cache the sampled
+        # values keyed on (t, waveform identities) so waveform swaps on
+        # existing sources (the dc_sweep idiom) still invalidate.
+        self._vs_t: float | None = None
+        self._vs_waves: list = [None] * self.n_branches
+        self._is_t: float | None = None
+        self._is_waves: list = [None] * len(circuit.current_sources)
 
     @staticmethod
     def _group_transistors(circuit: Circuit) -> list[_TransistorGroup]:
@@ -152,6 +278,120 @@ class MnaSystem:
             models[key] = t.model
         return [_TransistorGroup(models[k], v) for k, v in by_model.items()]
 
+    def _compile_transistors(self) -> None:
+        """Flatten every transistor into gather/scatter index arrays.
+
+        Per assembly the only Python-level work left is one
+        ``evaluate_density`` call per distinct model; stamping is two
+        ``np.add.at`` calls over these precomputed arrays.
+        """
+        n = self.n_nodes
+        size = self.size
+        n_t = sum(len(g.members) for g in self._groups)
+        self._t_count = n_t
+        self._t_id = np.zeros(n_t)
+        self._t_gm = np.zeros(n_t)
+        self._t_gds = np.zeros(n_t)
+        self._t_coef = np.zeros((3, n_t))  # rows: gds, gm, gm + gds
+
+        # (model, slice, sign, width, drain/gate/source gather indices)
+        self._t_groups: list[tuple] = []
+        start = 0
+        drains: list[int] = []
+        gates: list[int] = []
+        sources: list[int] = []
+        for grp in self._groups:
+            count = len(grp.members)
+            sl = slice(start, start + count)
+            # GROUND (-1) indexes the zeroed extra slot of the xg buffer.
+            d = np.where(grp.drain == GROUND, n, grp.drain).astype(np.intp)
+            g = np.where(grp.gate == GROUND, n, grp.gate).astype(np.intp)
+            s = np.where(grp.source == GROUND, n, grp.source).astype(np.intp)
+            self._t_groups.append((grp.model, sl, grp.sign, grp.width, d, g, s))
+            drains.extend(int(v) for v in grp.drain)
+            gates.extend(int(v) for v in grp.gate)
+            sources.extend(int(v) for v in grp.source)
+            start += count
+
+        f_idx: list[int] = []
+        f_sign: list[float] = []
+        f_member: list[int] = []
+        j_flat: list[int] = []
+        j_sign: list[float] = []
+        j_kind: list[int] = []
+        j_member: list[int] = []
+        KIND_GDS, KIND_GM, KIND_SUM = 0, 1, 2
+        for k in range(n_t):
+            d, g, s = drains[k], gates[k], sources[k]
+            for node, node_sign in ((d, 1.0), (s, -1.0)):
+                if node == GROUND:
+                    continue
+                f_idx.append(node)
+                f_sign.append(node_sign)
+                f_member.append(k)
+                for col, kind, col_sign in (
+                    (d, KIND_GDS, 1.0),
+                    (g, KIND_GM, 1.0),
+                    (s, KIND_SUM, -1.0),
+                ):
+                    if col == GROUND:
+                        continue
+                    j_flat.append(node * size + col)
+                    j_sign.append(node_sign * col_sign)
+                    j_kind.append(kind)
+                    j_member.append(k)
+        self._tf_idx = np.array(f_idx, dtype=np.intp)
+        self._tf_sign = np.array(f_sign)
+        self._tf_member = np.array(f_member, dtype=np.intp)
+        self._tj_flat = np.array(j_flat, dtype=np.intp)
+        self._tj_sign = np.array(j_sign)
+        self._tj_kind = np.array(j_kind, dtype=np.intp)
+        self._tj_member = np.array(j_member, dtype=np.intp)
+
+    def _compile_capacitors(self) -> None:
+        a, b = self._caps.a, self._caps.b
+        size = self.size
+        members = np.arange(len(self._caps), dtype=np.intp)
+        a_ok = a != GROUND
+        b_ok = b != GROUND
+        both = a_ok & b_ok
+        self._cf_idx = _concat_intp([a[a_ok], b[b_ok]])
+        self._cf_sign = np.concatenate(
+            [np.ones(int(np.sum(a_ok))), -np.ones(int(np.sum(b_ok)))]
+        )
+        self._cf_member = _concat_intp([members[a_ok], members[b_ok]])
+        self._cj_flat = _concat_intp(
+            [
+                a[a_ok] * size + a[a_ok],
+                b[b_ok] * size + b[b_ok],
+                a[both] * size + b[both],
+                b[both] * size + a[both],
+            ]
+        )
+        n_both = int(np.sum(both))
+        self._cj_sign = np.concatenate(
+            [
+                np.ones(int(np.sum(a_ok))),
+                np.ones(int(np.sum(b_ok))),
+                -np.ones(n_both),
+                -np.ones(n_both),
+            ]
+        )
+        self._cj_member = _concat_intp(
+            [members[a_ok], members[b_ok], members[both], members[both]]
+        )
+
+    def _clamp_arrays(self, clamps: tuple[VoltageClamp, ...]):
+        cached = self._clamp_cache
+        if cached is not None and cached[0] == clamps:
+            return cached[1], cached[2], cached[3]
+        live = [cl for cl in clamps if cl.node != GROUND]
+        nodes = np.array([cl.node for cl in live], dtype=np.intp)
+        conductance = np.array([cl.conductance for cl in live])
+        target = np.array([cl.target for cl in live])
+        self._clamp_cache = (clamps, nodes, conductance, target)
+        return nodes, conductance, target
+
     # -- helpers ---------------------------------------------------------------
 
     @staticmethod
@@ -159,15 +399,26 @@ class MnaSystem:
         return 0.0 if node == GROUND else x[node]
 
     def _cap_voltages(self, x: np.ndarray) -> np.ndarray:
-        xg = np.append(x[: self.n_nodes], 0.0)  # ground aliased to the extra slot
+        xg = self._xg
+        xg[: self.n_nodes] = x[: self.n_nodes]
         return xg[self._caps.a] - xg[self._caps.b]
+
+    def _cap_qc(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Charges and capacitances at ``x``, cached on the branch voltages."""
+        v = self._cap_voltages(x)
+        if self._c_valid and np.array_equal(v, self._c_v):
+            return self._c_q, self._c_c
+        q, c = self._caps.charges_and_caps(v)
+        self._c_v, self._c_q, self._c_c = v, q, c
+        self._c_valid = True
+        return q, c
 
     def capacitor_charges(self, x: np.ndarray) -> np.ndarray:
         """Charge on every capacitor at the given solution vector."""
         if not len(self._caps):
             return np.empty(0)
-        q, _ = self._caps.charges_and_caps(self._cap_voltages(x))
-        return q
+        q, _ = self._cap_qc(x)
+        return q.copy()
 
     # -- assembly ----------------------------------------------------------------
 
@@ -179,6 +430,7 @@ class MnaSystem:
         transient: TransientState | None = None,
         clamps: tuple[VoltageClamp, ...] = (),
         source_scale: float = 1.0,
+        copy: bool = True,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Residual f(x) and Jacobian J(x) at time ``t``.
 
@@ -186,125 +438,147 @@ class MnaSystem:
         companion currents against the stored previous charges;
         otherwise they are open (DC).  ``source_scale`` scales every
         independent source for source-stepping homotopy.
-        """
-        n = self.n_nodes
-        f = np.zeros(self.size)
-        jac = np.zeros((self.size, self.size))
 
-        volts = x[:n]
+        The returned residual is always a fresh array.  With
+        ``copy=False`` the Jacobian is the assembler's reusable buffer,
+        overwritten by the next assembly — the Newton solver's private
+        fast path; every other caller gets a defensive copy.
+        """
+        f, jac = self._assemble(x, t, gmin, transient, clamps, source_scale, True)
+        return (f, jac.copy()) if copy else (f, jac)
+
+    def assemble_residual(
+        self,
+        x: np.ndarray,
+        t: float,
+        gmin: float = 0.0,
+        transient: TransientState | None = None,
+        clamps: tuple[VoltageClamp, ...] = (),
+        source_scale: float = 1.0,
+    ) -> np.ndarray:
+        """Residual only — skips every Jacobian store (line searches)."""
+        f, _ = self._assemble(x, t, gmin, transient, clamps, source_scale, False)
+        return f
+
+    def _assemble(
+        self,
+        x: np.ndarray,
+        t: float,
+        gmin: float,
+        transient: TransientState | None,
+        clamps: tuple[VoltageClamp, ...],
+        source_scale: float,
+        want_jac: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self._topology != self._topology_key():
+            self._compile()
+
+        n = self.n_nodes
+        f = self._f
+        jac = self._jac
+        jac_flat = self._jac_flat
+
+        # Linear elements: constant Jacobian block, one mat-vec residual.
+        np.matmul(self._lin, x, out=f)
+        if want_jac:
+            np.copyto(jac, self._lin)
 
         if gmin > 0.0:
-            f[:n] += gmin * volts
-            jac[np.arange(n), np.arange(n)] += gmin
+            f[:n] += gmin * x[:n]
+            if want_jac:
+                jac_flat[self._diag_flat] += gmin
 
-        for clamp in clamps:
-            if clamp.node == GROUND:
-                continue
-            f[clamp.node] += clamp.conductance * (volts[clamp.node] - clamp.target)
-            jac[clamp.node, clamp.node] += clamp.conductance
+        if clamps:
+            nodes, conductance, target = self._clamp_arrays(clamps)
+            if nodes.size:
+                np.add.at(f, nodes, conductance * (x[nodes] - target))
+                if want_jac:
+                    np.add.at(jac_flat, nodes * (self.size + 1), conductance)
 
-        self._stamp_resistors(x, f, jac)
-        self._stamp_transistors(x, f, jac)
-        self._stamp_current_sources(f, t, source_scale)
-        self._stamp_voltage_sources(x, f, jac, t, source_scale)
-        if transient is not None:
-            self._stamp_capacitors(x, f, jac, transient)
-        return f, jac
+        # Independent source values at this time point (read from the
+        # circuit each call so waveform swaps on existing sources — the
+        # dc_sweep idiom — are honoured without recompiling).
+        if self.n_branches:
+            vs = self._vs_values
+            sources = self.circuit.voltage_sources
+            waves = self._vs_waves
+            if t != self._vs_t or any(
+                s.waveform is not w for s, w in zip(sources, waves)
+            ):
+                for m, src in enumerate(sources):
+                    vs[m] = src.waveform.value(t)
+                    waves[m] = src.waveform
+                self._vs_t = t
+            f[n:] -= source_scale * vs
+        if self._is_idx.size:
+            iv = self._is_values
+            sources = self.circuit.current_sources
+            waves = self._is_waves
+            if t != self._is_t or any(
+                s.waveform is not w for s, w in zip(sources, waves)
+            ):
+                for m, src in enumerate(sources):
+                    iv[m] = src.waveform.value(t)
+                    waves[m] = src.waveform
+                self._is_t = t
+            np.add.at(f, self._is_idx, self._is_sign * (source_scale * iv[self._is_member]))
 
-    def _stamp_resistors(self, x, f, jac) -> None:
-        for r in self.circuit.resistors:
-            g = 1.0 / r.resistance
-            va = self._voltage(x, r.a)
-            vb = self._voltage(x, r.b)
-            i = g * (va - vb)
-            for node, sign in ((r.a, 1.0), (r.b, -1.0)):
-                if node == GROUND:
-                    continue
-                f[node] += sign * i
-                if r.a != GROUND:
-                    jac[node, r.a] += sign * g
-                if r.b != GROUND:
-                    jac[node, r.b] -= sign * g
+        if self._t_count:
+            self._stamp_transistors(x, f, jac_flat, want_jac)
+        if transient is not None and len(self._caps):
+            self._stamp_capacitors(x, f, jac_flat, transient, want_jac)
 
-    def _stamp_transistors(self, x, f, jac) -> None:
-        xg = np.append(x[: self.n_nodes], 0.0)  # ground aliased to the extra slot
-        for grp in self._groups:
-            vd = xg[grp.drain]
-            vg = xg[grp.gate]
-            vs = xg[grp.source]
-            vgs = grp.sign * (vg - vs)
-            vds = grp.sign * (vd - vs)
-            j, gm, gds = grp.model.evaluate_density(vgs, vds)
-            i_d = grp.sign * grp.width * np.asarray(j)
-            gm_w = grp.width * np.asarray(gm)
-            gds_w = grp.width * np.asarray(gds)
+        return f.copy(), jac
 
-            for k in range(len(grp.width)):
-                d, g_node, s = int(grp.drain[k]), int(grp.gate[k]), int(grp.source[k])
-                for node, sign in ((d, 1.0), (s, -1.0)):
-                    if node == GROUND:
-                        continue
-                    f[node] += sign * i_d[k]
-                    if d != GROUND:
-                        jac[node, d] += sign * gds_w[k]
-                    if g_node != GROUND:
-                        jac[node, g_node] += sign * gm_w[k]
-                    if s != GROUND:
-                        jac[node, s] -= sign * (gm_w[k] + gds_w[k])
-
-    def _stamp_current_sources(self, f, t, source_scale) -> None:
-        for src in self.circuit.current_sources:
-            value = source_scale * src.waveform.value(t)
-            if src.a != GROUND:
-                f[src.a] += value
-            if src.b != GROUND:
-                f[src.b] -= value
-
-    def _stamp_voltage_sources(self, x, f, jac, t, source_scale) -> None:
-        n = self.n_nodes
-        for m, src in enumerate(self.circuit.voltage_sources):
-            row = n + m
-            i_branch = x[row]
-            va = self._voltage(x, src.a)
-            vb = self._voltage(x, src.b)
-            f[row] = va - vb - source_scale * src.waveform.value(t)
-            if src.a != GROUND:
-                f[src.a] += i_branch
-                jac[src.a, row] += 1.0
-                jac[row, src.a] += 1.0
-            if src.b != GROUND:
-                f[src.b] -= i_branch
-                jac[src.b, row] -= 1.0
-                jac[row, src.b] -= 1.0
+    def _stamp_transistors(self, x, f, jac_flat, want_jac: bool) -> None:
+        i_d, gm_w, gds_w = self._t_id, self._t_gm, self._t_gds
+        volts = x[: self.n_nodes]
+        if not (self._t_valid and np.array_equal(volts, self._t_x)):
+            xg = self._xg
+            xg[: self.n_nodes] = volts
+            for model, sl, sign, width, d, g, s in self._t_groups:
+                vs = xg[s]
+                vgs = sign * (xg[g] - vs)
+                vds = sign * (xg[d] - vs)
+                j, gm, gds = model.evaluate_density(vgs, vds)
+                i_d[sl] = sign * width * np.asarray(j)
+                gm_w[sl] = width * np.asarray(gm)
+                gds_w[sl] = width * np.asarray(gds)
+            self._t_x[:] = volts
+            self._t_valid = True
+        np.add.at(f, self._tf_idx, self._tf_sign * i_d[self._tf_member])
+        if want_jac:
+            coef = self._t_coef
+            coef[0] = gds_w
+            coef[1] = gm_w
+            np.add(gm_w, gds_w, out=coef[2])
+            np.add.at(
+                jac_flat,
+                self._tj_flat,
+                self._tj_sign * coef[self._tj_kind, self._tj_member],
+            )
 
     def capacitor_currents(self, x: np.ndarray, transient: TransientState) -> np.ndarray:
         """Companion-model capacitor currents at the solution ``x``."""
         if not len(self._caps):
             return np.empty(0)
-        q, _ = self._caps.charges_and_caps(self._cap_voltages(x))
+        q, _ = self._cap_qc(x)
         delta = (q - transient.capacitor_charges) / transient.timestep
         if transient.method == "trapezoidal":
             return 2.0 * delta - transient.capacitor_currents
         return delta
 
-    def _stamp_capacitors(self, x, f, jac, transient: TransientState) -> None:
-        if not len(self._caps):
-            return
+    def _stamp_capacitors(self, x, f, jac_flat, transient: TransientState, want_jac: bool) -> None:
         h = transient.timestep
-        q, c = self._caps.charges_and_caps(self._cap_voltages(x))
+        q, c = self._cap_qc(x)
         if transient.method == "trapezoidal":
             current = 2.0 * (q - transient.capacitor_charges) / h - transient.capacitor_currents
             conductance = 2.0 * c / h
         else:
             current = (q - transient.capacitor_charges) / h
             conductance = c / h
-        a, b = self._caps.a, self._caps.b
-        a_ok = a != GROUND
-        b_ok = b != GROUND
-        np.add.at(f, a[a_ok], current[a_ok])
-        np.add.at(f, b[b_ok], -current[b_ok])
-        both = a_ok & b_ok
-        np.add.at(jac, (a[a_ok], a[a_ok]), conductance[a_ok])
-        np.add.at(jac, (b[b_ok], b[b_ok]), conductance[b_ok])
-        np.add.at(jac, (a[both], b[both]), -conductance[both])
-        np.add.at(jac, (b[both], a[both]), -conductance[both])
+        np.add.at(f, self._cf_idx, self._cf_sign * current[self._cf_member])
+        if want_jac:
+            np.add.at(
+                jac_flat, self._cj_flat, self._cj_sign * conductance[self._cj_member]
+            )

@@ -1,0 +1,218 @@
+"""Loop-based reference MNA assembler (the pre-optimization hot path).
+
+This is the seed implementation of :class:`repro.circuit.mna.MnaSystem`
+kept verbatim: per-element Python loops, fresh ``np.zeros`` buffers per
+call.  It exists for two reasons:
+
+* the equivalence test (``tests/circuit/test_mna_equivalence.py``) pins
+  the precompiled assembler to this one at ~1e-12 on randomized
+  circuits, so stamping regressions cannot hide behind vectorization;
+* the SPICE-core benchmark (``benchmarks/test_spice_core.py``) swaps it
+  into the solver to measure the optimized hot path against the
+  recorded seed behaviour on the same machine.
+
+It intentionally mirrors the public assembler's interface (including
+``assemble_residual`` and ``assemble(copy=...)``, both implemented at
+seed cost: a full assembly) so it is drop-in for the Newton solver.
+Do not use it outside tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.elements import GROUND
+from repro.circuit.mna import TransientState, VoltageClamp, _CapacitorBank, _TransistorGroup
+from repro.circuit.netlist import Circuit
+
+__all__ = ["ReferenceMnaSystem"]
+
+
+class ReferenceMnaSystem:
+    """Assembler bound to one circuit (seed, loop-based)."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.n_nodes = circuit.node_count
+        self.n_branches = len(circuit.voltage_sources)
+        self.size = self.n_nodes + self.n_branches
+        self._groups = self._group_transistors(circuit)
+        self._caps = _CapacitorBank(circuit)
+
+    @staticmethod
+    def _group_transistors(circuit: Circuit) -> list[_TransistorGroup]:
+        by_model: dict[int, list] = {}
+        models: dict[int, object] = {}
+        for t in circuit.transistors:
+            key = id(t.model)
+            by_model.setdefault(key, []).append(t)
+            models[key] = t.model
+        return [_TransistorGroup(models[k], v) for k, v in by_model.items()]
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _voltage(x: np.ndarray, node: int) -> float:
+        return 0.0 if node == GROUND else x[node]
+
+    def _cap_voltages(self, x: np.ndarray) -> np.ndarray:
+        xg = np.append(x[: self.n_nodes], 0.0)  # ground aliased to the extra slot
+        return xg[self._caps.a] - xg[self._caps.b]
+
+    def capacitor_charges(self, x: np.ndarray) -> np.ndarray:
+        """Charge on every capacitor at the given solution vector."""
+        if not len(self._caps):
+            return np.empty(0)
+        q, _ = self._caps.charges_and_caps(self._cap_voltages(x))
+        return q
+
+    # -- assembly ----------------------------------------------------------------
+
+    def assemble(
+        self,
+        x: np.ndarray,
+        t: float,
+        gmin: float = 0.0,
+        transient: TransientState | None = None,
+        clamps: tuple[VoltageClamp, ...] = (),
+        source_scale: float = 1.0,
+        copy: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Residual f(x) and Jacobian J(x) at time ``t`` (fresh arrays)."""
+        n = self.n_nodes
+        f = np.zeros(self.size)
+        jac = np.zeros((self.size, self.size))
+
+        volts = x[:n]
+
+        if gmin > 0.0:
+            f[:n] += gmin * volts
+            jac[np.arange(n), np.arange(n)] += gmin
+
+        for clamp in clamps:
+            if clamp.node == GROUND:
+                continue
+            f[clamp.node] += clamp.conductance * (volts[clamp.node] - clamp.target)
+            jac[clamp.node, clamp.node] += clamp.conductance
+
+        self._stamp_resistors(x, f, jac)
+        self._stamp_transistors(x, f, jac)
+        self._stamp_current_sources(f, t, source_scale)
+        self._stamp_voltage_sources(x, f, jac, t, source_scale)
+        if transient is not None:
+            self._stamp_capacitors(x, f, jac, transient)
+        return f, jac
+
+    def assemble_residual(
+        self,
+        x: np.ndarray,
+        t: float,
+        gmin: float = 0.0,
+        transient: TransientState | None = None,
+        clamps: tuple[VoltageClamp, ...] = (),
+        source_scale: float = 1.0,
+    ) -> np.ndarray:
+        """Residual via a full assembly — the seed had no cheaper path."""
+        f, _ = self.assemble(
+            x, t, gmin=gmin, transient=transient, clamps=clamps,
+            source_scale=source_scale,
+        )
+        return f
+
+    def _stamp_resistors(self, x, f, jac) -> None:
+        for r in self.circuit.resistors:
+            g = 1.0 / r.resistance
+            va = self._voltage(x, r.a)
+            vb = self._voltage(x, r.b)
+            i = g * (va - vb)
+            for node, sign in ((r.a, 1.0), (r.b, -1.0)):
+                if node == GROUND:
+                    continue
+                f[node] += sign * i
+                if r.a != GROUND:
+                    jac[node, r.a] += sign * g
+                if r.b != GROUND:
+                    jac[node, r.b] -= sign * g
+
+    def _stamp_transistors(self, x, f, jac) -> None:
+        xg = np.append(x[: self.n_nodes], 0.0)  # ground aliased to the extra slot
+        for grp in self._groups:
+            vd = xg[grp.drain]
+            vg = xg[grp.gate]
+            vs = xg[grp.source]
+            vgs = grp.sign * (vg - vs)
+            vds = grp.sign * (vd - vs)
+            j, gm, gds = grp.model.evaluate_density(vgs, vds)
+            i_d = grp.sign * grp.width * np.asarray(j)
+            gm_w = grp.width * np.asarray(gm)
+            gds_w = grp.width * np.asarray(gds)
+
+            for k in range(len(grp.width)):
+                d, g_node, s = int(grp.drain[k]), int(grp.gate[k]), int(grp.source[k])
+                for node, sign in ((d, 1.0), (s, -1.0)):
+                    if node == GROUND:
+                        continue
+                    f[node] += sign * i_d[k]
+                    if d != GROUND:
+                        jac[node, d] += sign * gds_w[k]
+                    if g_node != GROUND:
+                        jac[node, g_node] += sign * gm_w[k]
+                    if s != GROUND:
+                        jac[node, s] -= sign * (gm_w[k] + gds_w[k])
+
+    def _stamp_current_sources(self, f, t, source_scale) -> None:
+        for src in self.circuit.current_sources:
+            value = source_scale * src.waveform.value(t)
+            if src.a != GROUND:
+                f[src.a] += value
+            if src.b != GROUND:
+                f[src.b] -= value
+
+    def _stamp_voltage_sources(self, x, f, jac, t, source_scale) -> None:
+        n = self.n_nodes
+        for m, src in enumerate(self.circuit.voltage_sources):
+            row = n + m
+            i_branch = x[row]
+            va = self._voltage(x, src.a)
+            vb = self._voltage(x, src.b)
+            f[row] = va - vb - source_scale * src.waveform.value(t)
+            if src.a != GROUND:
+                f[src.a] += i_branch
+                jac[src.a, row] += 1.0
+                jac[row, src.a] += 1.0
+            if src.b != GROUND:
+                f[src.b] -= i_branch
+                jac[src.b, row] -= 1.0
+                jac[row, src.b] -= 1.0
+
+    def capacitor_currents(self, x: np.ndarray, transient: TransientState) -> np.ndarray:
+        """Companion-model capacitor currents at the solution ``x``."""
+        if not len(self._caps):
+            return np.empty(0)
+        q, _ = self._caps.charges_and_caps(self._cap_voltages(x))
+        delta = (q - transient.capacitor_charges) / transient.timestep
+        if transient.method == "trapezoidal":
+            return 2.0 * delta - transient.capacitor_currents
+        return delta
+
+    def _stamp_capacitors(self, x, f, jac, transient: TransientState) -> None:
+        if not len(self._caps):
+            return
+        h = transient.timestep
+        q, c = self._caps.charges_and_caps(self._cap_voltages(x))
+        if transient.method == "trapezoidal":
+            current = 2.0 * (q - transient.capacitor_charges) / h - transient.capacitor_currents
+            conductance = 2.0 * c / h
+        else:
+            current = (q - transient.capacitor_charges) / h
+            conductance = c / h
+        a, b = self._caps.a, self._caps.b
+        a_ok = a != GROUND
+        b_ok = b != GROUND
+        np.add.at(f, a[a_ok], current[a_ok])
+        np.add.at(f, b[b_ok], -current[b_ok])
+        both = a_ok & b_ok
+        np.add.at(jac, (a[a_ok], a[a_ok]), conductance[a_ok])
+        np.add.at(jac, (b[b_ok], b[b_ok]), conductance[b_ok])
+        np.add.at(jac, (a[both], b[both]), -conductance[both])
+        np.add.at(jac, (b[both], a[both]), -conductance[both])

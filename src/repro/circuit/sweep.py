@@ -3,6 +3,13 @@
 Used for static transfer curves (inverter VTC, butterfly/SNM plots) —
 each point warm-starts from the previous one, which keeps the bistable
 branches continuous instead of hopping between them.
+
+The sweep builds one :class:`MnaSystem` up front and reuses it for
+every point (the precompiled stamps survive the waveform swap), and
+each point's Newton iteration is seeded with the *full* previous
+solution vector — node voltages and branch currents — so a smooth
+sweep segment typically converges in a couple of iterations without
+touching the homotopy fallbacks.
 """
 
 from __future__ import annotations
@@ -10,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuit.dcop import SolverOptions, solve_dc
+from repro.circuit.mna import MnaSystem
 from repro.circuit.netlist import Circuit
 from repro.circuit.results import OperatingPoint
 from repro.circuit.waveforms import Constant
@@ -32,16 +40,24 @@ def dc_sweep(
     """
     m = circuit.source_index(source_name)
     original = circuit.voltage_sources[m]
+    system = MnaSystem(circuit)
     results: list[OperatingPoint] = []
     guess = initial_guess
+    x_warm: np.ndarray | None = None
     try:
         for value in np.asarray(values, dtype=float):
             circuit.voltage_sources[m] = type(original)(
                 original.a, original.b, Constant(float(value)), original.name
             )
-            op = solve_dc(circuit, initial_guess=guess, options=options)
+            op = solve_dc(
+                circuit,
+                initial_guess=guess,
+                options=options,
+                system=system,
+                x0=x_warm,
+            )
             results.append(op)
-            guess = {name: op.voltage(name) for name in circuit.node_names}
+            x_warm = op.x
     finally:
         circuit.voltage_sources[m] = original
     return results

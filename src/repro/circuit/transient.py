@@ -12,10 +12,17 @@ Step control combines three mechanisms:
   ``max_voltage_step`` in one step (temporal resolution guard);
 * the step grows after easy steps and shrinks after hard ones.
 
+Each step's Newton iteration is warm-started from a linear
+extrapolation of the last two accepted points (``TransientOptions.predictor``)
+— on smooth segments this lands within an iteration or two of the
+solution.  If Newton rejects the extrapolated seed, the step retries
+once from the last accepted point before shrinking, so the predictor
+can never make a step fail that would have succeeded without it.
+
 With a :mod:`repro.telemetry` session active, the integrator records
-accepted/rejected step counts (split by rejection cause), a step-size
-histogram, and breakpoint landings; disabled, the cost is one guard
-check per simulation call.
+accepted/rejected step counts (split by rejection cause), predictor
+fallbacks, a step-size histogram, and breakpoint landings; disabled,
+the cost is one guard check per simulation call.
 """
 
 from __future__ import annotations
@@ -60,16 +67,25 @@ class TransientOptions:
     (second-order accurate; use for smooth waveform-accuracy studies,
     not for separatrix races where its ringing can corrupt outcomes)."""
 
+    predictor: str = "linear"
+    """Newton warm-start seed per step: "linear" extrapolates the last
+    two accepted points; "none" seeds from the last accepted point
+    (the pre-optimization behaviour)."""
+
     solver: SolverOptions = SolverOptions()
 
     def __post_init__(self) -> None:
         if self.method not in ("backward_euler", "trapezoidal"):
             raise ValueError(f"unknown integration method {self.method!r}")
+        if self.predictor not in ("linear", "none"):
+            raise ValueError(f"unknown predictor {self.predictor!r}")
 
 
 def _attempt_step(
     system: MnaSystem,
     x: np.ndarray,
+    x_prev: np.ndarray | None,
+    h_prev: float,
     t: float,
     h_try: float,
     charges: np.ndarray,
@@ -79,11 +95,18 @@ def _attempt_step(
 ) -> tuple[np.ndarray, int, TransientState, float]:
     """Shrink ``h_try`` until one step from ``t`` is accepted.
 
+    Each attempt seeds Newton from the extrapolated predictor (when
+    enabled and history exists); a Newton failure on an extrapolated
+    seed retries from ``x`` at the same ``h_try`` before shrinking.
+
     Returns ``(x_new, iterations, state, h_used)`` — all four always
     bound on return, so the caller never touches conditionally-assigned
     locals.  Raises :class:`ConvergenceError` (with forensics) when the
     step underflows ``min_step``.
     """
+    extrapolate = (
+        options.predictor == "linear" and x_prev is not None and h_prev > 0.0
+    )
     while True:
         state = TransientState(
             timestep=h_try,
@@ -93,10 +116,20 @@ def _attempt_step(
         )
         reason = "newton"
         dv = float("nan")
+        seeds = [x + (x - x_prev) * (h_try / h_prev)] if extrapolate else []
+        seeds.append(x)
         try:
-            x_new, iterations = newton_solve(
-                system, x, t + h_try, options.solver, transient=state
-            )
+            for attempt, x_seed in enumerate(seeds):
+                try:
+                    x_new, iterations = newton_solve(
+                        system, x_seed, t + h_try, options.solver, transient=state
+                    )
+                    break
+                except ConvergenceError:
+                    if attempt == len(seeds) - 1:
+                        raise
+                    if tel is not None:
+                        tel.count("transient.predictor_fallbacks")
             dv = float(np.max(np.abs(x_new[: system.n_nodes] - x[: system.n_nodes])))
             if dv <= options.max_voltage_step or h_try <= options.min_step:
                 return x_new, iterations, state, h_try
@@ -127,11 +160,18 @@ def simulate_transient(
     t_stop: float,
     initial_conditions: dict[str, float] | None = None,
     options: TransientOptions | None = None,
+    operating_point_guess: dict[str, float] | None = None,
 ) -> TransientResult:
     """Integrate the circuit from 0 to ``t_stop``.
 
     ``initial_conditions`` pin the named nodes for the t = 0 operating
     point (bistable-state selection) and are released afterwards.
+
+    ``operating_point_guess`` seeds the t = 0 DC solve with node
+    voltages from a previous converged run of the same cell — bisection
+    loops (WL_crit) pass the last solution so repeated simulations skip
+    the homotopy-from-zero ramp.  A bad guess only costs the solver its
+    warm-start tier; the cold-start and stepping fallbacks still run.
     """
     if t_stop <= 0.0:
         raise ValueError("t_stop must be positive")
@@ -140,13 +180,16 @@ def simulate_transient(
     tel = telemetry.active()
     wall_start = time.perf_counter() if tel is not None else 0.0
 
+    guess = dict(operating_point_guess or {})
+    guess.update(initial_conditions or {})
+    system = MnaSystem(circuit)
     op = solve_dc(
         circuit,
-        initial_guess=initial_conditions,
+        initial_guess=guess or None,
         clamp_nodes=initial_conditions,
         options=options.solver,
+        system=system,
     )
-    system = MnaSystem(circuit)
     x = op.x.copy()
     charges = system.capacitor_charges(x)
     currents = np.zeros_like(charges)  # caps carry no current at DC
@@ -159,6 +202,8 @@ def simulate_transient(
 
     t = 0.0
     h = options.initial_step
+    x_prev: np.ndarray | None = None
+    h_prev = 0.0
     while t < t_stop - 1e-21:
         # Never step across a breakpoint; land on it exactly.
         k = bisect.bisect_right(breakpoints, t)
@@ -166,10 +211,11 @@ def simulate_transient(
         h_cap = min(h, options.max_step, next_break - t)
 
         x_new, iterations, state, h_try = _attempt_step(
-            system, x, t, h_cap, charges, currents, options, tel
+            system, x, x_prev, h_prev, t, h_cap, charges, currents, options, tel
         )
 
         t += h_try
+        x_prev, h_prev = x, h_try
         x = x_new
         currents = system.capacitor_currents(x, state)
         charges = system.capacitor_charges(x)

@@ -27,7 +27,13 @@ __all__ = ["UniformGrid", "CubicTable2D", "CurrentTable"]
 
 @dataclass(frozen=True)
 class UniformGrid:
-    """A uniformly spaced 1-D sample axis."""
+    """A uniformly spaced 1-D sample axis.
+
+    The spacing and the sample vector are computed once at
+    construction — ``cell_of`` sits inside every device evaluation of
+    every Newton iteration, so it must not redo the division or
+    allocate the linspace per call.
+    """
 
     start: float
     stop: float
@@ -38,15 +44,21 @@ class UniformGrid:
             raise ValueError(f"grid needs at least 4 points for cubic patches, got {self.count}")
         if not self.stop > self.start:
             raise ValueError(f"grid stop ({self.stop}) must exceed start ({self.start})")
+        step = (self.stop - self.start) / (self.count - 1)
+        points = np.linspace(self.start, self.stop, self.count)
+        points.setflags(write=False)
+        object.__setattr__(self, "_step", step)
+        object.__setattr__(self, "_inv_step", 1.0 / step)
+        object.__setattr__(self, "_points", points)
 
     @property
     def step(self) -> float:
         """Spacing between adjacent samples."""
-        return (self.stop - self.start) / (self.count - 1)
+        return self._step
 
     def points(self) -> np.ndarray:
-        """The sample coordinates as a vector of length ``count``."""
-        return np.linspace(self.start, self.stop, self.count)
+        """The sample coordinates as a read-only vector of length ``count``."""
+        return self._points
 
     def cell_of(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Map coordinates to (cell index, normalized offset in [0, 1]).
@@ -54,9 +66,13 @@ class UniformGrid:
         Coordinates are clamped to the grid domain; callers handle
         out-of-domain extension separately.
         """
-        xc = np.clip(x, self.start, self.stop)
-        pos = (xc - self.start) / self.step
-        idx = np.clip(np.floor(pos).astype(np.intp), 0, self.count - 2)
+        # np.minimum/np.maximum instead of np.clip: same result, none
+        # of the dispatch overhead (this runs several times per Newton
+        # iteration).  pos >= 0 after the clamp, so integer truncation
+        # is floor and only the upper cell bound needs enforcing.
+        xc = np.minimum(np.maximum(x, self.start), self.stop)
+        pos = (xc - self.start) * self._inv_step
+        idx = np.minimum(pos.astype(np.intp), self.count - 2)
         t = pos - idx
         return idx, t
 
@@ -85,13 +101,34 @@ def _catmull_rom_dweights(t: np.ndarray) -> np.ndarray:
     return np.stack([w0, w1, w2, w3])
 
 
+_CATMULL_ROM_BASIS = 0.5 * np.array(
+    [
+        [0.0, 2.0, 0.0, 0.0],
+        [-1.0, 0.0, 1.0, 0.0],
+        [2.0, -5.0, 4.0, -1.0],
+        [-1.0, 3.0, -3.0, 1.0],
+    ]
+)
+"""Power-basis form of the weights above: w_k(t) = sum_a B[a, k] t^a."""
+
+
 class CubicTable2D:
     """C1 bicubic interpolation of samples on a uniform 2-D grid.
 
     Outside the sampled domain the surface continues as the tangent
     plane (including the mixed term), so values *and* first derivatives
     are continuous across the domain boundary.
+
+    Evaluation runs on per-cell polynomial coefficients baked at
+    construction (two batched matmuls per call); the pre-optimization
+    weight-stacking einsum kernel is retained behind
+    ``reference_evaluation`` so benchmarks can reconstruct the seed hot
+    path and tests can pin the two kernels to each other.
     """
+
+    reference_evaluation = False
+    """Class-wide switch routing :meth:`evaluate` through the retained
+    seed kernel.  For benchmarks and tests only."""
 
     def __init__(self, x_grid: UniformGrid, y_grid: UniformGrid, values: np.ndarray):
         values = np.asarray(values, dtype=float)
@@ -107,6 +144,18 @@ class CubicTable2D:
         self.values = values
         self._padded = _pad_linear(values)
         self._padded_flat = self._padded.reshape(-1)
+        # Per-cell bicubic polynomial coefficients, baked once:
+        #   f(tx, ty) = sum_ab C[a, b] tx^a ty^b  within cell (ix, iy),
+        # C = B . patch . B^T with B the power-basis Catmull-Rom matrix.
+        # Evaluation then gathers one (4, 4) block per point and runs
+        # two batched matmuls — no per-call weight stacking or einsum.
+        windows = np.lib.stride_tricks.sliding_window_view(self._padded, (4, 4))
+        coeffs = np.einsum(
+            "ak,ijkl,bl->ijab", _CATMULL_ROM_BASIS, windows, _CATMULL_ROM_BASIS
+        )
+        self._coeffs = np.ascontiguousarray(
+            coeffs.reshape(-1, 4, 4)
+        )  # indexed by ix * (ny - 1) + iy
         tel = telemetry.active()
         if tel is not None:
             tel.count("tables.builds")
@@ -122,16 +171,24 @@ class CubicTable2D:
         """
         x = np.asarray(x, dtype=float)
         y = np.asarray(y, dtype=float)
-        x, y = np.broadcast_arrays(x, y)
+        if x.shape != y.shape:
+            x, y = np.broadcast_arrays(x, y)
 
-        tel = telemetry.active()
+        # Hot path: a direct module-global read instead of the
+        # telemetry.active() call — this runs once per device group per
+        # Newton iteration, and the function-call overhead is
+        # measurable against the vectorized interpolation below.
+        tel = telemetry._session
         if tel is not None:
             tel.count("tables.evals")
             tel.count("tables.eval_points", x.size)
 
-        xc = np.clip(x, self.x_grid.start, self.x_grid.stop)
-        yc = np.clip(y, self.y_grid.start, self.y_grid.stop)
-        f, fx, fy, fxy = self._evaluate_inside(xc, yc)
+        xc = np.minimum(np.maximum(x, self.x_grid.start), self.x_grid.stop)
+        yc = np.minimum(np.maximum(y, self.y_grid.start), self.y_grid.stop)
+        if CubicTable2D.reference_evaluation:
+            f, fx, fy, fxy = self._evaluate_inside_reference(xc, yc)
+        else:
+            f, fx, fy, fxy = self._evaluate_inside(xc, yc)
 
         dx = x - xc
         dy = y - yc
@@ -150,6 +207,51 @@ class CubicTable2D:
     def _evaluate_inside(
         self, x: np.ndarray, y: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        ix, tx = self.x_grid.cell_of(x)
+        iy, ty = self.y_grid.cell_of(y)
+
+        # Gather the baked per-cell coefficient blocks and contract the
+        # power bases (value row/column 0, derivative row/column 1) in
+        # two batched matmuls: out = U . C . V, shape (N, 2, 2).
+        cells = self._coeffs[(ix * (self.y_grid.count - 1) + iy).reshape(-1)]
+        m = cells.shape[0]
+        txf = tx.reshape(-1)
+        tyf = ty.reshape(-1)
+        u = np.empty((m, 2, 4))
+        v = np.empty((m, 4, 2))
+        tx2 = txf * txf
+        u[:, 0, 0] = 1.0
+        u[:, 0, 1] = txf
+        u[:, 0, 2] = tx2
+        u[:, 0, 3] = tx2 * txf
+        u[:, 1, 0] = 0.0
+        u[:, 1, 1] = 1.0
+        u[:, 1, 2] = 2.0 * txf
+        u[:, 1, 3] = 3.0 * tx2
+        ty2 = tyf * tyf
+        v[:, 0, 0] = 1.0
+        v[:, 1, 0] = tyf
+        v[:, 2, 0] = ty2
+        v[:, 3, 0] = ty2 * tyf
+        v[:, 0, 1] = 0.0
+        v[:, 1, 1] = 1.0
+        v[:, 2, 1] = 2.0 * tyf
+        v[:, 3, 1] = 3.0 * ty2
+        out = u @ cells @ v
+
+        shape = x.shape
+        inv_hx = self.x_grid._inv_step
+        inv_hy = self.y_grid._inv_step
+        f = out[:, 0, 0].reshape(shape)
+        fx = (out[:, 1, 0] * inv_hx).reshape(shape)
+        fy = (out[:, 0, 1] * inv_hy).reshape(shape)
+        fxy = (out[:, 1, 1] * (inv_hx * inv_hy)).reshape(shape)
+        return f, fx, fy, fxy
+
+    def _evaluate_inside_reference(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The seed evaluation kernel, kept verbatim (see class docs)."""
         ix, tx = self.x_grid.cell_of(x)
         iy, ty = self.y_grid.cell_of(y)
 
@@ -270,7 +372,10 @@ class CurrentTable:
         """Return ``(i, di/dvgs, di/dvds)`` in the stored current units."""
         vgs = np.asarray(vgs, dtype=float)
         vds = np.asarray(vds, dtype=float)
-        vgs_b, vds_b = np.broadcast_arrays(vgs, vds)
+        if vgs.shape != vds.shape:
+            vgs_b, vds_b = np.broadcast_arrays(vgs, vds)
+        else:
+            vgs_b, vds_b = vgs, vds
 
         z, dz_dvgs, dz_dvds = self._table.evaluate(vgs_b, vds_b)
         residue = np.exp(z)

@@ -52,6 +52,37 @@ class TestUniformGrid:
         assert idx[0] == 9
         assert t[0] == pytest.approx(1.0)
 
+    def test_cell_of_matches_uncached_formula(self):
+        # The cached step/reciprocal must not change cell mapping:
+        # compare against the direct division formula on a dense probe
+        # set including out-of-range values and the exact endpoints.
+        g = UniformGrid(-0.7, 1.3, 37)
+        xs = np.concatenate([np.linspace(-1.5, 2.0, 401), [g.start, g.stop]])
+        idx, t = g.cell_of(xs)
+        step = (g.stop - g.start) / (g.count - 1)
+        xc = np.clip(xs, g.start, g.stop)
+        pos = (xc - g.start) / step
+        idx_ref = np.clip(np.floor(pos).astype(np.intp), 0, g.count - 2)
+        t_ref = pos - idx_ref
+        # Reconstructed coordinates must agree exactly-ish even if a
+        # floor lands one cell over at a representation boundary.
+        np.testing.assert_allclose(idx + t, idx_ref + t_ref, rtol=0, atol=1e-12)
+        same = idx == idx_ref
+        np.testing.assert_allclose(t[same], t_ref[same], rtol=0, atol=1e-12)
+        assert np.all(np.abs(idx - idx_ref) <= 1)
+
+    def test_points_are_cached_and_read_only(self):
+        g = UniformGrid(0.0, 1.0, 11)
+        p1 = g.points()
+        assert g.points() is p1  # no per-call allocation
+        with pytest.raises(ValueError):
+            p1[0] = 99.0
+
+    def test_step_precomputed_value(self):
+        g = UniformGrid(-2.0, 2.0, 41)
+        assert g.step == pytest.approx(0.1)
+        assert g.step * (g.count - 1) == pytest.approx(g.stop - g.start)
+
 
 class TestCubicTable2D:
     def setup_method(self):
@@ -137,6 +168,27 @@ class TestCubicTable2D:
         # quadratic() is exactly f0 + fx*dx + fy*dy + fxy*dx*dy here.
         assert value == pytest.approx(quadratic(1.2, 2.4), abs=1e-9)
 
+    def test_coefficient_kernel_matches_reference_kernel(self):
+        # The baked polynomial-coefficient evaluation must agree with
+        # the retained seed (einsum) kernel everywhere, including the
+        # tangent-plane extension region.
+        smooth = CubicTable2D(
+            self.xg,
+            self.yg,
+            grid_values(self.xg, self.yg, lambda a, b: np.sin(3 * a) * np.exp(0.4 * b)),
+        )
+        rng = np.random.default_rng(42)
+        xs = rng.uniform(-1.4, 1.4, 200)
+        ys = rng.uniform(-2.6, 2.6, 200)
+        fast = smooth.evaluate(xs, ys)
+        CubicTable2D.reference_evaluation = True
+        try:
+            ref = smooth.evaluate(xs, ys)
+        finally:
+            CubicTable2D.reference_evaluation = False
+        for a, b in zip(fast, ref):
+            np.testing.assert_allclose(a, b, rtol=1e-12, atol=1e-13)
+
     def test_scalar_and_array_evaluation_agree(self):
         xs = np.array([0.1, -0.4, 0.9])
         ys = np.array([0.2, 1.1, -1.5])
@@ -217,3 +269,44 @@ class TestCurrentTable:
     def test_grids_exposed(self):
         assert self.table.vgs_grid is self.vgs_grid
         assert self.table.vds_grid is self.vds_grid
+
+    def test_derivatives_finite_difference_across_vds_zero_seam(self):
+        # The analytic shape function carries the sign change at
+        # V_DS = 0; the reported output conductance there must match a
+        # central difference straddling the seam, and gm/gds must stay
+        # FD-consistent for evaluation points within microvolts of it.
+        h = 1e-7
+        for vgs in (-0.5, 0.2, 0.8, 1.1):
+            i0, gm0, gds0 = self.table.evaluate(vgs, 0.0)
+            assert float(i0) == 0.0
+            gds_fd = (self.table(vgs, h) - self.table(vgs, -h)) / (2 * h)
+            assert float(gds0) == pytest.approx(float(gds_fd), rel=1e-4)
+            gm_fd = (self.table(vgs + h, 0.0) - self.table(vgs - h, 0.0)) / (2 * h)
+            assert float(gm0) == pytest.approx(float(gm_fd), abs=1e-20, rel=1e-3)
+            for vds in (-3e-6, 3e-6):
+                _, gm, gds = self.table.evaluate(vgs, vds)
+                gm_fd = (
+                    self.table(vgs + h, vds) - self.table(vgs - h, vds)
+                ) / (2 * h)
+                gds_fd = (
+                    self.table(vgs, vds + h) - self.table(vgs, vds - h)
+                ) / (2 * h)
+                assert float(gm) == pytest.approx(float(gm_fd), abs=1e-20, rel=1e-3)
+                assert float(gds) == pytest.approx(float(gds_fd), rel=1e-3)
+
+    @given(
+        vgs=st.floats(1.25, 1.6),
+        vds=st.floats(1.25, 1.6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_derivatives_finite_difference_outside_domain(self, vgs, vds):
+        # Beyond the sampled grid the log-residue continues as a
+        # tangent plane; the derivatives the solver sees must still be
+        # the true derivatives of the extended surface.
+        h = 1e-6
+        _, gm, gds = self.table.evaluate(vgs, vds)
+        gm_fd = (self.table(vgs + h, vds) - self.table(vgs - h, vds)) / (2 * h)
+        gds_fd = (self.table(vgs, vds + h) - self.table(vgs, vds - h)) / (2 * h)
+        scale = abs(float(gm_fd)) + abs(float(gds_fd)) + 1e-25
+        assert abs(float(gm) - float(gm_fd)) / scale < 1e-2
+        assert abs(float(gds) - float(gds_fd)) / scale < 1e-2
