@@ -1,0 +1,145 @@
+"""Guard: the disabled-verification audit hooks cost < 3 %.
+
+The audit hooks sit on the hottest accepted-result paths — one
+``verify.active()`` (or direct ``verify._session`` read) per converged
+Newton solve, per accepted transient step, and per table evaluation.
+Like the telemetry guard benchmark next door, this counts the guard
+invocations a representative workload performs, measures the
+per-invocation cost, and asserts the product stays under 3 % of the
+workload's wall time — the contract that lets verification ship
+enabled-by-flag without taxing production sweeps.
+
+Also emits ``BENCH_verify.json`` at the repo root: the disabled-guard
+numbers plus the measured *enabled* audit cost (informational — audits
+re-run reference assemblies, so enabled runs are expected to be several
+times slower).
+
+Run with ``PYTHONPATH=src python -m pytest -q
+benchmarks/test_verify_overhead.py`` (no pytest-benchmark needed).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.transient import simulate_transient
+from repro.devices.library import tfet_device
+from repro.telemetry import core as telemetry
+from repro.verify import core as verify
+
+OVERHEAD_BUDGET = 0.03
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_verify.json"
+
+
+def latch_circuit() -> Circuit:
+    device = tfet_device()
+    c = Circuit()
+    c.add_voltage_source("vdd", "vdd", "0", 0.8)
+    for out, inp, tag in (("q", "qb", "l"), ("qb", "q", "r")):
+        c.add_transistor(f"mp{tag}", out, inp, "vdd", device, "p", 0.1)
+        c.add_transistor(f"mn{tag}", out, inp, "0", device, "n", 0.1)
+        c.add_capacitor(out, "0", 2e-16)
+    return c
+
+
+def workload() -> None:
+    simulate_transient(
+        latch_circuit(), 2e-9, initial_conditions={"q": 0.8, "qb": 0.0}
+    )
+
+
+def timed(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time (min is the standard noise-robust estimate)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def count_guard_invocations() -> int:
+    """Guard reads the disabled path performs for one workload.
+
+    One guard per converged Newton solution (the KCL hook), one per
+    accepted transient step (the charge hook), one per table
+    evaluation (the spot-check hook) — counted from the deterministic
+    run's telemetry, exactly as the telemetry benchmark does.
+    """
+    with telemetry.enabled() as tel:
+        workload()
+        c = dict(tel.counters)
+    return (
+        c.get("newton.solves", 0)
+        + c.get("transient.steps_accepted", 0)
+        + c.get("tables.evals", 0)
+    )
+
+
+def test_disabled_verify_overhead_under_budget():
+    assert verify.active() is None, "verification must be off by default"
+
+    workload()  # warm the device-card cache and the allocator
+    t_work = timed(workload)
+    n_guards = count_guard_invocations()
+    assert n_guards > 100, "workload too trivial to measure the guard against"
+
+    loops = max(n_guards, 10_000)
+    start = time.perf_counter()
+    for _ in range(loops):
+        verify.active()
+    per_guard = (time.perf_counter() - start) / loops
+
+    guard_cost = per_guard * n_guards
+    overhead = guard_cost / t_work
+    print(
+        f"\nworkload {t_work * 1e3:.1f} ms, {n_guards} guards "
+        f"x {per_guard * 1e9:.0f} ns = {guard_cost * 1e6:.1f} us "
+        f"({overhead * 100:.3f} % overhead)"
+    )
+    assert overhead < OVERHEAD_BUDGET
+
+    _emit_bench(t_work, n_guards, per_guard, overhead)
+
+
+def test_disabled_path_audits_nothing():
+    session = verify.VerifySession()
+    workload()
+    assert verify.active() is None
+    assert session.audits == {} and session.violations == []
+
+
+def _enabled_workload_wall() -> tuple[float, dict[str, int]]:
+    with verify.enabled() as session:
+        wall = timed(workload, repeats=1)
+        return wall, dict(session.audits)
+
+
+def _emit_bench(t_work, n_guards, per_guard, overhead) -> None:
+    enabled_wall, audits = _enabled_workload_wall()
+    payload = {
+        "schema": "repro.bench.verify/v1",
+        "created_unix": time.time(),
+        "disabled_overhead_guard": {
+            "guard_invocations": n_guards,
+            "guard_cost_s_per_call": per_guard,
+            "workload_wall_s": t_work,
+            "overhead_fraction": overhead,
+            "budget_fraction": OVERHEAD_BUDGET,
+        },
+        "enabled_audit_cost": {
+            "workload_wall_s": enabled_wall,
+            "slowdown_vs_disabled": enabled_wall / t_work,
+            "audits": audits,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

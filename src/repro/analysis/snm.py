@@ -120,17 +120,17 @@ def butterfly_curves(
         system = MnaSystem(circuit)
         outputs = np.empty_like(inputs)
         guess = {sense_node: vdd}
-        x_warm = None
+        warm = None
         for k, v in enumerate(inputs):
             circuit.voltage_sources[m] = type(original)(
                 circuit.index_of(drive_node), original.b, Constant(float(v)), "sweep"
             )
             op = solve_dc(
                 circuit, initial_guess=guess, options=options,
-                system=system, x0=x_warm,
+                system=system, x0=warm,
             )
             outputs[k] = op.voltage(sense_node)
-            x_warm = op.x
+            warm = op
         return outputs
 
     forward = sweep("q", "qb")

@@ -39,6 +39,8 @@ from repro.circuit.mna import MnaSystem, TransientState, VoltageClamp
 from repro.circuit.netlist import Circuit
 from repro.circuit.results import OperatingPoint
 from repro.telemetry import core as telemetry
+from repro.verify import audits as verify_audits
+from repro.verify import core as verify
 
 try:  # pragma: no cover - exercised via either branch in CI images
     from scipy.linalg import get_lapack_funcs
@@ -319,6 +321,14 @@ def newton_solve(
                 # iterate.  Accept once the residual has stayed
                 # converged for a few (fresh) steps.
                 if step < options.voltage_tolerance or residual_ok_streak >= 3:
+                    ver = verify.active()
+                    if ver is not None:
+                        verify_audits.audit_newton_solution(
+                            ver, system, x, t, gmin=gmin,
+                            transient=transient, clamps=clamps,
+                            source_scale=source_scale,
+                            residual_tolerance=options.residual_tolerance,
+                        )
                     if tel is not None:
                         _record_newton(tel, wall_start, iteration, backtracks,
                                        trust_shrinks, stamps, reuses,
@@ -366,9 +376,48 @@ def _initial_vector(system: MnaSystem, initial_guess: dict[str, float] | None) -
     x0 = np.zeros(system.size)
     if initial_guess:
         for name, value in initial_guess.items():
-            idx = system.circuit.index_of(name)
+            try:
+                idx = system.circuit.index_of(name)
+            except KeyError:
+                raise ValueError(
+                    f"initial guess names node {name!r}, which does not exist "
+                    "in this circuit — was it carried over from a different "
+                    "circuit?"
+                ) from None
             if idx >= 0:
                 x0[idx] = value
+    return x0
+
+
+def _seed_vector(system: MnaSystem, x0) -> np.ndarray:
+    """Validate and normalize a warm-start seed.
+
+    Accepts a full solution vector or an :class:`OperatingPoint`.  An
+    operating point carries its circuit, so it is fingerprint-checked
+    (node names and source count, not just vector size) against the
+    system being solved: two same-sized circuits with different nets
+    would otherwise silently bias the solve toward a foreign solution.
+    Same-fingerprint *instances* (e.g. Monte-Carlo samples of one cell)
+    remain valid seeds — that is the corners/variation reuse idiom.
+    """
+    if isinstance(x0, OperatingPoint):
+        seed_circuit = x0.circuit
+        target = system.circuit
+        if seed_circuit is not target and (
+            seed_circuit.node_names != target.node_names
+            or len(seed_circuit.voltage_sources) != len(target.voltage_sources)
+        ):
+            raise ValueError(
+                "warm-start operating point comes from a different circuit "
+                f"(seed nodes {seed_circuit.node_names}, "
+                f"target nodes {target.node_names})"
+            )
+        x0 = x0.x
+    x0 = np.asarray(x0, dtype=float).copy()
+    if x0.shape != (system.size,):
+        raise ValueError(
+            f"x0 has shape {x0.shape}, expected ({system.size},)"
+        )
     return x0
 
 
@@ -385,7 +434,7 @@ def solve_dc(
     options: SolverOptions | None = None,
     t: float = 0.0,
     system: MnaSystem | None = None,
-    x0: np.ndarray | None = None,
+    x0: np.ndarray | OperatingPoint | None = None,
 ) -> OperatingPoint:
     """DC operating point with gmin- and source-stepping fallbacks.
 
@@ -397,9 +446,13 @@ def solve_dc(
 
     Sweep and bisection loops that solve the same circuit repeatedly
     pass ``system`` (a prebuilt :class:`MnaSystem`, skipping stamp
-    recompilation) and/or ``x0`` (a full previous solution vector
-    including branch currents, overriding ``initial_guess``) to
-    warm-start each point from the last one.
+    recompilation) and/or ``x0`` (a full previous solution — either a
+    raw vector including branch currents or, preferably, the previous
+    :class:`OperatingPoint`, which is fingerprint-validated against
+    this circuit's node names — overriding ``initial_guess``) to
+    warm-start each point from the last one.  A seed from a circuit
+    with a different net list raises :class:`ValueError` rather than
+    silently biasing the solve.
 
     Escalation tiers (telemetry counters ``dcop.converged.<tier>`` tell
     which one succeeded): ``warm_start`` (the caller's guess),
@@ -416,11 +469,7 @@ def solve_dc(
     if x0 is None:
         x0 = _initial_vector(system, initial_guess)
     else:
-        x0 = np.asarray(x0, dtype=float).copy()
-        if x0.shape != (system.size,):
-            raise ValueError(
-                f"x0 has shape {x0.shape}, expected ({system.size},)"
-            )
+        x0 = _seed_vector(system, x0)
 
     tel = telemetry.active()
     if tel is not None:

@@ -268,6 +268,20 @@ class MnaSystem:
         self._is_t: float | None = None
         self._is_waves: list = [None] * len(circuit.current_sources)
 
+    def invalidate_caches(self) -> None:
+        """Recompile the stamps and drop every last-point cache.
+
+        The per-call guards catch waveform swaps and element
+        addition/removal, and the last-point caches are keyed on the
+        solution vector — but mutating a reused system's devices
+        *in place* (swapping a transistor's model or a capacitor's
+        charge function, resizing a width: the corners/variation reuse
+        idiom) changes the answer at the *same* x, which no key can
+        see.  Call this after any such mutation; the next assembly
+        evaluates everything fresh.
+        """
+        self._compile()
+
     @staticmethod
     def _group_transistors(circuit: Circuit) -> list[_TransistorGroup]:
         by_model: dict[int, list] = {}

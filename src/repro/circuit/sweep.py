@@ -43,7 +43,7 @@ def dc_sweep(
     system = MnaSystem(circuit)
     results: list[OperatingPoint] = []
     guess = initial_guess
-    x_warm: np.ndarray | None = None
+    warm: OperatingPoint | None = None
     try:
         for value in np.asarray(values, dtype=float):
             circuit.voltage_sources[m] = type(original)(
@@ -54,10 +54,10 @@ def dc_sweep(
                 initial_guess=guess,
                 options=options,
                 system=system,
-                x0=x_warm,
+                x0=warm,  # the full OperatingPoint: fingerprint-validated
             )
             results.append(op)
-            x_warm = op.x
+            warm = op
     finally:
         circuit.voltage_sources[m] = original
     return results

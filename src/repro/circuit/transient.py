@@ -43,8 +43,12 @@ from repro.circuit.mna import MnaSystem, TransientState
 from repro.circuit.netlist import Circuit
 from repro.circuit.results import TransientResult
 from repro.telemetry import core as telemetry
+from repro.verify import audits as verify_audits
+from repro.verify import core as verify
 
 __all__ = ["TransientOptions", "simulate_transient"]
+
+_EPS = float(np.finfo(float).eps)
 
 
 @dataclass(frozen=True)
@@ -172,6 +176,8 @@ def simulate_transient(
     loops (WL_crit) pass the last solution so repeated simulations skip
     the homotopy-from-zero ramp.  A bad guess only costs the solver its
     warm-start tier; the cold-start and stepping fallbacks still run.
+    A guess naming a node this circuit does not have (a seed carried
+    over from a different circuit) raises :class:`ValueError`.
     """
     if t_stop <= 0.0:
         raise ValueError("t_stop must be positive")
@@ -215,6 +221,16 @@ def simulate_transient(
         )
 
         t += h_try
+        # Snap accumulated-roundoff landings onto the breakpoint.  A
+        # fixed step that divides the breakpoint time exactly in real
+        # arithmetic can still leave ``t`` a few ulps short of it in
+        # floats; the leftover ~ulp sliver step would get a companion
+        # conductance C/h so large that Newton can never satisfy the
+        # absolute residual tolerance, and the run dies in a step
+        # underflow.  The slack is a few ulps — far below any real
+        # waveform feature spacing.
+        if t != next_break and abs(next_break - t) <= 64.0 * _EPS * next_break:
+            t = next_break
         x_prev, h_prev = x, h_try
         x = x_new
         currents = system.capacitor_currents(x, state)
@@ -222,16 +238,30 @@ def simulate_transient(
         times.append(t)
         states.append(x.copy())
 
+        ver = verify.active()
+        if ver is not None:
+            verify_audits.audit_transient_step(
+                ver, system, x_prev, x, state, charges, currents
+            )
+
         if tel is not None:
             tel.count("transient.steps_accepted")
             tel.observe("transient.step_seconds", h_try)
             if t >= next_break - 1e-21:
                 tel.count("transient.breakpoint_landings")
 
-        if iterations <= options.easy_iterations and h_try >= h:
-            h = min(h_try * options.growth, options.max_step)
-        else:
+        # Controller update.  ``h`` is the step the controller *wants*;
+        # ``h_cap`` is what the breakpoint/max_step clamp allowed this
+        # attempt, and ``h_try`` what was actually accepted.  Only a
+        # shrink during the attempt (Newton failure, dv limit) pulls
+        # the controller down — a step that was merely clamped to land
+        # on a breakpoint must not reset the working step to the
+        # sliver, which previously forced a 1.4x/step regrowth climb
+        # after every late breakpoint.
+        if h_try < h_cap:
             h = h_try
+        elif iterations <= options.easy_iterations:
+            h = min(max(h, h_try) * options.growth, options.max_step)
 
     if tel is not None:
         tel.count("transient.simulations")

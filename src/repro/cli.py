@@ -113,6 +113,8 @@ def _cmd_experiment(args) -> int:
         argv.extend(["--log-level", args.log_level])
     if args.output_dir:
         argv.extend(["--output-dir", args.output_dir])
+    if args.verify:
+        argv.append("--verify")
     if args.samples is not None:
         argv.extend(["--samples", str(args.samples)])
     if args.seed is not None:
@@ -174,6 +176,9 @@ def main(argv: list[str] | None = None) -> int:
                      help="event threshold for the trace/event log")
     exp.add_argument("--output-dir", metavar="DIR", default=None,
                      help="directory for result JSON and run manifests")
+    exp.add_argument("--verify", action="store_true",
+                     help="re-check accepted solver results against the "
+                     "reference implementations while the experiment runs")
     exp.add_argument("--samples", type=int, default=None, metavar="N",
                      help="Monte-Carlo sample count (sampling experiments)")
     exp.add_argument("--seed", type=int, default=None, metavar="S",

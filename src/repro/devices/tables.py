@@ -21,6 +21,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.telemetry import core as telemetry
+from repro.verify import audits as verify_audits
+from repro.verify import core as verify
 
 __all__ = ["UniformGrid", "CubicTable2D", "CurrentTable"]
 
@@ -185,6 +187,13 @@ class CubicTable2D:
 
         xc = np.minimum(np.maximum(x, self.x_grid.start), self.x_grid.stop)
         yc = np.minimum(np.maximum(y, self.y_grid.start), self.y_grid.stop)
+
+        # Same direct module-global read as telemetry above: when
+        # verification is off, the audit costs one attribute load.
+        ver = verify._session
+        if ver is not None and ver.options.table_audit and ver.table_due():
+            verify_audits.audit_table(ver, self, xc, yc)
+
         if CubicTable2D.reference_evaluation:
             f, fx, fy, fxy = self._evaluate_inside_reference(xc, yc)
         else:

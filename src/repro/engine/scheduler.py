@@ -34,6 +34,7 @@ from repro.engine.checkpoint import CheckpointLog
 from repro.engine.jobs import Task, TaskOutcome
 from repro.engine.worker import execute_task, worker_init
 from repro.telemetry import core as telemetry
+from repro.verify.core import VerifyOptions
 
 __all__ = ["EngineConfig", "BatchReport", "run_tasks"]
 
@@ -51,6 +52,14 @@ class EngineConfig:
     is the per-attempt wall-clock budget.  ``checkpoint_path`` enables
     JSONL checkpointing; ``resume`` replays it.  ``cache_dir`` locates
     the shared on-disk device-table cache.
+
+    ``verify_fraction`` sample-audits that fraction of tasks under a
+    :mod:`repro.verify` session (deterministically selected per task
+    seed, so the audited subset is stable across worker counts and
+    resumes); ``verify_options`` tunes the audits.  An audit violation
+    fails the task with a structured ``VerificationError`` outcome —
+    it is a solver bug, not a convergence hiccup, so it is never
+    retried.
     """
 
     jobs: int = 1
@@ -62,6 +71,8 @@ class EngineConfig:
     root_seed: int = 0
     cache_dir: str | Path | None = None
     collect_telemetry: bool = True
+    verify_fraction: float = 0.0
+    verify_options: VerifyOptions | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -70,6 +81,10 @@ class EngineConfig:
             raise ValueError(f"retries cannot be negative, got {self.retries}")
         if self.timeout_s is not None and self.timeout_s <= 0.0:
             raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if not 0.0 <= self.verify_fraction <= 1.0:
+            raise ValueError(
+                f"verify_fraction must be in [0, 1], got {self.verify_fraction}"
+            )
 
 
 @dataclass
@@ -168,6 +183,8 @@ def _run_inline(pending, config, log) -> dict[int, TaskOutcome]:
                 retries=config.retries,
                 timeout_s=config.timeout_s,
                 collect_telemetry=config.collect_telemetry,
+                verify_fraction=config.verify_fraction,
+                verify_options=config.verify_options,
             )
             outcomes[task.index] = outcome
             if log is not None:
@@ -212,6 +229,8 @@ def _run_pool(pending, config, log) -> dict[int, TaskOutcome]:
                     retries=config.retries,
                     timeout_s=config.timeout_s,
                     collect_telemetry=config.collect_telemetry,
+                    verify_fraction=config.verify_fraction,
+                    verify_options=config.verify_options,
                 )
                 in_flight[future] = task
             finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)

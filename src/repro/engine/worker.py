@@ -21,14 +21,39 @@ import signal
 import threading
 import time
 import traceback
+from contextlib import nullcontext
+
+import numpy as np
 
 from repro.circuit.dcop import ConvergenceError
 from repro.engine.jobs import Task, TaskContext, TaskOutcome
 from repro.telemetry import core as telemetry
+from repro.verify import core as verify
 
-__all__ = ["TaskTimeout", "execute_task", "worker_init"]
+__all__ = ["TaskTimeout", "execute_task", "verify_selected", "worker_init"]
 
 RETRYABLE_ERRORS = (ConvergenceError,)
+
+_VERIFY_STREAM = 0x76657269  # "veri": decorrelates selection from task work
+
+
+def verify_selected(seed: int, fraction: float) -> bool:
+    """Deterministic sample-audit choice for one task.
+
+    Derived from the task seed alone (through an independent
+    ``SeedSequence`` stream), so which tasks run under verification is
+    a pure function of ``(root_seed, index)`` — stable across worker
+    counts, completion order, and resumes, like everything else about
+    a task.
+    """
+    if fraction <= 0.0:
+        return False
+    if fraction >= 1.0:
+        return True
+    draw = np.random.default_rng(
+        np.random.SeedSequence([int(seed), _VERIFY_STREAM])
+    ).random()
+    return bool(draw < fraction)
 
 
 class TaskTimeout(RuntimeError):
@@ -85,6 +110,8 @@ def execute_task(
     retries: int = 0,
     timeout_s: float | None = None,
     collect_telemetry: bool = True,
+    verify_fraction: float = 0.0,
+    verify_options=None,
 ) -> TaskOutcome:
     """Run one task to a structured outcome; never raises.
 
@@ -92,21 +119,45 @@ def execute_task(
     each attempt gets a fresh ``TaskContext`` with the attempt number,
     and (when enabled) runs under its own telemetry session whose
     counters ride back on the outcome for cross-worker aggregation.
+
+    With ``verify_fraction > 0``, a deterministic per-seed draw
+    (:func:`verify_selected`) runs the task under a
+    :mod:`repro.verify` session: every Newton solution, transient
+    step, and table evaluation inside it is re-checked against the
+    reference implementations.  A
+    :class:`~repro.verify.core.VerificationError` is *not* retryable —
+    the work is deterministic, so the violation is a real solver bug,
+    recorded as a structured failure (``error_type``
+    ``VerificationError``) that survives the batch.
     """
     start = time.perf_counter()
     counters: dict[str, int] = {}
     attempt = 0
+    audited = verify_selected(task.seed, verify_fraction)
+    if audited:
+        counters["verify.audited_tasks"] = 1
     while True:
         ctx = TaskContext(index=task.index, seed=task.seed, attempt=attempt)
+        verify_ctx = verify.enabled(verify_options) if audited else nullcontext(None)
         try:
-            if collect_telemetry:
-                with telemetry.enabled(log_level="error") as session:
-                    with _attempt_deadline(timeout_s):
-                        value = task.fn(task.payload, ctx)
-                _merge_counts(counters, session.counters)
-            else:
-                with _attempt_deadline(timeout_s):
-                    value = task.fn(task.payload, ctx)
+            with verify_ctx as ver:
+                try:
+                    if collect_telemetry:
+                        with telemetry.enabled(log_level="error") as session:
+                            with _attempt_deadline(timeout_s):
+                                value = task.fn(task.payload, ctx)
+                        _merge_counts(counters, session.counters)
+                    else:
+                        with _attempt_deadline(timeout_s):
+                            value = task.fn(task.payload, ctx)
+                finally:
+                    # Merge audit counters on success *and* failure —
+                    # a violation-aborted attempt still reports how far
+                    # the audits got.
+                    if ver is not None:
+                        for name, n in ver.audits.items():
+                            key = f"verify.audit.{name}"
+                            counters[key] = counters.get(key, 0) + n
             return TaskOutcome(
                 index=task.index,
                 status="ok",

@@ -11,7 +11,9 @@ result checksum) next to the results; ``--trace out.json`` additionally
 dumps the structured event trace (suffixed per experiment id when
 several experiments run in one invocation); ``--log-level debug``
 widens what the trace records.  ``repro diag`` summarizes saved
-manifests.
+manifests.  ``--verify`` re-checks every accepted solver result
+against the retained reference implementations while the experiment
+runs (see :mod:`repro.verify`).
 
 Batch-engine flags (sampling experiments such as ``fig09``/``fig10``):
 ``--samples N`` sets the Monte-Carlo size, ``--jobs J`` fans the
@@ -28,6 +30,7 @@ import argparse
 import inspect
 import sys
 import time
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Callable
 
@@ -55,6 +58,7 @@ from repro.experiments.common import ExperimentResult
 from repro.experiments.io import save_json
 from repro.telemetry import core as telemetry
 from repro.telemetry.manifest import build_manifest, manifest_path, write_manifest
+from repro.verify import core as verify
 
 __all__ = ["REGISTRY", "run_experiment", "main", "DEFAULT_MANIFEST_DIR"]
 
@@ -112,6 +116,7 @@ def run_experiment(
     trace_path: str | Path | None = None,
     log_level: str | None = None,
     output_dir: str | Path | None = None,
+    verify_run: bool = False,
     **kwargs,
 ) -> ExperimentResult:
     """Run one experiment by its registry id.
@@ -120,9 +125,20 @@ def run_experiment(
     writes a run manifest into ``output_dir`` (default ``results/``);
     ``trace_path`` also dumps the structured event log; ``log_level``
     sets the event threshold (implies collection).  ``output_dir``
-    additionally saves the result table as ``<id>.json``.  Remaining
-    keyword arguments (solver knobs, sweeps like ``betas=``/``vdd=``)
-    are forwarded verbatim to the experiment's ``run`` function.
+    additionally saves the result table as ``<id>.json``.
+
+    ``verify_run`` executes the whole experiment under a
+    :mod:`repro.verify` session: every converged Newton solution,
+    transient step, and (periodically) table evaluation is re-checked
+    against the retained reference implementations, and the first
+    violation raises.  Engine-backed experiments inherit the session
+    in their forked workers, so Monte-Carlo samples are audited too —
+    a worker-side violation fails its task, though the audit *counts*
+    stay in the worker process.
+
+    Remaining keyword arguments (solver knobs, sweeps like
+    ``betas=``/``vdd=``) are forwarded verbatim to the experiment's
+    ``run`` function.
     """
     if experiment_id not in REGISTRY:
         known = ", ".join(sorted(REGISTRY))
@@ -130,18 +146,39 @@ def run_experiment(
     run, title = REGISTRY[experiment_id]
 
     instrument = bool(profile or trace_path or log_level)
-    if not instrument:
-        result = run(**kwargs)
-    else:
-        with telemetry.enabled(log_level=log_level or "info") as session:
-            start = time.perf_counter()
-            with session.span(f"experiment.{experiment_id}"):
-                result = run(**kwargs)
-            wall = time.perf_counter() - start
-            manifest = build_manifest(experiment_id, title, result, session, wall)
-            write_manifest(manifest, output_dir or DEFAULT_MANIFEST_DIR)
-            if trace_path:
-                session.write_trace(trace_path)
+    verify_ctx = verify.enabled() if verify_run else nullcontext(None)
+    with verify_ctx as ver:
+        if not instrument:
+            result = run(**kwargs)
+        else:
+            with telemetry.enabled(log_level=log_level or "info") as session:
+                start = time.perf_counter()
+                with session.span(f"experiment.{experiment_id}"):
+                    result = run(**kwargs)
+                wall = time.perf_counter() - start
+                manifest = build_manifest(experiment_id, title, result, session, wall)
+                write_manifest(manifest, output_dir or DEFAULT_MANIFEST_DIR)
+                if trace_path:
+                    session.write_trace(trace_path)
+    if ver is not None:
+        totals = ", ".join(f"{k}={n}" for k, n in sorted(ver.audits.items()))
+        # A zero count has two honest explanations: the experiment did
+        # no MNA solving in this process, or it fanned the work out to
+        # forked pool workers — those inherit the session and enforce
+        # violations (a violation fails its task), but their audit
+        # counts stay in the worker.  Say so rather than printing a
+        # bare zero that reads like verification silently did not run.
+        note = (
+            "" if ver.audits
+            else " [no in-process solver activity; --jobs workers audit"
+            " and enforce in their own sessions — use --jobs 1 for"
+            " in-session counts]"
+        )
+        print(
+            f"verify: {sum(ver.audits.values())} audits "
+            f"({totals or 'none'}), {len(ver.violations)} violations{note}",
+            file=sys.stderr,
+        )
 
     if output_dir is not None:
         directory = Path(output_dir)
@@ -181,6 +218,13 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(telemetry.LEVELS, key=telemetry.LEVELS.get),
         default=None,
         help="event threshold for the trace/event log (implies telemetry)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-check every accepted solver result against the reference "
+        "implementations (KCL, charge conservation, table kernels); "
+        "the first violation aborts the run",
     )
     parser.add_argument(
         "--output-dir",
@@ -237,6 +281,7 @@ def main(argv: list[str] | None = None) -> int:
             trace_path=_trace_path_for(args.trace, experiment_id, multi=len(ids) > 1),
             log_level=args.log_level,
             output_dir=args.output_dir,
+            verify_run=args.verify,
             **_supported_kwargs(experiment_id, engine_kwargs),
         )
         print(result.format())

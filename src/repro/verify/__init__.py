@@ -1,0 +1,38 @@
+"""repro.verify — differential and invariant verification of the
+optimized SPICE core.
+
+See :mod:`repro.verify.core` for the audit catalogue and the
+enable/disable discipline, :mod:`repro.verify.audits` for the invariant
+implementations, and :mod:`repro.verify.fuzz` for the randomized
+netlist fuzzer (kept out of this namespace on purpose: the fuzzer
+imports the solver stack, while ``core``/``audits`` must stay
+importable *from* it).
+"""
+
+from repro.verify.audits import (
+    audit_newton_solution,
+    audit_table,
+    audit_transient_step,
+)
+from repro.verify.core import (
+    VerificationError,
+    VerifyOptions,
+    VerifySession,
+    active,
+    disable,
+    enable,
+    enabled,
+)
+
+__all__ = [
+    "VerificationError",
+    "VerifyOptions",
+    "VerifySession",
+    "active",
+    "disable",
+    "enable",
+    "enabled",
+    "audit_newton_solution",
+    "audit_table",
+    "audit_transient_step",
+]

@@ -1,0 +1,277 @@
+"""Verification primitives: options, session, violation bookkeeping.
+
+The optimized SPICE core (precompiled stamping, reused LU
+factorizations, warm-started Newton, last-point caches, baked table
+coefficients) can fail *silently*: a stale cache or a wrong stamp
+returns plausible numbers without raising.  This package makes the
+optimizations continuously provable against the retained reference
+implementations (:class:`repro.circuit.mna_reference.ReferenceMnaSystem`,
+``CubicTable2D.reference_evaluation``).
+
+Verification is **off by default** and follows the exact discipline of
+:mod:`repro.telemetry`: every audit point starts with one call to
+:func:`active`, which returns ``None`` unless a session has been
+installed, so the disabled cost is a single module-global read per
+audited operation (guarded by ``benchmarks/test_verify_overhead.py``
+at < 3 %).
+
+With a session installed, the audits re-check *accepted* results:
+
+* **KCL residual audit** — every converged Newton solution (DC and
+  transient points alike) is re-assembled through the loop-based
+  reference stamper; the true residual must still satisfy the solver
+  tolerance, and the optimized residual must agree with the reference.
+* **Charge audit** — every accepted transient step's stored capacitor
+  charges and companion currents are recomputed from scratch; the
+  integrator's cached values must match, and the companion-model
+  charge balance ``delta q = integral i dt`` must hold.
+* **Table audit** — every Nth ``CubicTable2D`` evaluation is replayed
+  through the retained seed kernel and compared.
+* **Jacobian probe** — every Nth Newton solve compares the stamped
+  Jacobian against central finite differences of the reference
+  residual (off by default: it costs ``2 * size`` reference
+  assemblies per probe).
+
+Violations are recorded on the session, mirrored into any active
+:mod:`repro.telemetry` session (``verify.violations`` counter plus a
+``verify.violation`` event), and — by default — raised as
+:class:`VerificationError` so a silent-corruption bug becomes a loud
+test failure.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.telemetry import core as telemetry
+
+__all__ = [
+    "VerificationError",
+    "VerifyOptions",
+    "VerifySession",
+    "active",
+    "disable",
+    "enable",
+    "enabled",
+]
+
+
+class VerificationError(AssertionError):
+    """An audit found an accepted result that violates an invariant.
+
+    ``kind`` names the audit (``kcl``, ``equivalence``, ``charge``,
+    ``table``, ``jacobian``) and ``detail`` carries the measured
+    numbers, both also rendered into the message.
+    """
+
+    def __init__(self, kind: str, message: str, detail: dict | None = None):
+        self.kind = kind
+        self.detail = dict(detail or {})
+        if self.detail:
+            rendered = ", ".join(
+                f"{key}={value:.3e}" if isinstance(value, float) else f"{key}={value}"
+                for key, value in self.detail.items()
+            )
+            message = f"{message} [{rendered}]"
+        super().__init__(f"verify.{kind}: {message}")
+
+
+@dataclass(frozen=True)
+class VerifyOptions:
+    """Audit selection and tolerances.
+
+    Tolerances are *relative to the natural scale* of each compared
+    quantity (see :mod:`repro.verify.audits`): residuals compare
+    against the solver's own residual tolerance, charges against the
+    largest charge in the circuit, table outputs against the patch
+    magnitude — so one set of defaults works from femtoamp leakage
+    studies to write transients.
+    """
+
+    kcl_audit: bool = True
+    """Re-check every converged Newton solution against the reference
+    assembler's residual."""
+
+    kcl_margin: float = 20.0
+    """Accepted reference-residual excess over the solver's
+    ``residual_tolerance`` (the optimized and reference stampers agree
+    to ~1e-12, but line-search acceptance can sit just under the
+    tolerance)."""
+
+    equivalence_tolerance: float = 1e-9
+    """Largest accepted relative difference between the optimized and
+    reference residuals at the same point."""
+
+    charge_audit: bool = True
+    """Recompute capacitor charges/companion currents of every accepted
+    transient step from scratch and check the integrator's cached
+    values plus the charge-balance identity."""
+
+    charge_tolerance: float = 1e-9
+    """Relative tolerance of the charge audit."""
+
+    table_audit: bool = True
+    """Replay every ``table_interval``-th ``CubicTable2D.evaluate``
+    through the retained seed kernel."""
+
+    table_interval: int = 64
+    table_tolerance: float = 1e-9
+
+    jacobian_audit: bool = False
+    """Probe every ``jacobian_interval``-th converged Newton solve's
+    stamped Jacobian against central finite differences of the
+    reference residual.  Costs ``2 * size`` reference assemblies per
+    probe; off by default."""
+
+    jacobian_interval: int = 16
+    jacobian_tolerance: float = 5e-3
+    """Relative tolerance of the finite-difference probe (dominated by
+    FD truncation error on the strongly curved TFET characteristics,
+    not by stamping accuracy)."""
+
+    jacobian_step: float = 1e-6
+    """Voltage perturbation of the central difference (volts)."""
+
+    raise_on_violation: bool = True
+    """Raise :class:`VerificationError` at the first violation.  With
+    ``False`` violations only accumulate on the session (the fuzzer's
+    collection mode)."""
+
+    max_violations: int = 100
+    """Bound on recorded violation records (counting continues)."""
+
+    def __post_init__(self) -> None:
+        if self.kcl_margin < 1.0:
+            raise ValueError(f"kcl_margin must be >= 1, got {self.kcl_margin}")
+        if self.table_interval < 1 or self.jacobian_interval < 1:
+            raise ValueError("audit intervals must be >= 1")
+        for name in (
+            "equivalence_tolerance",
+            "charge_tolerance",
+            "table_tolerance",
+            "jacobian_tolerance",
+            "jacobian_step",
+        ):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} must be positive")
+
+
+class VerifySession:
+    """One enabled verification window.
+
+    Holds the audit counters, the recorded violations, and a cache of
+    reference assemblers keyed on the audited system (rebuilt when the
+    system recompiles, so topology changes are tracked).
+    """
+
+    def __init__(self, options: VerifyOptions | None = None):
+        self.options = options or VerifyOptions()
+        self.audits: dict[str, int] = {}
+        self.violations: list[dict] = []
+        self.violation_count = 0
+        self._references: dict[int, tuple] = {}
+        self._table_clock = 0
+        self._jacobian_clock = 0
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.audits[name] = self.audits.get(name, 0) + n
+
+    def reference_for(self, system):
+        """The loop-based reference assembler for an optimized system.
+
+        Cached per system identity and invalidated when the system's
+        compiled topology changes (``invalidate_caches`` or the
+        element-count guard), so mutation-then-reuse is audited against
+        a reference that saw the mutation.
+        """
+        from repro.circuit.mna_reference import ReferenceMnaSystem
+
+        key = id(system)
+        topology = getattr(system, "_topology", None)
+        cached = self._references.get(key)
+        if cached is not None and cached[0] is topology:
+            return cached[1]
+        reference = ReferenceMnaSystem(system.circuit)
+        self._references[key] = (topology, reference)
+        return reference
+
+    def table_due(self) -> bool:
+        """Clock for the table spot check (every Nth evaluation)."""
+        self._table_clock += 1
+        return self._table_clock % self.options.table_interval == 0
+
+    def jacobian_due(self) -> bool:
+        """Clock for the finite-difference Jacobian probe."""
+        self._jacobian_clock += 1
+        return self._jacobian_clock % self.options.jacobian_interval == 0
+
+    def record_violation(self, kind: str, message: str, detail: dict | None = None) -> None:
+        """Register one invariant violation.
+
+        Mirrors into the active telemetry session, appends to the
+        violation log (bounded), and raises unless the session runs in
+        collection mode.
+        """
+        self.violation_count += 1
+        record = {"kind": kind, "message": message, **(detail or {})}
+        if len(self.violations) < self.options.max_violations:
+            self.violations.append(record)
+        tel = telemetry.active()
+        if tel is not None:
+            tel.count("verify.violations")
+            tel.count(f"verify.violations.{kind}")
+            tel.event("verify.violation", level="error", **record)
+        if self.options.raise_on_violation:
+            raise VerificationError(kind, message, detail)
+
+    def snapshot(self) -> dict:
+        """Audit counters and violations as one JSON-serializable dict."""
+        return {
+            "audits": dict(sorted(self.audits.items())),
+            "violation_count": self.violation_count,
+            "violations": list(self.violations),
+        }
+
+
+# -- global session management --------------------------------------------------
+
+_session: VerifySession | None = None
+
+
+def active() -> VerifySession | None:
+    """The installed session, or ``None`` when verification is off.
+
+    This is the hot-path guard (same contract as
+    :func:`repro.telemetry.core.active`); keep it trivial.
+    """
+    return _session
+
+
+def enable(options: VerifyOptions | None = None) -> VerifySession:
+    """Install (and return) a fresh global verification session."""
+    global _session
+    _session = VerifySession(options)
+    return _session
+
+
+def disable() -> VerifySession | None:
+    """Remove the global session; returns it for post-hoc inspection."""
+    global _session
+    session, _session = _session, None
+    return session
+
+
+@contextmanager
+def enabled(options: VerifyOptions | None = None):
+    """Scoped verification: installs a session, restores the previous one."""
+    global _session
+    previous = _session
+    session = VerifySession(options)
+    _session = session
+    try:
+        yield session
+    finally:
+        _session = previous

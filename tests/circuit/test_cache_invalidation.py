@@ -1,0 +1,85 @@
+"""``MnaSystem.invalidate_caches``: device mutation on a reused system.
+
+The per-call guards catch waveform swaps (identity-keyed source cache)
+and element addition/removal (topology key), but swapping a device in
+an existing list slot — the corners/variation reuse idiom — changes
+the answer at the same element count, which no key can see.  The
+contract is explicit: mutate, then call ``invalidate_caches()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.circuit.mna import MnaSystem
+from repro.circuit.mna_reference import ReferenceMnaSystem
+from repro.circuit.netlist import Circuit
+
+
+@pytest.fixture
+def loaded_inverter(tfet):
+    c = Circuit("inv")
+    c.add_voltage_source("vdd", "vdd", "0", 0.7)
+    c.add_voltage_source("vin", "in", "0", 0.35)
+    c.add_transistor("mp", "out", "in", "vdd", tfet, polarity="p", width_um=0.2)
+    c.add_transistor("mn", "out", "in", "0", tfet, polarity="n", width_um=0.1)
+    c.add_capacitor("out", "0", 1e-16, name="cl")
+    return c
+
+
+def residual(system, x):
+    return system.assemble_residual(x, 0.0).copy()
+
+
+def probe_vector(circuit):
+    size = circuit.node_count + len(circuit.voltage_sources)
+    return np.linspace(0.1, 0.6, size)
+
+
+class TestInvalidateCaches:
+    def test_width_swap_is_stale_until_invalidated(self, loaded_inverter):
+        c = loaded_inverter
+        system = MnaSystem(c)
+        x = probe_vector(c)
+        before = residual(system, x)
+
+        c.transistors[1] = replace(c.transistors[1], width_um=0.4)
+        # Same element count: the stale compiled stamp still answers.
+        np.testing.assert_allclose(residual(system, x), before)
+
+        system.invalidate_caches()
+        after = residual(system, x)
+        assert float(np.max(np.abs(after - before))) > 0.0
+        np.testing.assert_allclose(
+            after, ReferenceMnaSystem(c).assemble_residual(x, 0.0),
+            rtol=1e-12, atol=1e-18,
+        )
+
+    def test_capacitor_charge_swap(self, loaded_inverter):
+        c = loaded_inverter
+        system = MnaSystem(c)
+        x = probe_vector(c)
+        q_before = system.capacitor_charges(x).copy()
+
+        from repro.devices.charges import LinearCharge
+
+        c.capacitors[0] = replace(c.capacitors[0], charge=LinearCharge(5e-16))
+        system.invalidate_caches()
+        q_after = system.capacitor_charges(x)
+        np.testing.assert_allclose(q_after, 5.0 * q_before, rtol=1e-12)
+
+    def test_invalidation_preserves_equivalence_with_fresh_system(self, loaded_inverter):
+        c = loaded_inverter
+        system = MnaSystem(c)
+        x = probe_vector(c)
+        residual(system, x)  # populate the last-point caches
+
+        c.transistors[0] = replace(c.transistors[0], width_um=0.33)
+        system.invalidate_caches()
+        f, jac = system.assemble(x, 0.0, copy=True)
+        fresh_f, fresh_jac = MnaSystem(c).assemble(x, 0.0, copy=True)
+        np.testing.assert_array_equal(f, fresh_f)
+        np.testing.assert_array_equal(jac, fresh_jac)

@@ -1,0 +1,102 @@
+"""Analytic-solution accuracy: integration order and charge division.
+
+The RC ramp response has a closed form, so halving a *fixed* step must
+shrink the error by the method's order: ~2x for backward Euler (first
+order), ~4x for trapezoid (second order).  A controller or companion
+bug that quietly degrades the order passes pointwise tolerance tests
+but fails the ratio.  The input is a ramp from a consistent zero-current
+initial state — a voltage jump at t = 0 would hand the trapezoid a
+wrong initial companion current and mask its order with a first-order
+startup error.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.transient import TransientOptions, simulate_transient
+from repro.circuit.waveforms import PiecewiseLinear, Pulse
+from repro.verify import enabled
+
+R = 1e4
+C = 1e-13
+TAU = R * C  # 1 ns
+V_FINAL = 0.8
+T_RAMP = 2e-10
+T_MEASURE = 1e-9  # integer multiple of every step used below
+
+
+def ramp_rc():
+    c = Circuit("ramp-rc")
+    c.add_voltage_source(
+        "vin", "in", "0", PiecewiseLinear((0.0, T_RAMP), (0.0, V_FINAL))
+    )
+    c.add_resistor("in", "out", R)
+    c.add_capacitor("out", "0", C)
+    return c
+
+
+def analytic(t: float) -> float:
+    """RC response to the ramp input (exact, piecewise)."""
+    a = V_FINAL / T_RAMP
+    if t <= T_RAMP:
+        return a * (t - TAU * (1.0 - math.exp(-t / TAU)))
+    v_ramp_end = a * (T_RAMP - TAU * (1.0 - math.exp(-T_RAMP / TAU)))
+    return V_FINAL + (v_ramp_end - V_FINAL) * math.exp(-(t - T_RAMP) / TAU)
+
+
+def fixed_step_error(method: str, h: float) -> float:
+    options = TransientOptions(
+        initial_step=h, max_step=h, max_voltage_step=10.0, method=method
+    )
+    res = simulate_transient(ramp_rc(), T_MEASURE, options=options)
+    return abs(res.final("out") - analytic(T_MEASURE))
+
+
+class TestIntegrationOrder:
+    def test_backward_euler_is_first_order(self):
+        coarse = fixed_step_error("backward_euler", 5e-11)
+        fine = fixed_step_error("backward_euler", 2.5e-11)
+        assert coarse < 0.05
+        assert coarse / fine >= 1.6  # first order: ratio -> 2
+
+    def test_trapezoid_is_second_order(self):
+        coarse = fixed_step_error("trapezoidal", 5e-11)
+        fine = fixed_step_error("trapezoidal", 2.5e-11)
+        assert coarse < 5e-3
+        assert coarse / fine >= 3.0  # second order: ratio -> 4
+
+    def test_trapezoid_beats_backward_euler(self):
+        h = 5e-11
+        assert fixed_step_error("trapezoidal", h) < fixed_step_error(
+            "backward_euler", h
+        )
+
+
+class TestFloatingCapacitorDivider:
+    @pytest.mark.parametrize("method", ["backward_euler", "trapezoidal"])
+    def test_charge_division_on_floating_node(self, method):
+        # Two series caps; the middle node is floating, so its voltage
+        # is set purely by charge conservation: dv_mid = dv_in * C1 /
+        # (C1 + C2).  Any charge leak in the companion model (beyond
+        # the 1e-12 S gmin tether, negligible over 1 ns) shows up here.
+        c1, c2 = 3e-15, 1e-15
+        c = Circuit("cap-divider")
+        c.add_voltage_source(
+            "vin", "in", "0",
+            Pulse(0.0, V_FINAL, t_start=1e-10, width=1e-8, t_edge=5e-11),
+        )
+        c.add_capacitor("in", "mid", c1, name="c1")
+        c.add_capacitor("mid", "0", c2, name="c2")
+        with enabled() as session:
+            res = simulate_transient(
+                c, 1e-9, options=TransientOptions(method=method)
+            )
+        assert session.violation_count == 0
+        assert session.audits.get("charge", 0) > 0
+        expected = V_FINAL * c1 / (c1 + c2)
+        assert res.final("mid") == pytest.approx(expected, rel=2e-3)

@@ -1,0 +1,65 @@
+"""Regression: breakpoint clamping must not collapse the working step.
+
+The controller keeps a "working step" ``h`` that grows while Newton
+converges easily.  Landing exactly on a waveform breakpoint clamps one
+*attempt* to the remaining sliver; the old controller then adopted that
+sliver as the new working step, forcing a 1.4x-per-step regrowth climb
+after every late breakpoint (dozens of sub-picosecond steps in the
+middle of a quiet waveform).  Only a shrink that happened *during* the
+attempt (Newton failure, dv limit) may pull ``h`` down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.transient import TransientOptions, simulate_transient
+from repro.circuit.waveforms import Pulse
+
+
+def late_edge_circuit():
+    # Small amplitude (0.04 V < the 60 mV dv limit) so every step —
+    # including the ones crossing the edge — is accepted on the first
+    # attempt; any tiny step in the result therefore comes from the
+    # controller, not from rejections.
+    c = Circuit("late-edge")
+    c.add_voltage_source(
+        "vin", "in", "0",
+        Pulse(0.0, 0.04, t_start=1.0000005e-9, width=0.5e-9, t_edge=1e-12),
+    )
+    c.add_resistor("in", "out", 1e3)
+    c.add_capacitor("out", "0", 1e-15)
+    return c
+
+
+def test_working_step_survives_breakpoint_clamp():
+    options = TransientOptions()
+    res = simulate_transient(late_edge_circuit(), 1.3e-9, options=options)
+    dt = np.diff(res.times)
+    t_edge_end = 1.0000005e-9 + 1e-12
+    after = np.flatnonzero(res.times >= t_edge_end - 1e-21)[0]
+    # The step right after the edge breakpoints must resume at the full
+    # working step (max_step here), not regrow from the ~1 ps sliver.
+    assert dt[after] > 0.5 * options.max_step, (
+        f"controller collapsed to {dt[after]:.3e} s after the breakpoint"
+    )
+    # Globally: the only sub-0.5 ps steps allowed are the breakpoint
+    # slivers themselves.  The old controller produced a ~12-step
+    # regrowth ramp here.
+    assert int(np.sum(dt < 0.5e-12)) <= 3
+
+
+def test_rejection_shrink_still_honoured():
+    # A full-swing edge does trip the dv limit; the controller must
+    # still shrink for genuinely hard steps (no accuracy regression
+    # from the clamp fix).
+    c = Circuit("hard-edge")
+    c.add_voltage_source(
+        "vin", "in", "0", Pulse(0.0, 0.8, t_start=2e-10, width=2e-10, t_edge=1e-12)
+    )
+    c.add_resistor("in", "out", 1e3)
+    c.add_capacitor("out", "0", 1e-15)
+    res = simulate_transient(c, 5e-10)
+    dv = np.abs(np.diff(res.voltage("out")))
+    assert float(np.max(dv)) <= 0.06 + 1e-9

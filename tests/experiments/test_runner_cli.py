@@ -210,3 +210,45 @@ class TestMainFlags:
         assert "fake_manifest.json" in out
         assert (tmp_path / "fake_manifest.json").exists()
         assert (tmp_path / "fake.json").exists()
+
+
+class TestVerifyFlag:
+    def test_verify_run_audits_and_prints_summary(self, fake_registry, capsys):
+        from repro.verify import core as verify
+
+        result = runner.run_experiment("fake", verify_run=True)
+        assert result.column("gain") == [2.0]
+        err = capsys.readouterr().err
+        assert err.startswith("verify: ")
+        assert "kcl=" in err
+        assert "0 violations" in err
+        # The session is torn down after the run.
+        assert verify.active() is None
+
+    def test_empty_session_notes_worker_scoped_counts(
+        self, monkeypatch, capsys
+    ):
+        # A zero-audit session (no in-process solving, or an engine run
+        # at jobs > 1 auditing inside the forked workers) must say why
+        # instead of printing a bare zero.
+        monkeypatch.setitem(
+            runner.REGISTRY,
+            "noop",
+            (lambda: ExperimentResult("noop", "noop", ["x"]), "noop"),
+        )
+        runner.run_experiment("noop", verify_run=True)
+        err = capsys.readouterr().err
+        assert "0 audits" in err
+        assert "workers audit" in err
+
+    def test_cli_flag_reaches_the_session(self, fake_registry, capsys):
+        assert runner.main(["fake", "--verify"]) == 0
+        captured = capsys.readouterr()
+        assert "verify:" in captured.err
+        assert "0 violations" in captured.err
+
+    def test_plain_run_leaves_verify_off(self, fake_registry):
+        from repro.verify import core as verify
+
+        runner.run_experiment("fake")
+        assert verify.active() is None

@@ -1,0 +1,133 @@
+"""Engine sample-auditing: deterministic selection, counters, failures.
+
+``verify_fraction`` turns a fraction of batch tasks into audited tasks
+(every Newton solution / transient step inside them re-checked against
+the references).  These tests pin the selection's determinism, the
+counter plumbing back through ``TaskOutcome``, and the policy that a
+verification violation is a structured non-retryable failure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.dcop import solve_dc
+from repro.circuit.netlist import Circuit
+from repro.engine.jobs import Task, derive_seed
+from repro.engine.scheduler import EngineConfig, run_tasks
+from repro.engine.worker import execute_task, verify_selected
+from repro.verify import VerifyOptions, active
+
+
+def _solve_divider(payload, ctx):
+    c = Circuit("divider")
+    c.add_voltage_source("vs", "top", "0", float(payload))
+    c.add_resistor("top", "mid", 1e4)
+    c.add_resistor("mid", "0", 1e4)
+    op = solve_dc(c)
+    return float(op.x[c.index_of("mid")])
+
+
+def _trip_verification(payload, ctx):
+    session = active()
+    assert session is not None, "task expected to run under a verify session"
+    session.record_violation("kcl", "synthetic violation for the retry-policy test")
+    return 0.0
+
+
+def _task(fn, payload, index=0):
+    return Task(index=index, fn=fn, payload=payload, seed=derive_seed(0, index))
+
+
+class TestSelection:
+    def test_extremes(self):
+        assert not verify_selected(123, 0.0)
+        assert verify_selected(123, 1.0)
+
+    def test_deterministic_per_seed(self):
+        for seed in (0, 1, 99, 2**40):
+            assert verify_selected(seed, 0.5) == verify_selected(seed, 0.5)
+
+    def test_fraction_is_roughly_honoured(self):
+        picks = sum(verify_selected(derive_seed(7, i), 0.3) for i in range(400))
+        assert 70 <= picks <= 170  # 0.3 +- generous slack on 400 draws
+
+    def test_monotone_in_fraction(self):
+        # A task audited at some fraction stays audited at any larger
+        # fraction (the draw is compared against the threshold).
+        for i in range(50):
+            seed = derive_seed(3, i)
+            if verify_selected(seed, 0.2):
+                assert verify_selected(seed, 0.8)
+
+
+class TestExecuteTask:
+    def test_audited_task_reports_audit_counters(self):
+        out = execute_task(_task(_solve_divider, 0.8), verify_fraction=1.0)
+        assert out.ok
+        assert out.value == pytest.approx(0.4)
+        assert out.counters["verify.audited_tasks"] == 1
+        assert out.counters["verify.audit.kcl"] > 0
+
+    def test_unaudited_task_has_no_verify_counters(self):
+        out = execute_task(_task(_solve_divider, 0.8), verify_fraction=0.0)
+        assert out.ok
+        assert not any(k.startswith("verify.") for k in out.counters)
+
+    def test_violation_is_structured_failure_and_never_retried(self):
+        out = execute_task(_task(_trip_verification, None), retries=5,
+                           verify_fraction=1.0)
+        assert not out.ok
+        assert out.attempts == 1
+        assert out.error_type == "VerificationError"
+        assert "synthetic violation" in out.error
+        # The session's progress still rides back on the failed outcome.
+        assert out.counters["verify.audited_tasks"] == 1
+
+    def test_session_is_scoped_to_the_task(self):
+        execute_task(_task(_trip_verification, None), verify_fraction=1.0)
+        assert active() is None
+
+
+class TestBatchWiring:
+    def test_report_aggregates_audit_counters(self):
+        tasks = [
+            Task(index=i, fn=_solve_divider, payload=0.5 + 0.01 * i,
+                 seed=derive_seed(11, i))
+            for i in range(8)
+        ]
+        report = run_tasks(tasks, EngineConfig(jobs=1, verify_fraction=1.0))
+        assert report.failed_count == 0
+        assert report.counters["verify.audited_tasks"] == 8
+        assert report.counters["verify.audit.kcl"] >= 8
+
+    def test_fraction_selects_the_predicted_subset(self):
+        tasks = [
+            Task(index=i, fn=_solve_divider, payload=0.6, seed=derive_seed(5, i))
+            for i in range(16)
+        ]
+        expected = sum(verify_selected(t.seed, 0.5) for t in tasks)
+        report = run_tasks(tasks, EngineConfig(jobs=1, verify_fraction=0.5))
+        assert report.counters.get("verify.audited_tasks", 0) == expected
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(verify_fraction=1.5)
+        with pytest.raises(ValueError):
+            EngineConfig(verify_fraction=-0.1)
+
+    def test_custom_options_reach_the_session(self):
+        # Collection mode: the violation is recorded, not raised, so the
+        # task succeeds while the counters expose what the audits saw.
+        def tripping(payload, ctx):
+            session = active()
+            session.record_violation("charge", "collected, not raised")
+            return 1.0
+
+        out = execute_task(
+            Task(index=0, fn=tripping, payload=None, seed=derive_seed(0, 0)),
+            verify_fraction=1.0,
+            verify_options=VerifyOptions(raise_on_violation=False),
+        )
+        assert out.ok
+        assert out.value == 1.0
