@@ -1,0 +1,81 @@
+"""Guard: warm characterization rebuilds must be at least 5x faster.
+
+Builds a small grid cold (every point simulated), then rebuilds the
+same spec against the same store.  The second build must simulate
+nothing (``computed == 0``, everything served from the index) and
+finish at least ``MIN_SPEEDUP`` times faster than the cold build —
+the whole point of the content-addressed store is that re-running a
+characterization campaign costs index lookups, not SPICE time.
+
+Emits ``BENCH_char.json`` at the repo root with both wall times, the
+speedup, and the point count.
+
+Run with ``PYTHONPATH=src python -m pytest -q -s
+benchmarks/test_char_store.py`` (no pytest-benchmark needed).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.char import CharSpec, CharStore, build_grid
+
+MIN_SPEEDUP = 5.0
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_char.json"
+
+SPEC = CharSpec(
+    name="bench",
+    designs=("cmos", "proposed"),
+    vdds=(0.6, 0.8),
+    metrics=("drnm", "hold_power"),
+)
+
+
+def timed_build(store: CharStore):
+    start = time.perf_counter()
+    report = build_grid(SPEC, store)
+    wall = time.perf_counter() - start
+    assert report.failed == 0, report.failures
+    return wall, report
+
+
+def test_warm_rebuild_speedup(tmp_path):
+    store = CharStore(tmp_path / "char")
+
+    cold_wall, cold = timed_build(store)
+    assert cold.computed == cold.total, "cold build must simulate every point"
+
+    warm_wall, warm = timed_build(store)
+    assert warm.computed == 0, "warm rebuild must simulate nothing"
+    assert warm.reused == warm.total
+
+    speedup = cold_wall / warm_wall
+    print(
+        f"\n[{cold.total} points] cold {cold_wall:.2f} s, "
+        f"warm {warm_wall:.3f} s -> {speedup:.1f}x"
+    )
+
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "schema": "repro.bench.char/v1",
+                "created_unix": time.time(),
+                "point_count": cold.total,
+                "cold_wall_s": cold_wall,
+                "warm_wall_s": warm_wall,
+                "warm_computed": warm.computed,
+                "speedup": speedup,
+                "min_speedup": MIN_SPEEDUP,
+            },
+            indent=2,
+        )
+    )
+    assert speedup >= MIN_SPEEDUP
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

@@ -1,0 +1,133 @@
+"""Content-addressed keys for characterization entries.
+
+An entry's fingerprint answers one question: *would re-simulating this
+point produce the same number the store already holds?*  It hashes
+together everything the simulated value depends on:
+
+* the **point coordinates** (design, corner, beta, V_DD) and the
+  **metric** with its procedure ``version`` and measurement windows;
+* the **solver configuration** — the Newton and transient defaults the
+  analyses run with;
+* the **device behavior** the design's technology rests on — probe
+  currents sampled from the actual calibrated device cards (TFET table
+  or MOSFET pair), so *any* change that shifts device I-V (physics,
+  calibration targets, table generation) shifts the fingerprint.
+
+Fingerprints are per-technology: a TFET table change invalidates only
+TFET-design entries; retuning the CMOS baseline leaves them untouched.
+Stale entries are simply entries whose fingerprint no longer matches —
+the store never deletes them, the build layer just stops finding them.
+
+The device probes evaluate the cached device cards at a fixed small
+voltage grid (cheap — the cards are process-cached), and the digests
+are memoized per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "CHAR_SCHEMA",
+    "solver_fingerprint",
+    "device_fingerprint",
+    "entry_fingerprint",
+]
+
+CHAR_SCHEMA = "repro.char/v1"
+
+_PROBE_VOLTAGES = (-1.0, -0.4, 0.0, 0.3, 0.6, 0.9)
+"""Bias grid the device cards are probed on (covers reverse leakage,
+subthreshold, and on-state)."""
+
+
+def _digest(payload) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _probe_currents(device) -> list[str]:
+    """Probe-current signature of one device card, as stable hex."""
+    v = np.asarray(_PROBE_VOLTAGES, dtype=float)
+    vgs, vds = np.meshgrid(v, v, indexing="ij")
+    currents = np.asarray(device.current_density(vgs, vds), dtype=float)
+    return [f"{x:.12e}" for x in currents.ravel()]
+
+
+@lru_cache(maxsize=None)
+def solver_fingerprint() -> str:
+    """Digest of the solver defaults every analysis runs with."""
+    from repro.circuit.dcop import SolverOptions
+    from repro.circuit.transient import TransientOptions
+
+    return _digest(
+        {
+            "solver": asdict(SolverOptions()),
+            "transient": asdict(TransientOptions()),
+        }
+    )
+
+
+@lru_cache(maxsize=None)
+def _tfet_fingerprint() -> str:
+    from repro.devices.library import tfet_device
+
+    return _digest({"tfet_probe": _probe_currents(tfet_device())})
+
+
+@lru_cache(maxsize=None)
+def _cmos_fingerprint() -> str:
+    from repro.devices.library import nmos_device, pmos_device
+
+    return _digest(
+        {
+            "nmos_probe": _probe_currents(nmos_device()),
+            "pmos_probe": _probe_currents(pmos_device()),
+        }
+    )
+
+
+def device_fingerprint(technology: str) -> str:
+    """Behavioral digest of the device cards a technology rests on."""
+    if technology == "tfet":
+        return _tfet_fingerprint()
+    if technology == "cmos":
+        return _cmos_fingerprint()
+    raise ValueError(f"unknown technology {technology!r}")
+
+
+def clear_fingerprint_cache() -> None:
+    """Drop memoized digests (tests that tweak devices or solvers)."""
+    solver_fingerprint.cache_clear()
+    _tfet_fingerprint.cache_clear()
+    _cmos_fingerprint.cache_clear()
+
+
+def entry_fingerprint(point, metric: str) -> str:
+    """The content address of one ``(point, metric)`` entry."""
+    from repro.char.designs import DESIGNS, delay_windows
+    from repro.char.metrics import METRICS
+
+    design = DESIGNS[point.design]
+    metric_def = METRICS[metric]
+    pulse, duration = delay_windows(design, point.vdd)
+    payload = {
+        "schema": CHAR_SCHEMA,
+        "design": point.design,
+        "corner": point.corner,
+        "beta": None if point.beta is None else f"{point.beta:.12g}",
+        "vdd": f"{point.vdd:.12g}",
+        "metric": metric,
+        "metric_version": metric_def.version,
+        "windows": [f"{pulse:.12g}", f"{duration:.12g}"],
+        "read_assist": design.read_assist,
+        "hold_average_states": design.hold_average_states,
+        "solver": solver_fingerprint(),
+        "device": device_fingerprint(design.technology),
+    }
+    return _digest(payload)

@@ -1,0 +1,252 @@
+"""Declarative characterization grid specs.
+
+A :class:`CharSpec` names a slice of the paper's design space — designs
+x V_DD x process corners x (optionally) cell-ratio beta — and the list
+of metrics to evaluate at every grid point.  ``entries()`` compiles the
+spec into the deterministic, stable-ordered list of *entries* (one
+``(point, metric)`` pair each) that the build layer turns into engine
+tasks; the same compilation also drives resume, staleness checks, and
+the query layer's axis handling, so every consumer agrees on what the
+grid contains and in what order.
+
+Specs are plain data: they round-trip through JSON (``repro char build
+--spec my_grid.json``) and a few commonly useful grids ship as
+:data:`BUILTIN_SPECS`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.char.designs import DESIGNS
+from repro.char.metrics import METRICS
+
+__all__ = [
+    "CharPoint",
+    "CharEntry",
+    "CharSpec",
+    "BUILTIN_SPECS",
+    "load_spec",
+    "resolve_spec",
+]
+
+
+@dataclass(frozen=True)
+class CharPoint:
+    """One grid point: a concrete cell design condition.
+
+    ``beta`` is ``None`` when the design runs at its canonical sizing
+    (the spec did not sweep the cell ratio).
+    """
+
+    design: str
+    corner: str
+    vdd: float
+    beta: float | None = None
+
+    def coords(self) -> dict:
+        return {
+            "design": self.design,
+            "corner": self.corner,
+            "vdd": self.vdd,
+            "beta": self.beta,
+        }
+
+    def label(self) -> str:
+        beta = "" if self.beta is None else f" beta={self.beta:g}"
+        return f"{self.design}@{self.vdd:g}V/{self.corner}{beta}"
+
+
+@dataclass(frozen=True)
+class CharEntry:
+    """One unit of characterization work: a metric at a point.
+
+    ``index`` is the entry's position in the spec's full compiled list
+    — the engine task index, so per-task seeds and checkpoint lines
+    stay aligned across partial rebuilds.
+    """
+
+    index: int
+    point: CharPoint
+    metric: str
+
+
+@dataclass(frozen=True)
+class CharSpec:
+    """A characterization grid: axes plus the metric list."""
+
+    name: str
+    designs: tuple[str, ...]
+    vdds: tuple[float, ...]
+    metrics: tuple[str, ...]
+    corners: tuple[str, ...] = ("tt",)
+    betas: tuple[float | None, ...] = (None,)
+
+    def __post_init__(self) -> None:
+        from repro.devices.corners import CORNERS
+
+        if not self.name:
+            raise ValueError("spec needs a name")
+        for label, values in (
+            ("designs", self.designs),
+            ("vdds", self.vdds),
+            ("metrics", self.metrics),
+            ("corners", self.corners),
+            ("betas", self.betas),
+        ):
+            if not values:
+                raise ValueError(f"spec {self.name!r}: {label} axis is empty")
+            if len(set(values)) != len(values):
+                raise ValueError(f"spec {self.name!r}: duplicate values on {label}")
+        for design in self.designs:
+            if design not in DESIGNS:
+                known = ", ".join(sorted(DESIGNS))
+                raise ValueError(
+                    f"spec {self.name!r}: unknown design {design!r}; known: {known}"
+                )
+        for metric in self.metrics:
+            if metric not in METRICS:
+                known = ", ".join(sorted(METRICS))
+                raise ValueError(
+                    f"spec {self.name!r}: unknown metric {metric!r}; known: {known}"
+                )
+        for corner in self.corners:
+            if corner not in CORNERS:
+                known = ", ".join(sorted(CORNERS))
+                raise ValueError(
+                    f"spec {self.name!r}: unknown corner {corner!r}; known: {known}"
+                )
+        for vdd in self.vdds:
+            if not 0.0 < float(vdd) <= 2.0:
+                raise ValueError(f"spec {self.name!r}: vdd {vdd} out of (0, 2] V")
+        for beta in self.betas:
+            if beta is not None and float(beta) <= 0.0:
+                raise ValueError(f"spec {self.name!r}: beta must be positive")
+        if tuple(sorted(self.vdds)) != tuple(self.vdds):
+            raise ValueError(f"spec {self.name!r}: vdds must be sorted ascending")
+
+    # -- compilation -------------------------------------------------------
+
+    def points(self) -> list[CharPoint]:
+        """The grid points in deterministic order (design-major).
+
+        Points a design cannot realize are skipped at compile time:
+        corner cards are TFET oxide scales, so corner-insensitive
+        designs (the CMOS baseline) appear only at ``tt``; designs with
+        a fixed topology-defined sizing appear only at ``beta=None``.
+        """
+        points = []
+        for design_name in self.designs:
+            design = DESIGNS[design_name]
+            for corner in self.corners:
+                if corner != "tt" and not design.corner_sensitive:
+                    continue
+                for beta in self.betas:
+                    if beta is not None and not design.beta_sweepable:
+                        continue
+                    for vdd in self.vdds:
+                        points.append(
+                            CharPoint(
+                                design=design_name,
+                                corner=corner,
+                                vdd=float(vdd),
+                                beta=None if beta is None else float(beta),
+                            )
+                        )
+        return points
+
+    def entries(self) -> list[CharEntry]:
+        """All ``(point, metric)`` work units, indexed in stable order.
+
+        Metrics a design does not define (``wl_crit`` on the
+        separatrix-free asymmetric cell) are skipped, mirroring the
+        paper's tables.
+        """
+        entries = []
+        index = 0
+        for point in self.points():
+            design = DESIGNS[point.design]
+            for metric in self.metrics:
+                if metric not in design.metrics:
+                    continue
+                entries.append(CharEntry(index=index, point=point, metric=metric))
+                index += 1
+        return entries
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "designs": list(self.designs),
+            "vdds": list(self.vdds),
+            "metrics": list(self.metrics),
+            "corners": list(self.corners),
+            "betas": list(self.betas),
+        }
+
+    @staticmethod
+    def from_json(payload: dict) -> "CharSpec":
+        for key in ("name", "designs", "vdds", "metrics"):
+            if key not in payload:
+                raise ValueError(f"spec file is missing the {key!r} field")
+        return CharSpec(
+            name=str(payload["name"]),
+            designs=tuple(payload["designs"]),
+            vdds=tuple(float(v) for v in payload["vdds"]),
+            metrics=tuple(payload["metrics"]),
+            corners=tuple(payload.get("corners", ("tt",))),
+            betas=tuple(
+                None if b is None else float(b) for b in payload.get("betas", (None,))
+            ),
+        )
+
+
+BUILTIN_SPECS: dict[str, CharSpec] = {
+    # The V_DD slice the paper's comparison artifacts live on: serves
+    # fig11 (delays), fig12 (margins), and the static-power table.
+    "nominal": CharSpec(
+        name="nominal",
+        designs=("cmos", "proposed", "asym", "7t", "outward_n"),
+        vdds=(0.5, 0.6, 0.7, 0.8, 0.9),
+        metrics=("hold_power", "drnm", "wl_crit", "read_delay", "write_delay"),
+    ),
+    # The Section 3 cell-ratio sweep behind fig04.
+    "beta_sweep": CharSpec(
+        name="beta_sweep",
+        designs=("inward_p", "inward_n", "cmos"),
+        vdds=(0.8,),
+        metrics=("drnm", "wl_crit"),
+        betas=(0.4, 0.6, 0.8, 1.0, 1.5, 2.0, 3.0),
+    ),
+    # The variation band of Saurabh & Kumar: the proposed cell across
+    # all five process corners.
+    "corners": CharSpec(
+        name="corners",
+        designs=("proposed",),
+        vdds=(0.6, 0.7, 0.8),
+        metrics=("hold_power", "drnm", "wl_crit"),
+        corners=("tt", "ff", "ss", "fs", "sf"),
+    ),
+}
+
+
+def load_spec(path: str | Path) -> CharSpec:
+    """Read a spec from a JSON file."""
+    return CharSpec.from_json(json.loads(Path(path).read_text()))
+
+
+def resolve_spec(name_or_path: str) -> CharSpec:
+    """A built-in spec by name, or a JSON spec file by path."""
+    if name_or_path in BUILTIN_SPECS:
+        return BUILTIN_SPECS[name_or_path]
+    path = Path(name_or_path)
+    if path.exists():
+        return load_spec(path)
+    known = ", ".join(sorted(BUILTIN_SPECS))
+    raise ValueError(
+        f"unknown spec {name_or_path!r}: not a built-in ({known}) "
+        "and no such file"
+    )

@@ -10,6 +10,10 @@ Commands:
   ``--profile``, ``--trace``, ``--log-level``, ``--output-dir`` and the
   batch-engine flags ``--samples``, ``--seed``, ``--jobs``,
   ``--resume``);
+* ``char build|status|query|export`` — the incremental characterization
+  store (``repro.char``): build a metric grid (resumable, only missing
+  points are simulated), inspect coverage, answer interpolated point
+  queries with provenance, and export grids as CSV/JSON;
 * ``netlist <deck.sp> [--op | --tran T]`` — parse a SPICE-subset deck
   and print its DC operating point or run a transient;
 * ``diag [paths...]`` — solver-health summary of saved run manifests
@@ -47,7 +51,8 @@ def _cmd_device_info(_args) -> int:
     return 0
 
 
-def _build_cell(name: str):
+def _build_cell(name: str, corner: str = "tt"):
+    from repro.devices.corners import corner_device_set
     from repro.experiments.designs import (
         asym_cell,
         cmos_cell,
@@ -57,18 +62,32 @@ def _build_cell(name: str):
     )
     from repro.sram import AccessConfig, CellSizing, Tfet6TCell
 
-    if name == "proposed":
-        return proposed_cell(), proposed_read_assist()
+    # corner_device_set raises a KeyError listing the known corners on a
+    # bad name; devices stays None at "tt" so the nominal path is untouched.
+    devices = corner_device_set(corner) if corner != "tt" else None
     if name == "cmos":
+        if corner != "tt":
+            raise ValueError(
+                "corner cards are TFET oxide-thickness scales; "
+                "the CMOS baseline only supports --corner tt"
+            )
         return cmos_cell(), None
+    if name == "proposed":
+        return proposed_cell(devices), proposed_read_assist()
     if name == "asym":
-        return asym_cell(), None
+        return asym_cell(devices), None
     if name == "7t":
-        return seven_t_cell(), None
+        return seven_t_cell(devices), None
     if name == "inward_n":
-        return Tfet6TCell(CellSizing().with_beta(0.6), AccessConfig.INWARD_N), None
+        return (
+            Tfet6TCell(CellSizing().with_beta(0.6), AccessConfig.INWARD_N, devices=devices),
+            None,
+        )
     if name == "outward_n":
-        return Tfet6TCell(CellSizing().with_beta(0.6), AccessConfig.OUTWARD_N), None
+        return (
+            Tfet6TCell(CellSizing().with_beta(0.6), AccessConfig.OUTWARD_N, devices=devices),
+            None,
+        )
     raise ValueError(f"unknown cell {name!r}")
 
 
@@ -82,9 +101,15 @@ def _cmd_cell(args) -> int:
     )
     from repro.analysis.area import cell_area_um2
 
-    cell, assist = _build_cell(args.design)
+    try:
+        cell, assist = _build_cell(args.design, corner=args.corner)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
     vdd = args.vdd
-    print(f"{cell.name} at V_DD = {vdd} V")
+    corner_note = "" if args.corner == "tt" else f" [{args.corner} corner]"
+    print(f"{cell.name} at V_DD = {vdd} V{corner_note}")
     print(f"  hold power : {hold_power(cell, vdd):.3e} W")
     drnm = dynamic_read_noise_margin(cell.read_testbench(vdd, assist=assist))
     print(f"  DRNM       : {drnm * 1e3:.1f} mV" + ("  (with read assist)" if assist else ""))
@@ -123,7 +148,118 @@ def _cmd_experiment(args) -> int:
         argv.extend(["--jobs", str(args.jobs)])
     if args.resume:
         argv.append("--resume")
+    if args.char_store:
+        argv.extend(["--char-store", args.char_store])
     return experiments_main(argv)
+
+
+def _cmd_char(args) -> int:
+    from repro.char import CharGrid, CharQueryError, CharStore, resolve_spec
+
+    try:
+        spec = resolve_spec(args.spec)
+    except ValueError as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    store = CharStore(args.store)
+
+    if args.char_command == "build":
+        from repro.char import build_grid
+        from repro.telemetry import core as telemetry
+
+        session = telemetry.enable() if args.profile else None
+        try:
+            report = build_grid(
+                spec,
+                store,
+                jobs=args.jobs,
+                verify_fraction=args.verify_fraction,
+            )
+        finally:
+            if session is not None:
+                telemetry.disable()
+        print(report.summary())
+        if session is not None:
+            hits = session.counters.get("char.store.hits", 0)
+            misses = session.counters.get("char.store.misses", 0)
+            print(f"store: {hits} hits, {misses} misses")
+        return 1 if report.failed else 0
+
+    if args.char_command == "status":
+        print(store.status(spec).summary())
+        return 0
+
+    if args.char_command == "query":
+        try:
+            grid = CharGrid.from_store(store, spec)
+            answer = grid.query(
+                args.metric,
+                design=args.design,
+                vdd=args.vdd,
+                beta=args.beta,
+                corner=args.corner,
+                method=args.method,
+            )
+        except (CharQueryError, FileNotFoundError) as exc:
+            print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            import json as json_module
+
+            print(json_module.dumps(answer.to_json(), indent=2, allow_nan=False))
+        else:
+            print(answer.summary())
+        return 0
+
+    if args.char_command == "export":
+        return _char_export(spec, store, args)
+    raise AssertionError(f"unhandled char command {args.char_command!r}")
+
+
+def _char_export(spec, store, args) -> int:
+    """Dump one spec's entries (values + provenance) as CSV or JSON."""
+    from repro.char import entry_fingerprint
+    from repro.experiments.io import _csv_value, _encode_value
+
+    index = store.load_index()
+    header = ["design", "corner", "beta", "vdd", "metric", "value", "status", "fp"]
+    rows = []
+    for entry in spec.entries():
+        fp = entry_fingerprint(entry.point, entry.metric)
+        record = index.get(fp)
+        status = record.get("status", "missing") if record else "missing"
+        value = record.get("value") if record else None
+        point = entry.point
+        rows.append(
+            [point.design, point.corner, point.beta, point.vdd,
+             entry.metric, value, status, fp]
+        )
+
+    out = None if args.out is None else open(args.out, "w", newline="")
+    try:
+        handle = out or sys.stdout
+        if args.format == "csv":
+            import csv
+
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            for row in rows:
+                writer.writerow([_csv_value(v) for v in row])
+        else:
+            import json as json_module
+
+            payload = {
+                "spec": spec.to_json(),
+                "header": header,
+                "rows": [[_encode_value(v) for v in row] for row in rows],
+            }
+            handle.write(json_module.dumps(payload, indent=2, allow_nan=False) + "\n")
+    finally:
+        if out is not None:
+            out.close()
+    if args.out is not None:
+        print(f"wrote {len(rows)} entries to {args.out}")
+    return 0
 
 
 def _cmd_diag(args) -> int:
@@ -164,6 +300,9 @@ def main(argv: list[str] | None = None) -> int:
     cell = sub.add_parser("cell", help="metrics of one studied SRAM cell")
     cell.add_argument("design", choices=CELL_CHOICES)
     cell.add_argument("--vdd", type=float, default=0.8)
+    cell.add_argument("--corner", default="tt", metavar="NAME",
+                      help="process-corner device cards (tt, ff, ss, fs, sf); "
+                      "TFET designs only")
 
     exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp.add_argument("experiment_id")
@@ -187,6 +326,54 @@ def main(argv: list[str] | None = None) -> int:
                      help="worker processes; bit-identical to --jobs 1")
     exp.add_argument("--resume", action="store_true",
                      help="resume an interrupted run from its checkpoints")
+    exp.add_argument("--char-store", metavar="DIR", default=None,
+                     help="serve grid points from a pre-built "
+                     "characterization store (repro char build)")
+
+    char = sub.add_parser("char", help="incremental characterization store")
+    char_sub = char.add_subparsers(dest="char_command", required=True)
+
+    def _char_common(p):
+        p.add_argument("--spec", default="nominal", metavar="NAME|FILE",
+                       help="built-in spec name (nominal, beta_sweep, corners) "
+                       "or a JSON spec file")
+        p.add_argument("--store", default="results/char", metavar="DIR",
+                       help="store directory (default: results/char)")
+
+    char_build = char_sub.add_parser(
+        "build", help="simulate the spec's missing grid points")
+    _char_common(char_build)
+    char_build.add_argument("--jobs", type=int, default=1, metavar="J",
+                            help="worker processes for the engine batch")
+    char_build.add_argument("--verify-fraction", type=float, default=0.0,
+                            metavar="F", help="sample-audit this fraction of "
+                            "points under repro.verify")
+    char_build.add_argument("--profile", action="store_true",
+                            help="print store hit/miss counters after the build")
+
+    char_status = char_sub.add_parser(
+        "status", help="coverage of one spec: present/missing/failed/stale")
+    _char_common(char_status)
+
+    char_query = char_sub.add_parser(
+        "query", help="interpolated metric query with provenance")
+    _char_common(char_query)
+    char_query.add_argument("metric")
+    char_query.add_argument("--design", required=True)
+    char_query.add_argument("--vdd", type=float, required=True)
+    char_query.add_argument("--beta", type=float, default=None)
+    char_query.add_argument("--corner", default="tt")
+    char_query.add_argument("--method", default="auto",
+                            choices=("auto", "linear", "cubic", "nearest"))
+    char_query.add_argument("--json", action="store_true",
+                            help="print the answer as JSON")
+
+    char_export = char_sub.add_parser(
+        "export", help="dump a spec's entries as CSV or JSON")
+    _char_common(char_export)
+    char_export.add_argument("--format", default="csv", choices=("csv", "json"))
+    char_export.add_argument("--out", default=None, metavar="PATH",
+                             help="output file (default: stdout)")
 
     net = sub.add_parser("netlist", help="parse and solve a SPICE-subset deck")
     net.add_argument("deck")
@@ -201,6 +388,7 @@ def main(argv: list[str] | None = None) -> int:
         "device-info": _cmd_device_info,
         "cell": _cmd_cell,
         "experiment": _cmd_experiment,
+        "char": _cmd_char,
         "netlist": _cmd_netlist,
         "diag": _cmd_diag,
     }

@@ -23,7 +23,14 @@ from repro.sram import AccessConfig, CellSizing, Cmos6TCell, Tfet6TCell
 DEFAULT_BETAS = (0.4, 0.6, 0.8, 1.0, 1.5, 2.0, 3.0)
 
 
-def run(betas=DEFAULT_BETAS, vdd: float = 0.8) -> ExperimentResult:
+def run(betas=DEFAULT_BETAS, vdd: float = 0.8, char_store=None) -> ExperimentResult:
+    from repro.char.query import metric_reader
+
+    # DRNM is servable from a built `beta_sweep` grid; WL_crit is not —
+    # this figure bisects with the default 4 ns window while the store
+    # records the wider 8 ns procedure, and the two disagree exactly
+    # where the paper's shape lives (pulses declared infinite at 4 ns).
+    read = metric_reader(char_store)
     result = ExperimentResult(
         "fig04",
         f"DRNM and WL_crit vs beta at V_DD = {vdd} V",
@@ -45,9 +52,12 @@ def run(betas=DEFAULT_BETAS, vdd: float = 0.8) -> ExperimentResult:
         cell_c = Cmos6TCell(sizing)
         result.add_row(
             beta,
-            1e3 * dynamic_read_noise_margin(cell_p.read_testbench(vdd)),
-            1e3 * dynamic_read_noise_margin(cell_n.read_testbench(vdd)),
-            1e3 * dynamic_read_noise_margin(cell_c.read_testbench(vdd)),
+            1e3 * read("drnm", "inward_p", vdd, beta=beta, compute=lambda:
+                       dynamic_read_noise_margin(cell_p.read_testbench(vdd))),
+            1e3 * read("drnm", "inward_n", vdd, beta=beta, compute=lambda:
+                       dynamic_read_noise_margin(cell_n.read_testbench(vdd))),
+            1e3 * read("drnm", "cmos", vdd, beta=beta, compute=lambda:
+                       dynamic_read_noise_margin(cell_c.read_testbench(vdd))),
             1e12 * critical_wordline_pulse(cell_p, vdd, search=search),
             1e12 * critical_wordline_pulse(cell_n, vdd, search=search),
             1e12 * critical_wordline_pulse(cell_c, vdd, search=search),

@@ -3,6 +3,12 @@
 Paper shape: the CMOS cell writes fastest everywhere (bidirectional
 access); the proposed cell's read-assist gives it the best TFET read
 at low V_DD, with CMOS taking over at high V_DD.
+
+With ``char_store`` pointing at a built characterization store (see
+``repro char build``), every delay this figure needs becomes an index
+lookup — the measurement windows below are exactly the ``nominal``
+spec's policies, so the stored values are the same numbers this module
+would simulate.
 """
 
 from __future__ import annotations
@@ -20,7 +26,10 @@ from repro.experiments.designs import (
 DEFAULT_VDDS = (0.5, 0.6, 0.7, 0.8, 0.9)
 
 
-def run(vdds=DEFAULT_VDDS) -> ExperimentResult:
+def run(vdds=DEFAULT_VDDS, char_store=None) -> ExperimentResult:
+    from repro.char.query import metric_reader
+
+    read = metric_reader(char_store)
     result = ExperimentResult(
         "fig11",
         "Write / read delay (ps) vs V_DD",
@@ -45,14 +54,23 @@ def run(vdds=DEFAULT_VDDS) -> ExperimentResult:
         duration = 8e-9 if vdd >= 0.6 else 4e-8
         result.add_row(
             vdd,
-            1e12 * write_delay(cmos_cell(), vdd),
-            1e12 * write_delay(proposed_cell(), vdd, pulse_width=pulse),
-            1e12 * write_delay(asym_cell(), vdd, pulse_width=pulse),
-            1e12 * write_delay(seven_t_cell(), vdd, pulse_width=pulse),
-            1e12 * read_delay(cmos_cell(), vdd),
-            1e12 * read_delay(proposed_cell(), vdd, assist=ra, duration=duration),
-            1e12 * read_delay(asym_cell(), vdd, duration=duration),
-            1e12 * read_delay(seven_t_cell(), vdd, duration=duration),
+            1e12 * read("write_delay", "cmos", vdd,
+                        lambda: write_delay(cmos_cell(), vdd)),
+            1e12 * read("write_delay", "proposed", vdd,
+                        lambda: write_delay(proposed_cell(), vdd, pulse_width=pulse)),
+            1e12 * read("write_delay", "asym", vdd,
+                        lambda: write_delay(asym_cell(), vdd, pulse_width=pulse)),
+            1e12 * read("write_delay", "7t", vdd,
+                        lambda: write_delay(seven_t_cell(), vdd, pulse_width=pulse)),
+            1e12 * read("read_delay", "cmos", vdd,
+                        lambda: read_delay(cmos_cell(), vdd)),
+            1e12 * read("read_delay", "proposed", vdd,
+                        lambda: read_delay(proposed_cell(), vdd, assist=ra,
+                                           duration=duration)),
+            1e12 * read("read_delay", "asym", vdd,
+                        lambda: read_delay(asym_cell(), vdd, duration=duration)),
+            1e12 * read("read_delay", "7t", vdd,
+                        lambda: read_delay(seven_t_cell(), vdd, duration=duration)),
         )
     result.notes.append("paper shape: CMOS fastest write at every V_DD")
     return result

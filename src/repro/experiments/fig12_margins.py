@@ -26,7 +26,10 @@ from repro.experiments.designs import (
 DEFAULT_VDDS = (0.5, 0.6, 0.7, 0.8, 0.9)
 
 
-def run(vdds=DEFAULT_VDDS) -> ExperimentResult:
+def run(vdds=DEFAULT_VDDS, char_store=None) -> ExperimentResult:
+    from repro.char.query import metric_reader
+
+    read = metric_reader(char_store)
     result = ExperimentResult(
         "fig12",
         "WL_crit (ps) and DRNM (mV) vs V_DD",
@@ -42,17 +45,27 @@ def run(vdds=DEFAULT_VDDS) -> ExperimentResult:
         ],
     )
     ra = proposed_read_assist()
+    # The same 8 ns bisection window the `nominal` characterization
+    # spec records wl_crit with, so stored entries serve this figure.
     search = WlCritSearch(upper_bound=8e-9)
     for vdd in vdds:
         result.add_row(
             vdd,
-            1e12 * critical_wordline_pulse(cmos_cell(), vdd, search=search),
-            1e12 * critical_wordline_pulse(proposed_cell(), vdd, search=search),
-            1e12 * critical_wordline_pulse(seven_t_cell(), vdd, search=search),
-            1e3 * dynamic_read_noise_margin(cmos_cell().read_testbench(vdd)),
-            1e3 * dynamic_read_noise_margin(proposed_cell().read_testbench(vdd, assist=ra)),
-            1e3 * dynamic_read_noise_margin(asym_cell().read_testbench(vdd)),
-            1e3 * dynamic_read_noise_margin(seven_t_cell().read_testbench(vdd)),
+            1e12 * read("wl_crit", "cmos", vdd,
+                        lambda: critical_wordline_pulse(cmos_cell(), vdd, search=search)),
+            1e12 * read("wl_crit", "proposed", vdd,
+                        lambda: critical_wordline_pulse(proposed_cell(), vdd, search=search)),
+            1e12 * read("wl_crit", "7t", vdd,
+                        lambda: critical_wordline_pulse(seven_t_cell(), vdd, search=search)),
+            1e3 * read("drnm", "cmos", vdd,
+                       lambda: dynamic_read_noise_margin(cmos_cell().read_testbench(vdd))),
+            1e3 * read("drnm", "proposed", vdd,
+                       lambda: dynamic_read_noise_margin(
+                           proposed_cell().read_testbench(vdd, assist=ra))),
+            1e3 * read("drnm", "asym", vdd,
+                       lambda: dynamic_read_noise_margin(asym_cell().read_testbench(vdd))),
+            1e3 * read("drnm", "7t", vdd,
+                       lambda: dynamic_read_noise_margin(seven_t_cell().read_testbench(vdd))),
         )
     result.notes.append(
         "asym WL_crit undefined (no separatrix); paper shape: every TFET "

@@ -17,22 +17,36 @@ from repro.experiments.common import ExperimentResult
 __all__ = ["save_json", "load_json", "save_csv"]
 
 _INF_TOKEN = "Infinity"
+_NEG_INF_TOKEN = "-Infinity"
+_NAN_TOKEN = "NaN"
 
 
 def _encode_value(value):
-    if isinstance(value, float) and math.isinf(value):
-        return {"__float__": _INF_TOKEN if value > 0 else "-Infinity"}
+    if isinstance(value, float):
+        if math.isinf(value):
+            return {"__float__": _INF_TOKEN if value > 0 else _NEG_INF_TOKEN}
+        if math.isnan(value):
+            return {"__float__": _NAN_TOKEN}
     return value
 
 
 def _decode_value(value):
     if isinstance(value, dict) and "__float__" in value:
-        return math.inf if value["__float__"] == _INF_TOKEN else -math.inf
+        token = value["__float__"]
+        if token == _NAN_TOKEN:
+            return math.nan
+        return math.inf if token == _INF_TOKEN else -math.inf
     return value
 
 
 def save_json(result: ExperimentResult, path: str | Path) -> Path:
-    """Write a result to a JSON file; returns the path written."""
+    """Write a result to a JSON file; returns the path written.
+
+    Non-finite floats (diverged or failed-sample metrics) are encoded
+    as ``{"__float__": "Infinity" | "-Infinity" | "NaN"}`` objects, so
+    the file is strict standard JSON — ``allow_nan=False`` enforces
+    that no bare ``Infinity``/``NaN`` token can slip through.
+    """
     path = Path(path)
     payload = {
         "experiment_id": result.experiment_id,
@@ -41,7 +55,7 @@ def save_json(result: ExperimentResult, path: str | Path) -> Path:
         "rows": [[_encode_value(v) for v in row] for row in result.rows],
         "notes": result.notes,
     }
-    path.write_text(json.dumps(payload, indent=2))
+    path.write_text(json.dumps(payload, indent=2, allow_nan=False))
     return path
 
 
@@ -62,12 +76,22 @@ def load_json(path: str | Path) -> ExperimentResult:
     return result
 
 
+def _csv_value(value):
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+    return value
+
+
 def save_csv(result: ExperimentResult, path: str | Path) -> Path:
-    """Write the result rows as CSV (header included)."""
+    """Write the result rows as CSV (header included; non-finite floats
+    become the spreadsheet-friendly ``inf``/``-inf``/``nan`` strings)."""
     path = Path(path)
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(result.header)
         for row in result.rows:
-            writer.writerow(["inf" if isinstance(v, float) and math.isinf(v) else v for v in row])
+            writer.writerow([_csv_value(v) for v in row])
     return path

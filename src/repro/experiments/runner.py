@@ -22,6 +22,12 @@ samples across J worker processes (bit-identical to ``--jobs 1``),
 interrupted run from its JSONL checkpoints under
 ``<output-dir>/checkpoints/``.  Experiments that do not sample ignore
 these flags with a note.
+
+``--char-store DIR`` serves grid points from a pre-built
+characterization store (:mod:`repro.char`) where the experiment's
+measurement matches a stored entry exactly; missing points fall back
+to direct simulation.  Experiments without a servable grid ignore the
+flag with a note.
 """
 
 from __future__ import annotations
@@ -262,6 +268,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="resume from the run's JSONL checkpoints instead of recomputing",
     )
+    parser.add_argument(
+        "--char-store",
+        metavar="DIR",
+        default=None,
+        help="serve grid points from this characterization store "
+        "(see `repro char build`); missing points fall back to simulation",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -325,6 +338,8 @@ def _engine_kwargs(args) -> dict:
         base = Path(args.output_dir or DEFAULT_MANIFEST_DIR)
         kwargs["checkpoint_dir"] = str(base / "checkpoints")
         kwargs["cache_dir"] = str(base / "table_cache")
+    if args.char_store is not None:
+        kwargs["char_store"] = args.char_store
     return kwargs
 
 
@@ -340,7 +355,11 @@ def _supported_kwargs(experiment_id: str, kwargs: dict) -> dict:
     run, _ = REGISTRY[experiment_id]
     accepted = set(inspect.signature(run).parameters)
     supported = {k: v for k, v in kwargs.items() if k in accepted}
-    dropped = [k for k in ("samples", "seed", "jobs", "resume") if k in kwargs and k not in accepted]
+    dropped = [
+        k.replace("_", "-")
+        for k in ("samples", "seed", "jobs", "resume", "char_store")
+        if k in kwargs and k not in accepted
+    ]
     if dropped:
         print(
             f"note: {experiment_id} does not take --{', --'.join(dropped)}; ignored",

@@ -22,7 +22,10 @@ from repro.sram import AccessConfig, CellSizing, Tfet6TCell
 DEFAULT_VDDS = (0.5, 0.6, 0.7, 0.8)
 
 
-def run(vdds=DEFAULT_VDDS) -> ExperimentResult:
+def run(vdds=DEFAULT_VDDS, char_store=None) -> ExperimentResult:
+    from repro.char.query import metric_reader
+
+    read = metric_reader(char_store)
     result = ExperimentResult(
         "tab_power",
         "Hold (static) power in watts per cell",
@@ -39,12 +42,20 @@ def run(vdds=DEFAULT_VDDS) -> ExperimentResult:
         ],
     )
     for vdd in vdds:
+        # The outward cell is measured in its leaky state
+        # (average_states=False), the same policy the `outward_n`
+        # characterization design records.
         outward = Tfet6TCell(CellSizing(), access=AccessConfig.OUTWARD_N)
-        p_in = hold_power(proposed_cell(), vdd)
-        p_out = hold_power(outward, vdd, average_states=False)
-        p_asym = hold_power(asym_cell(), vdd)
-        p_7t = hold_power(seven_t_cell(), vdd)
-        p_cmos = hold_power(cmos_cell(), vdd)
+        p_in = read("hold_power", "proposed", vdd,
+                    lambda: hold_power(proposed_cell(), vdd))
+        p_out = read("hold_power", "outward_n", vdd,
+                     lambda: hold_power(outward, vdd, average_states=False))
+        p_asym = read("hold_power", "asym", vdd,
+                      lambda: hold_power(asym_cell(), vdd))
+        p_7t = read("hold_power", "7t", vdd,
+                    lambda: hold_power(seven_t_cell(), vdd))
+        p_cmos = read("hold_power", "cmos", vdd,
+                      lambda: hold_power(cmos_cell(), vdd))
         result.add_row(
             vdd,
             p_in,

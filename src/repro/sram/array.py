@@ -32,28 +32,48 @@ from repro.sram.testbench import BITLINE_CAPACITANCE
 __all__ = ["ArrayGeometry", "ArrayEstimate", "plan_array"]
 
 CELL_BITLINE_CAP = 1.5e-16
-"""Capacitance each cell adds to its column bitline (junction + wire)."""
+"""Default capacitance each cell adds to its column bitline
+(junction + wire); override via :attr:`ArrayGeometry.cell_bitline_cap`."""
 
 FIXED_BITLINE_CAP = 1.0e-15
-"""Column-fixed bitline capacitance (sense amp, column mux)."""
+"""Default column-fixed bitline capacitance (sense amp, column mux);
+override via :attr:`ArrayGeometry.fixed_bitline_cap`."""
 
 PERIPHERY_AREA_OVERHEAD = 0.35
-"""Decoder/sense/IO area as a fraction of the cell-array area."""
+"""Default decoder/sense/IO area as a fraction of the cell-array area;
+override via :attr:`ArrayGeometry.periphery_area_overhead`."""
 
 DECODE_TIME = 5.0e-11
-"""Wordline decode + driver delay added to the access time."""
+"""Default wordline decode + driver delay added to the access time;
+override via :attr:`ArrayGeometry.decode_time`."""
 
 
 @dataclass(frozen=True)
 class ArrayGeometry:
-    """Logical organization of the macro."""
+    """Logical organization of the macro plus its electrical/layout knobs.
+
+    The per-technology knobs (wire load per cell, fixed column load,
+    periphery overhead, decode time) default to the values used for the
+    paper's estimates but are plain fields, so a different back-end or
+    metal stack is expressed as an override instead of a module edit.
+    """
 
     rows: int
     columns: int
+    cell_bitline_cap: float = CELL_BITLINE_CAP
+    fixed_bitline_cap: float = FIXED_BITLINE_CAP
+    periphery_area_overhead: float = PERIPHERY_AREA_OVERHEAD
+    decode_time: float = DECODE_TIME
 
     def __post_init__(self) -> None:
         if self.rows < 1 or self.columns < 1:
             raise ValueError("array needs at least one row and one column")
+        if self.cell_bitline_cap < 0.0 or self.fixed_bitline_cap < 0.0:
+            raise ValueError("bitline capacitances cannot be negative")
+        if self.periphery_area_overhead < 0.0:
+            raise ValueError("periphery area overhead cannot be negative")
+        if self.decode_time < 0.0:
+            raise ValueError("decode time cannot be negative")
 
     @property
     def bits(self) -> int:
@@ -61,7 +81,7 @@ class ArrayGeometry:
 
     @property
     def bitline_capacitance(self) -> float:
-        return FIXED_BITLINE_CAP + self.rows * CELL_BITLINE_CAP
+        return self.fixed_bitline_cap + self.rows * self.cell_bitline_cap
 
 
 @dataclass(frozen=True)
@@ -112,11 +132,11 @@ def plan_array(
     # Re-simulate the read against the scaled column load.
     bench_cell = _BitlineScaledCell(cell, cbl)
     delay = read_delay(bench_cell, vdd, assist=read_assist, duration=read_duration)
-    access_time = DECODE_TIME + delay if math.isfinite(delay) else math.inf
+    access_time = geometry.decode_time + delay if math.isfinite(delay) else math.inf
 
     standby = geometry.bits * hold_power(cell, vdd)
     energy = read_energy(bench_cell, vdd, assist=read_assist, duration=read_duration)
-    area = geometry.bits * cell_area_um2(cell) * (1.0 + PERIPHERY_AREA_OVERHEAD)
+    area = geometry.bits * cell_area_um2(cell) * (1.0 + geometry.periphery_area_overhead)
 
     return ArrayEstimate(
         geometry=geometry,

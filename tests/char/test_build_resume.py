@@ -1,0 +1,137 @@
+"""Build incrementality, kill/resume, failure handling, invalidation.
+
+These tests simulate real (tiny) grids — the CMOS baseline's
+hold-power/DRNM points are the cheapest metrics in the suite."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.char import (
+    CharSpec,
+    CharStore,
+    build_grid,
+    clear_fingerprint_cache,
+    plan_build,
+)
+from repro.char.metrics import METRICS
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fingerprints():
+    clear_fingerprint_cache()
+    yield
+    clear_fingerprint_cache()
+
+
+def _spec(metrics=("hold_power",), vdds=(0.6, 0.7, 0.8, 0.9)):
+    return CharSpec(name="build_t", designs=("cmos",), vdds=vdds, metrics=metrics)
+
+
+def test_second_identical_build_computes_nothing(tmp_path):
+    store = CharStore(tmp_path)
+    spec = _spec()
+    first = build_grid(spec, store)
+    assert (first.computed, first.reused, first.failed) == (4, 0, 0)
+
+    second = build_grid(spec, store)
+    assert (second.computed, second.reused) == (0, 4)
+    assert "0 simulated" in second.summary()
+
+
+def test_extending_the_grid_computes_only_new_points(tmp_path):
+    store = CharStore(tmp_path)
+    build_grid(_spec(vdds=(0.6, 0.8)), store)
+    report = build_grid(_spec(vdds=(0.6, 0.7, 0.8)), store)
+    assert (report.computed, report.reused) == (1, 2)
+
+
+def test_killed_build_resumes_from_checkpoint(tmp_path, monkeypatch):
+    from repro.char import metrics as metrics_module
+
+    store = CharStore(tmp_path)
+    spec = _spec()
+    real = metrics_module.evaluate_metric
+    calls = {"n": 0}
+
+    def dying(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] > 2:
+            raise KeyboardInterrupt  # the kill arrives mid-batch
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(metrics_module, "evaluate_metric", dying)
+    with pytest.raises(KeyboardInterrupt):
+        build_grid(spec, store)
+    # Nothing was committed to the index, but the engine checkpoint
+    # holds the two finished entries.
+    assert store.load_index() == {}
+    assert store.checkpoint_path(spec).exists()
+
+    monkeypatch.setattr(metrics_module, "evaluate_metric", real)
+    report = build_grid(spec, store)
+    assert report.computed == 4
+    assert report.resumed == 2  # replayed, not re-simulated
+    assert report.failed == 0
+    assert not store.checkpoint_path(spec).exists()  # consumed after commit
+    assert store.status(spec).present == 4
+
+
+def test_failures_are_recorded_and_retried(tmp_path, monkeypatch):
+    from repro.char import metrics as metrics_module
+
+    store = CharStore(tmp_path)
+    spec = _spec(vdds=(0.6, 0.8))
+    real = metrics_module.evaluate_metric
+
+    def failing(metric, design, vdd, **kwargs):
+        if vdd == 0.8:
+            raise RuntimeError("synthetic solver failure")
+        return real(metric, design, vdd, **kwargs)
+
+    monkeypatch.setattr(metrics_module, "evaluate_metric", failing)
+    report = build_grid(spec, store, retries=0)
+    assert (report.computed, report.failed) == (2, 1)
+    assert report.failures[0]["error_type"] == "RuntimeError"
+    assert "failed" in report.summary()
+    status = store.status(spec)
+    assert (status.present, status.failed) == (1, 1)
+
+    # The recorded failure is re-attempted — and now succeeds.
+    monkeypatch.setattr(metrics_module, "evaluate_metric", real)
+    retry = build_grid(spec, store)
+    assert (retry.computed, retry.reused, retry.failed) == (1, 1, 0)
+    assert store.status(spec).present == 2
+
+
+def test_metric_version_bump_invalidates_exactly_that_metric(tmp_path, monkeypatch):
+    store = CharStore(tmp_path)
+    spec = _spec(metrics=("hold_power", "drnm"), vdds=(0.6, 0.8))
+    build_grid(spec, store)
+    assert plan_build(spec, store) == ([], 4)
+
+    monkeypatch.setitem(METRICS, "drnm", replace(METRICS["drnm"], version=2))
+    pending, reused = plan_build(spec, store)
+    assert reused == 2
+    assert {e.metric for e in pending} == {"drnm"}
+    status = store.status(spec)
+    assert (status.present, status.stale) == (2, 2)
+
+
+def test_build_report_counts_in_telemetry(tmp_path):
+    from repro.telemetry import core as telemetry
+
+    store = CharStore(tmp_path)
+    spec = _spec(vdds=(0.6, 0.8))
+    session = telemetry.enable()
+    try:
+        build_grid(spec, store)
+        build_grid(spec, store)
+    finally:
+        telemetry.disable()
+    assert session.counters["char.store.misses"] == 2
+    assert session.counters["char.store.hits"] == 2
+    assert session.counters["char.points_computed"] == 2
+    assert session.counters["char.store.appends"] == 2

@@ -1,0 +1,143 @@
+"""Experiments served from a pre-built store, and the `repro char` CLI.
+
+The acceptance check: fig11 and the static-power table produce
+bit-identical rows whether they simulate directly or read a store
+built from the matching spec — the spec's measurement policies ARE the
+experiments' measurement policies."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.char import CharSpec, CharStore, build_grid
+from repro.cli import main
+from repro.experiments import fig11_delay, table_static_power
+from repro.telemetry import core as telemetry
+
+
+@pytest.fixture(scope="module")
+def serving_store(tmp_path_factory):
+    """One 0.8 V slice of the nominal grid: enough to serve a fig11 row
+    and a static-power row."""
+    spec = CharSpec(
+        name="serve",
+        designs=("cmos", "proposed", "asym", "7t", "outward_n"),
+        vdds=(0.8,),
+        metrics=("hold_power", "read_delay", "write_delay"),
+    )
+    store = CharStore(tmp_path_factory.mktemp("serve_store"))
+    report = build_grid(spec, store)
+    assert report.failed == 0
+    return store, spec
+
+
+class TestExperimentServing:
+    def test_fig11_row_identical_from_store(self, serving_store):
+        store, _ = serving_store
+        direct = fig11_delay.run(vdds=(0.8,))
+        session = telemetry.enable()
+        try:
+            served = fig11_delay.run(vdds=(0.8,), char_store=store)
+        finally:
+            telemetry.disable()
+        assert served.rows == direct.rows
+        assert session.counters["char.serve.hits"] == 8
+        assert "char.serve.misses" not in session.counters
+
+    def test_static_power_row_identical_from_store(self, serving_store):
+        store, _ = serving_store
+        direct = table_static_power.run(vdds=(0.8,))
+        session = telemetry.enable()
+        try:
+            served = table_static_power.run(vdds=(0.8,), char_store=store)
+        finally:
+            telemetry.disable()
+        assert served.rows == direct.rows
+        assert session.counters["char.serve.hits"] == 5
+
+    def test_store_accepts_directory_path(self, serving_store):
+        store, _ = serving_store
+        served = table_static_power.run(vdds=(0.8,), char_store=str(store.directory))
+        assert served.rows == table_static_power.run(vdds=(0.8,)).rows
+
+    def test_missing_points_fall_back_to_simulation(self, serving_store):
+        store, _ = serving_store
+        # 0.7 V was never characterized: every lookup misses, the
+        # experiment still completes by simulating.
+        session = telemetry.enable()
+        try:
+            served = table_static_power.run(vdds=(0.7,), char_store=store)
+        finally:
+            telemetry.disable()
+        assert len(served.rows) == 1
+        assert session.counters["char.serve.misses"] == 5
+
+
+class TestCharCli:
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        spec = CharSpec(
+            name="clitest", designs=("cmos",), vdds=(0.6, 0.8),
+            metrics=("hold_power",),
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_json()))
+        return str(path)
+
+    def test_build_status_query_export(self, tmp_path, spec_file, capsys):
+        store = str(tmp_path / "store")
+        assert main(["char", "build", "--spec", spec_file, "--store", store,
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "2 simulated" in out
+        assert "2 misses" in out
+
+        assert main(["char", "build", "--spec", spec_file, "--store", store]) == 0
+        assert "0 simulated" in capsys.readouterr().out
+
+        assert main(["char", "status", "--spec", spec_file, "--store", store]) == 0
+        assert "2/2 entries present" in capsys.readouterr().out
+
+        assert main(["char", "query", "hold_power", "--design", "cmos",
+                     "--vdd", "0.7", "--spec", spec_file, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "hold_power" in out and "nearest simulated point" in out
+
+        assert main(["char", "query", "hold_power", "--design", "cmos",
+                     "--vdd", "0.8", "--json", "--spec", spec_file,
+                     "--store", store]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "exact"
+
+        assert main(["char", "export", "--spec", spec_file, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("design,corner,beta,vdd,metric")
+        assert len(out.strip().splitlines()) == 3  # header + 2 entries
+
+        out_file = tmp_path / "export.json"
+        assert main(["char", "export", "--format", "json", "--out",
+                     str(out_file), "--spec", spec_file, "--store", store]) == 0
+        exported = json.loads(out_file.read_text())
+        assert exported["spec"]["name"] == "clitest"
+        assert len(exported["rows"]) == 2
+
+    def test_unknown_spec_is_a_clean_error(self, capsys):
+        assert main(["char", "status", "--spec", "no_such_spec"]) == 2
+        assert "unknown spec" in capsys.readouterr().err
+
+    def test_query_out_of_range_is_a_clean_error(self, tmp_path, spec_file, capsys):
+        store = str(tmp_path / "store")
+        assert main(["char", "build", "--spec", spec_file, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["char", "query", "hold_power", "--design", "cmos",
+                     "--vdd", "1.5", "--spec", spec_file, "--store", store]) == 2
+        assert "outside" in capsys.readouterr().err
+
+    def test_experiment_char_store_flag_forwarded(self, tmp_path, capsys):
+        # An experiment without a servable grid notes and ignores the flag.
+        assert main(["experiment", "tab_area", "--char-store",
+                     str(tmp_path)]) == 0
+        err = capsys.readouterr().err
+        assert "char-store" in err and "ignored" in err

@@ -29,9 +29,22 @@ class TestCornerCatalog:
         ds = corner_device_set("sf")
         assert ds.pulldown_left.on_current(1.0) < ds.access_left.on_current(1.0)
 
-    def test_unknown_corner_raises(self):
-        with pytest.raises(KeyError, match="unknown corner"):
+    def test_unknown_corner_raises_and_lists_known_names(self):
+        with pytest.raises(KeyError, match="ff.*fs.*sf.*ss.*tt"):
             corner_device_set("xx")
+
+    def test_corner_object_accepted_directly(self):
+        by_name = corner_device_set("ff")
+        by_object = corner_device_set(CORNERS["ff"])
+        assert by_object.pulldown_left is by_name.pulldown_left
+        assert by_object.access_left is by_name.access_left
+
+    def test_custom_corner_object(self):
+        custom = Corner("hot", 1.02, 0.98)
+        ds = corner_device_set(custom)
+        assert ds.pulldown_left is corner_device(1.02)
+        assert ds.access_left is corner_device(0.98)
+        assert ds.read_buffer is ds.access_left
 
     def test_describe(self):
         assert "fast inverters" in CORNERS["fs"].describe()

@@ -20,6 +20,13 @@ def result():
     return r
 
 
+@pytest.fixture
+def nonfinite_result():
+    r = ExperimentResult("figY", "demo", ["a", "b", "c"])
+    r.add_row(math.nan, -math.inf, math.inf)
+    return r
+
+
 class TestJsonRoundTrip:
     def test_round_trip_preserves_everything(self, result, tmp_path):
         path = save_json(result, tmp_path / "r.json")
@@ -45,6 +52,25 @@ class TestJsonRoundTrip:
         with pytest.raises(ValueError, match="missing"):
             load_json(path)
 
+    def test_nan_and_negative_infinity_survive(self, nonfinite_result, tmp_path):
+        loaded = load_json(save_json(nonfinite_result, tmp_path / "r.json"))
+        a, b, c = loaded.rows[0]
+        assert math.isnan(a)
+        assert b == -math.inf
+        assert c == math.inf
+
+    def test_file_is_strict_json_without_bare_tokens(self, nonfinite_result, tmp_path):
+        # The whole point of the token encoding: the file must parse
+        # under a strict decoder that rejects the Python JSON dialect.
+        path = save_json(nonfinite_result, tmp_path / "r.json")
+        text = path.read_text()
+        payload = json.loads(text, parse_constant=lambda token: pytest.fail(
+            f"bare non-finite token {token!r} in output"
+        ))
+        assert payload["rows"][0][0] == {"__float__": "NaN"}
+        assert payload["rows"][0][1] == {"__float__": "-Infinity"}
+        assert payload["rows"][0][2] == {"__float__": "Infinity"}
+
 
 class TestCsv:
     def test_csv_has_header_and_rows(self, result, tmp_path):
@@ -53,3 +79,7 @@ class TestCsv:
         assert lines[0] == "beta,wlcrit (ps),label"
         assert len(lines) == 3
         assert "inf" in lines[2]
+
+    def test_csv_spells_out_nonfinite_values(self, nonfinite_result, tmp_path):
+        path = save_csv(nonfinite_result, tmp_path / "r.csv")
+        assert path.read_text().strip().splitlines()[1] == "nan,-inf,inf"

@@ -9,7 +9,9 @@ import pytest
 from repro.sram import READ_ASSISTS, AccessConfig, CellSizing, Cmos6TCell, Tfet6TCell
 from repro.sram.array import (
     CELL_BITLINE_CAP,
+    DECODE_TIME,
     FIXED_BITLINE_CAP,
+    PERIPHERY_AREA_OVERHEAD,
     ArrayGeometry,
     plan_array,
 )
@@ -37,6 +39,25 @@ class TestGeometry:
     def test_validation(self):
         with pytest.raises(ValueError):
             ArrayGeometry(0, 8)
+
+    def test_electrical_knobs_default_to_module_constants(self):
+        g = ArrayGeometry(64, 8)
+        assert g.cell_bitline_cap == CELL_BITLINE_CAP
+        assert g.fixed_bitline_cap == FIXED_BITLINE_CAP
+        assert g.periphery_area_overhead == PERIPHERY_AREA_OVERHEAD
+        assert g.decode_time == DECODE_TIME
+
+    def test_bitline_cap_overrides_take_effect(self):
+        g = ArrayGeometry(64, 8, cell_bitline_cap=2e-16, fixed_bitline_cap=5e-15)
+        assert g.bitline_capacitance == pytest.approx(5e-15 + 64 * 2e-16)
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ValueError, match="capacitance"):
+            ArrayGeometry(64, 8, cell_bitline_cap=-1e-16)
+        with pytest.raises(ValueError, match="overhead"):
+            ArrayGeometry(64, 8, periphery_area_overhead=-0.1)
+        with pytest.raises(ValueError, match="decode"):
+            ArrayGeometry(64, 8, decode_time=-1e-12)
 
 
 class TestPlanArray:
@@ -77,6 +98,22 @@ class TestPlanArray:
                           read_assist=READ_ASSISTS["vgnd_lowering"])
         assert tall.read_access_time > short.read_access_time
         assert tall.bitline_capacitance > short.bitline_capacitance
+
+    def test_plan_array_responds_to_geometry_overrides(self, proposed):
+        base = ArrayGeometry(64, 8)
+        tweaked = ArrayGeometry(
+            64, 8, decode_time=0.0, periphery_area_overhead=0.0
+        )
+        with_defaults = plan_array(proposed, base, VDD,
+                                   read_assist=READ_ASSISTS["vgnd_lowering"])
+        without = plan_array(proposed, tweaked, VDD,
+                             read_assist=READ_ASSISTS["vgnd_lowering"])
+        assert with_defaults.read_access_time - without.read_access_time == (
+            pytest.approx(DECODE_TIME)
+        )
+        assert without.area_um2 == pytest.approx(
+            with_defaults.area_um2 / (1.0 + PERIPHERY_AREA_OVERHEAD)
+        )
 
     def test_tfet_array_standby_orders_below_cmos(self, proposed):
         geometry = ArrayGeometry(64, 16)

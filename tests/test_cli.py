@@ -32,6 +32,21 @@ class TestCell:
         with pytest.raises(SystemExit):
             main(["cell", "nonsense"])
 
+    def test_corner_flag_annotates_report(self, capsys):
+        assert main(["cell", "proposed", "--corner", "ss"]) == 0
+        assert "[ss corner]" in capsys.readouterr().out
+
+    def test_unknown_corner_lists_known_names(self, capsys):
+        assert main(["cell", "proposed", "--corner", "zz"]) == 2
+        err = capsys.readouterr().err
+        assert "zz" in err
+        for name in ("ff", "fs", "sf", "ss", "tt"):
+            assert name in err
+
+    def test_cmos_rejects_non_nominal_corner(self, capsys):
+        assert main(["cell", "cmos", "--corner", "ff"]) == 2
+        assert "CMOS" in capsys.readouterr().err
+
 
 class TestExperiment:
     def test_delegates_to_runner(self, capsys):
