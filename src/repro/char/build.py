@@ -11,7 +11,11 @@ contract:
   ``<store>/checkpoints/<spec digest>.jsonl``; a build killed mid-way
   replays the finished prefix on the next run and computes only the
   remainder.  Task indices are the entries' stable spec positions, so
-  the replay is exact regardless of how the pending set shrank.
+  the replay is exact regardless of how the pending set shrank.  The
+  checkpoint's ``run_key`` folds in a digest of the pending entries'
+  fingerprints, so a checkpoint written under an older solver/device
+  configuration is discarded and recomputed instead of being replayed
+  into the index under the new fingerprints.
 * **Parallel and audited** — the batch fans out over ``jobs`` worker
   processes sharing the store's device-table cache, and
   ``verify_fraction`` sample-audits entries under :mod:`repro.verify`
@@ -23,12 +27,14 @@ Failures are recorded in the index as structured ``failed`` entries
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 
 from repro.char.fingerprint import entry_fingerprint
 from repro.char.spec import CharEntry, CharSpec
 from repro.char.store import CharStore, spec_digest
+from repro.engine.checkpoint import CheckpointMismatch
 from repro.engine.jobs import Task, TaskContext, derive_seed
 from repro.engine.scheduler import EngineConfig, run_tasks
 from repro.telemetry import core as telemetry
@@ -125,6 +131,17 @@ class _null:
         return False
 
 
+def _pending_digest(pending: list[CharEntry], fps: dict[int, str]) -> str:
+    """Digest over the pending entries' fingerprints (stable order).
+
+    Part of the checkpoint ``run_key``: it covers the solver and
+    per-technology device fingerprints of every entry the batch will
+    compute, so a resume never mixes configurations.
+    """
+    joined = "\n".join(fps[entry.index] for entry in pending)
+    return hashlib.sha256(joined.encode()).hexdigest()[:16]
+
+
 def build_grid(
     spec: CharSpec,
     store: CharStore | None = None,
@@ -148,6 +165,10 @@ def build_grid(
     resumed = failed = 0
     failures: list[dict] = []
     if pending:
+        fps = {
+            entry.index: entry_fingerprint(entry.point, entry.metric)
+            for entry in pending
+        }
         tasks = [
             Task(
                 index=entry.index,
@@ -163,19 +184,28 @@ def build_grid(
             timeout_s=timeout_s,
             checkpoint_path=store.checkpoint_path(spec),
             resume=True,
-            run_key=f"char:{spec_digest(spec)}",
+            run_key=f"char:{spec_digest(spec)}:{_pending_digest(pending, fps)}",
             root_seed=0,
             cache_dir=store.table_cache_dir,
             verify_fraction=verify_fraction,
         )
-        report = run_tasks(tasks, config)
+        try:
+            report = run_tasks(tasks, config)
+        except CheckpointMismatch:
+            # The checkpoint was written under different fingerprints
+            # (solver/device configuration moved since the killed
+            # build): its values belong to the old configuration, so
+            # recording them under the new fingerprints would poison
+            # the store.  Discard and recompute.
+            store.checkpoint_path(spec).unlink(missing_ok=True)
+            report = run_tasks(tasks, config)
         resumed = report.resumed_count
 
         by_index = {entry.index: entry for entry in pending}
         records = []
         for outcome in report.outcomes:
             entry = by_index[outcome.index]
-            fp = entry_fingerprint(entry.point, entry.metric)
+            fp = fps[entry.index]
             if outcome.ok:
                 records.append(
                     store.entry_record(

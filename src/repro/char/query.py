@@ -434,20 +434,31 @@ class CharGrid:
 
 def _payload_stale(path: Path, spec: CharSpec) -> bool:
     """A compiled payload is stale when its fingerprints no longer match
-    the current environment (or it predates entries now in the index)."""
+    the current environment (or it predates entries now in the index).
+
+    Every entry is checked: fingerprints are per-technology and
+    per-metric, so sampling a subset would miss, e.g., a TFET
+    recalibration on a mixed-technology spec whose sampled entries all
+    sit on the CMOS baseline."""
     try:
         grid = CharGrid.from_npz(path)
     except Exception:
         return True
     if grid.spec.to_json() != spec.to_json():
         return True
-    for entry in spec.entries()[:1] or []:
+    axis_of = {
+        "design": {v: i for i, v in enumerate(spec.designs)},
+        "corner": {v: i for i, v in enumerate(spec.corners)},
+        "beta": {v: i for i, v in enumerate(spec.betas)},
+        "vdd": {v: i for i, v in enumerate(spec.vdds)},
+    }
+    for entry in spec.entries():
         fp = entry_fingerprint(entry.point, entry.metric)
         loc = (
-            spec.designs.index(entry.point.design),
-            spec.corners.index(entry.point.corner),
-            spec.betas.index(entry.point.beta),
-            spec.vdds.index(entry.point.vdd),
+            axis_of["design"][entry.point.design],
+            axis_of["corner"][entry.point.corner],
+            axis_of["beta"][entry.point.beta],
+            axis_of["vdd"][entry.point.vdd],
         )
         if str(grid.fps[entry.metric][loc]) != fp:
             return True

@@ -126,6 +126,13 @@ class CharSpec:
                 raise ValueError(f"spec {self.name!r}: beta must be positive")
         if tuple(sorted(self.vdds)) != tuple(self.vdds):
             raise ValueError(f"spec {self.name!r}: vdds must be sorted ascending")
+        # The query layer's bracketing assumes ascending numeric axes;
+        # None (the canonical-sizing case) may lead the axis.
+        numeric_betas = tuple(b for b in self.betas if b is not None)
+        if tuple(sorted(numeric_betas)) != numeric_betas:
+            raise ValueError(
+                f"spec {self.name!r}: numeric betas must be sorted ascending"
+            )
 
     # -- compilation -------------------------------------------------------
 

@@ -206,7 +206,15 @@ def _cmd_char(args) -> int:
         if args.json:
             import json as json_module
 
-            print(json_module.dumps(answer.to_json(), indent=2, allow_nan=False))
+            # Answer values can legitimately be inf (an unwritable
+            # cell's wl_crit is data); encode non-finite floats with
+            # the experiments.io convention so the output stays strict
+            # JSON instead of allow_nan=False raising.
+            print(
+                json_module.dumps(
+                    _encode_json_tree(answer.to_json()), indent=2, allow_nan=False
+                )
+            )
         else:
             print(answer.summary())
         return 0
@@ -214,6 +222,17 @@ def _cmd_char(args) -> int:
     if args.char_command == "export":
         return _char_export(spec, store, args)
     raise AssertionError(f"unhandled char command {args.char_command!r}")
+
+
+def _encode_json_tree(value):
+    """Apply the experiments.io non-finite float encoding recursively."""
+    from repro.experiments.io import _encode_value
+
+    if isinstance(value, dict):
+        return {k: _encode_json_tree(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_json_tree(v) for v in value]
+    return _encode_value(value)
 
 
 def _char_export(spec, store, args) -> int:

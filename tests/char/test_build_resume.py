@@ -79,6 +79,44 @@ def test_killed_build_resumes_from_checkpoint(tmp_path, monkeypatch):
     assert store.status(spec).present == 4
 
 
+def test_checkpoint_from_old_configuration_is_discarded(tmp_path, monkeypatch):
+    # Regression: a checkpoint left by a killed build holds values
+    # computed under the solver/device configuration of THAT build.  If
+    # the configuration changes before the rerun, replaying it would
+    # record old-configuration values under the new fingerprints.
+    from repro.char import metrics as metrics_module
+    from repro.circuit import dcop
+
+    store = CharStore(tmp_path)
+    spec = _spec()
+    real = metrics_module.evaluate_metric
+    calls = {"n": 0}
+
+    def dying(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] > 2:
+            raise KeyboardInterrupt
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(metrics_module, "evaluate_metric", dying)
+    with pytest.raises(KeyboardInterrupt):
+        build_grid(spec, store)
+    assert store.checkpoint_path(spec).exists()
+
+    # The solver defaults move before the rerun.
+    monkeypatch.setattr(metrics_module, "evaluate_metric", real)
+    original_options = dcop.SolverOptions
+    monkeypatch.setattr(
+        dcop, "SolverOptions", lambda: original_options(max_iterations=77)
+    )
+    clear_fingerprint_cache()
+    report = build_grid(spec, store)
+    assert report.computed == 4
+    assert report.resumed == 0  # checkpoint discarded, not replayed
+    assert report.failed == 0
+    assert store.status(spec).present == 4
+
+
 def test_failures_are_recorded_and_retried(tmp_path, monkeypatch):
     from repro.char import metrics as metrics_module
 

@@ -175,6 +175,43 @@ class TestStore:
         assert status.missing == 3
         assert "stale" in status.summary()
 
+    def test_payload_staleness_checks_every_entry(self, tmp_path, monkeypatch):
+        # Regression: fingerprints are per-technology, so a staleness
+        # check that samples only the first entry misses a TFET
+        # recalibration on a mixed spec whose first design is CMOS.
+        from repro.char.query import CharGrid, CharQueryError, _payload_stale
+        from repro.devices import library
+
+        spec = CharSpec(
+            name="mixed", designs=("cmos", "proposed"), vdds=(0.8,),
+            metrics=("drnm",),
+        )
+        store = CharStore(tmp_path)
+        store.append([
+            _record(e, entry_fingerprint(e.point, e.metric), value=0.1)
+            for e in spec.entries()
+        ])
+        path = store.compile_grid(spec)
+        assert not _payload_stale(path, spec)
+
+        class _Scaled:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def current_density(self, vgs, vds):
+                return 1.01 * self._inner.current_density(vgs, vds)
+
+        original = library.tfet_device
+        monkeypatch.setattr(library, "tfet_device", lambda: _Scaled(original()))
+        clear_fingerprint_cache()
+        assert _payload_stale(path, spec)
+        # from_store recompiles: the CMOS entry still serves, the TFET
+        # entry is now uncharacterized instead of silently stale.
+        grid = CharGrid.from_store(store, spec)
+        assert grid.query("drnm", design="cmos", vdd=0.8).method == "exact"
+        with pytest.raises(CharQueryError, match="incomplete"):
+            grid.query("drnm", design="proposed", vdd=0.8)
+
     def test_compile_grid_payload(self, tmp_path):
         import numpy as np
 

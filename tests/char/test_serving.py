@@ -123,6 +123,33 @@ class TestCharCli:
         assert exported["spec"]["name"] == "clitest"
         assert len(exported["rows"]) == 2
 
+    def test_query_json_encodes_infinite_values(self, tmp_path, capsys):
+        # An unwritable cell's wl_crit is inf — data, not an error; the
+        # JSON output must encode it instead of crashing on
+        # allow_nan=False.
+        from repro.char import entry_fingerprint
+
+        spec = CharSpec(
+            name="infq", designs=("cmos",), vdds=(0.6, 0.8),
+            metrics=("wl_crit",),
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_json()))
+        store = CharStore(tmp_path / "store")
+        store.append([
+            CharStore.entry_record(
+                e, entry_fingerprint(e.point, e.metric),
+                value=float("inf") if e.point.vdd == 0.8 else 0.5,
+            )
+            for e in spec.entries()
+        ])
+        assert main(["char", "query", "wl_crit", "--design", "cmos",
+                     "--vdd", "0.8", "--json", "--spec", str(spec_path),
+                     "--store", str(store.directory)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["value"] == {"__float__": "Infinity"}
+        assert payload["nearest"]["value"] == {"__float__": "Infinity"}
+
     def test_unknown_spec_is_a_clean_error(self, capsys):
         assert main(["char", "status", "--spec", "no_such_spec"]) == 2
         assert "unknown spec" in capsys.readouterr().err

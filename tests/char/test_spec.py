@@ -53,6 +53,15 @@ class TestValidation:
         with pytest.raises(ValueError, match="beta"):
             _spec(betas=(0.5, -1.0))
 
+    def test_unsorted_betas_rejected(self):
+        # The query layer's bracket search assumes ascending axes.
+        with pytest.raises(ValueError, match="betas must be sorted"):
+            _spec(betas=(1.5, 0.5))
+
+    def test_leading_none_beta_allowed(self):
+        spec = _spec(betas=(None, 0.5, 1.5))
+        assert spec.betas == (None, 0.5, 1.5)
+
 
 class TestCompilation:
     def test_points_skip_corners_for_corner_insensitive_designs(self):
