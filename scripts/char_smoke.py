@@ -9,7 +9,11 @@ through the real CLI (separate processes, real SIGKILL):
    the spec total) and leaves every entry present;
 3. a third build simulates nothing — the store is warm;
 4. ``repro char query`` serves an exact stored point and an
-   interpolated midpoint from the same store.
+   interpolated midpoint from the same store;
+5. a traced build (``--trace-dir``/``--metrics-out``) of a small fresh
+   grid produces a merged ``trace.json`` with one span per simulated
+   point and JSON + Prometheus metrics snapshots; everything lands in
+   ``SMOKE_ARTIFACTS`` (when set) for CI upload.
 
 Run with ``PYTHONPATH=src python scripts/char_smoke.py``; exits
 non-zero on the first violated expectation.
@@ -36,6 +40,15 @@ SPEC = {
     "metrics": ["drnm", "hold_power"],
 }
 TOTAL_ENTRIES = 16  # 2 designs x 4 vdds x 2 metrics
+
+#: Small, cheap (DC-only) grid for the traced-build step.
+TRACE_SPEC = {
+    "name": "smoke_trace",
+    "designs": ["cmos"],
+    "vdds": [0.5, 0.6],
+    "metrics": ["hold_power"],
+}
+TRACE_ENTRIES = 2
 
 
 def check(condition: bool, label: str) -> None:
@@ -134,6 +147,37 @@ def main() -> int:
         payload = json.loads(mid.stdout)
         check(payload["method"] in ("linear", "cubic"), "midpoint interpolated")
         check(payload["value"] > 0.0, "interpolated hold power is positive")
+
+        print("5. traced build exports a merged trace and metrics snapshots")
+        artifacts = Path(os.environ.get("SMOKE_ARTIFACTS", tmp_path / "artifacts"))
+        artifacts.mkdir(parents=True, exist_ok=True)
+        trace_spec = tmp_path / "smoke_trace.json"
+        trace_spec.write_text(json.dumps(TRACE_SPEC))
+        traced = cli(
+            "build",
+            "--trace-dir", str(artifacts / "char_trace"),
+            "--metrics-out", str(artifacts / "char_metrics.json"),
+            store=tmp_path / "char_traced", spec=trace_spec,
+        )
+        check(traced.returncode == 0, "traced build exits 0")
+        trace_file = artifacts / "char_trace" / "trace.json"
+        check(trace_file.exists(), "merged trace.json written")
+        spans = json.loads(trace_file.read_text())["spans"]
+        task_spans = [s for s in spans if s.get("name") == "task"]
+        check(
+            len(task_spans) == TRACE_ENTRIES,
+            f"one task span per simulated point ({len(task_spans)}/{TRACE_ENTRIES})",
+        )
+        metrics = json.loads((artifacts / "char_metrics.json").read_text())
+        counters = metrics["metrics"]["counters"]
+        check(
+            counters.get("char.points_computed") == TRACE_ENTRIES,
+            "metrics snapshot records the computed points",
+        )
+        check(
+            (artifacts / "char_metrics.prom").exists(),
+            "Prometheus metrics snapshot written",
+        )
 
     print("char smoke: all checks passed")
     return 0

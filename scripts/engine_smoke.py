@@ -9,7 +9,12 @@ and in minutes, not hours:
    function that diverges on its first attempt);
 3. a simulated kill-and-resume cycle: a prefix of the batch is
    checkpointed, the resumed run computes only the remainder, and the
-   combined values are bit-identical to an uninterrupted serial run.
+   combined values are bit-identical to an uninterrupted serial run;
+4. a traced rerun of both batches: the merged run-level trace must
+   contain every task's span tree, the ConvergenceError forensics of
+   the forced retries, and task spans covering most of the scheduler
+   wall; the trace and a metrics snapshot land in ``SMOKE_ARTIFACTS``
+   (when set) for CI upload.
 
 Run with ``PYTHONPATH=src python scripts/engine_smoke.py``; exits
 non-zero on the first violated expectation.
@@ -17,6 +22,7 @@ non-zero on the first violated expectation.
 
 from __future__ import annotations
 
+import os
 import sys
 import tempfile
 from pathlib import Path
@@ -111,6 +117,67 @@ def main() -> int:
         check(
             resumed.values() == reference.values(),
             "resumed run bit-identical to an uninterrupted run",
+        )
+
+        print("4. traced batches merge into one run-level trace + metrics")
+        from repro.obs.export import write_metrics
+        from repro.obs.trace import load_trace, summarize_trace
+        from repro.telemetry import core as telemetry
+
+        artifacts = Path(os.environ.get("SMOKE_ARTIFACTS", tmp_path / "artifacts"))
+        artifacts.mkdir(parents=True, exist_ok=True)
+        trace_dir = artifacts / "trace"
+        trace_id = "5m0ke5m0ke5m0ke5"
+        with telemetry.enabled(log_level="error") as session:
+            batch.run(
+                SAMPLES,
+                seed=SEED,
+                engine=EngineConfig(
+                    jobs=2,
+                    cache_dir=tmp_path / "table_cache",
+                    trace_dir=trace_dir,
+                    trace_id=trace_id,
+                    run_key="smoke-mc",
+                ),
+            )
+            run_tasks(
+                tasks,
+                EngineConfig(
+                    jobs=2,
+                    retries=1,
+                    trace_dir=trace_dir,
+                    trace_id=trace_id,
+                    run_key="smoke-flaky",
+                ),
+            )
+        write_metrics(
+            session,
+            artifacts / "engine_metrics.json",
+            artifacts / "engine_metrics.prom",
+            run="engine-smoke",
+            trace_id=trace_id,
+        )
+        summary = summarize_trace(load_trace(trace_dir))
+        check(
+            summary["tasks"] == SAMPLES + 8,
+            f"every task left a span ({summary['tasks']}/{SAMPLES + 8})",
+        )
+        check(
+            summary["attempts"] == SAMPLES + 16,
+            "retried tasks left one span per attempt",
+        )
+        check(
+            summary["convergence_events"] >= 8,
+            f"retry forensics recorded ({summary['convergence_events']} events)",
+        )
+        check(
+            summary["task_coverage"] > 0.5,
+            f"task spans cover the scheduler wall "
+            f"({100.0 * summary['task_coverage']:.1f} %)",
+        )
+        check(
+            (artifacts / "engine_metrics.prom").read_text().startswith("#"),
+            "Prometheus metrics snapshot written",
         )
 
     print("engine smoke: all checks passed")

@@ -151,6 +151,8 @@ def build_grid(
     timeout_s: float | None = None,
     verify_fraction: float = 0.0,
     compile_payload: bool = True,
+    trace_dir: str | None = None,
+    trace_id: str | None = None,
 ) -> BuildReport:
     """Bring the store up to date with ``spec``; see the module docstring."""
     store = store or CharStore()
@@ -188,6 +190,8 @@ def build_grid(
             root_seed=0,
             cache_dir=store.table_cache_dir,
             verify_fraction=verify_fraction,
+            trace_dir=trace_dir,
+            trace_id=trace_id,
         )
         try:
             report = run_tasks(tasks, config)

@@ -474,7 +474,16 @@ def solve_dc(
     tel = telemetry.active()
     if tel is not None:
         tel.count("dcop.solves")
+        with tel.span("dcop"):
+            return _solve_dc_tiers(circuit, system, clamps, x0, options, t, tel)
+    return _solve_dc_tiers(circuit, system, clamps, x0, options, t, None)
 
+
+def _solve_dc_tiers(
+    circuit, system, clamps, x0, options, t, tel
+) -> OperatingPoint:
+    """The escalation ladder of :func:`solve_dc` (split out so the
+    traced path can wrap it in one ``dcop`` span)."""
     warm = bool(np.any(x0 != 0.0))
     first_tier = "warm_start" if warm else "cold_start"
     try:

@@ -184,6 +184,22 @@ def simulate_transient(
     options = options or TransientOptions()
 
     tel = telemetry.active()
+    if tel is not None:
+        with tel.span("transient"):
+            return _simulate(
+                circuit, t_stop, initial_conditions, options,
+                operating_point_guess, tel,
+            )
+    return _simulate(
+        circuit, t_stop, initial_conditions, options, operating_point_guess, None
+    )
+
+
+def _simulate(
+    circuit, t_stop, initial_conditions, options, operating_point_guess, tel
+) -> TransientResult:
+    """The integration loop of :func:`simulate_transient` (split out so
+    the traced path can wrap it in one ``transient`` span)."""
     wall_start = time.perf_counter() if tel is not None else 0.0
 
     guess = dict(operating_point_guess or {})

@@ -17,7 +17,13 @@ Commands:
 * ``netlist <deck.sp> [--op | --tran T]`` — parse a SPICE-subset deck
   and print its DC operating point or run a transient;
 * ``diag [paths...]`` — solver-health summary of saved run manifests
-  (default: ``results/``).
+  (default: ``results/``);
+* ``trace summary|timeline|slowest|convergence`` — timeline analytics
+  over a merged run-level trace (produced by ``experiment --trace-dir``
+  or ``char build --trace-dir``);
+* ``bench history|check`` — record ``BENCH_*.json`` headline metrics
+  into ``results/bench_history.jsonl`` and flag regressions (``check``
+  exits non-zero on one — the CI gate).
 """
 
 from __future__ import annotations
@@ -136,6 +142,8 @@ def _cmd_experiment(args) -> int:
         argv.extend(["--trace", args.trace])
     if args.log_level:
         argv.extend(["--log-level", args.log_level])
+    if args.trace_dir:
+        argv.extend(["--trace-dir", args.trace_dir])
     if args.output_dir:
         argv.extend(["--output-dir", args.output_dir])
     if args.verify:
@@ -167,13 +175,16 @@ def _cmd_char(args) -> int:
         from repro.char import build_grid
         from repro.telemetry import core as telemetry
 
-        session = telemetry.enable() if args.profile else None
+        session = (
+            telemetry.enable() if (args.profile or args.metrics_out) else None
+        )
         try:
             report = build_grid(
                 spec,
                 store,
                 jobs=args.jobs,
                 verify_fraction=args.verify_fraction,
+                trace_dir=args.trace_dir,
             )
         finally:
             if session is not None:
@@ -183,6 +194,24 @@ def _cmd_char(args) -> int:
             hits = session.counters.get("char.store.hits", 0)
             misses = session.counters.get("char.store.misses", 0)
             print(f"store: {hits} hits, {misses} misses")
+        if args.metrics_out and session is not None:
+            from pathlib import Path
+
+            from repro.obs.export import write_metrics
+
+            json_path = Path(args.metrics_out)
+            write_metrics(
+                session,
+                json_path,
+                json_path.with_suffix(".prom"),
+                run=f"char:{args.spec}",
+                duration_s=report.wall_s,
+            )
+            print(f"metrics: {json_path}")
+        if args.trace_dir:
+            from pathlib import Path
+
+            print(f"trace: {Path(args.trace_dir) / 'trace.json'}")
         return 1 if report.failed else 0
 
     if args.char_command == "status":
@@ -281,6 +310,63 @@ def _char_export(spec, store, args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs.trace import (
+        format_convergence,
+        format_slowest,
+        format_summary,
+        format_timeline,
+        load_trace,
+    )
+
+    try:
+        trace = load_trace(args.trace)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    if args.trace_command == "summary":
+        print(format_summary(trace))
+    elif args.trace_command == "timeline":
+        print(format_timeline(trace, width=args.width))
+    elif args.trace_command == "slowest":
+        print(format_slowest(trace, top=args.top))
+    else:
+        print(format_convergence(trace))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import json as json_module
+
+    from repro.obs import bench
+
+    records = []
+    for path in bench.collect_bench_files(args.root):
+        try:
+            payload = json_module.loads(path.read_text())
+        except (OSError, json_module.JSONDecodeError):
+            print(f"note: skipping unreadable {path}", file=sys.stderr)
+            continue
+        record = bench.bench_record(payload, path.name)
+        if record is not None:
+            records.append(record)
+    added = bench.append_history(records, args.history)
+    if added:
+        print(f"recorded {added} new bench result(s) into {args.history}")
+    history = bench.load_history(args.history)
+    print(bench.format_history(history, tolerance=args.tolerance))
+    if args.bench_command == "check":
+        problems = bench.check_history(history, tolerance=args.tolerance)
+        if problems:
+            print()
+            for problem in problems:
+                print(f"REGRESSION: {problem}")
+            return 1
+        print()
+        print("no regressions detected")
+    return 0
+
+
 def _cmd_diag(args) -> int:
     from repro.telemetry.diag import format_diag_report, load_manifests
 
@@ -332,6 +418,9 @@ def main(argv: list[str] | None = None) -> int:
     exp.add_argument("--log-level", default=None,
                      choices=("debug", "info", "warning", "error"),
                      help="event threshold for the trace/event log")
+    exp.add_argument("--trace-dir", metavar="DIR", default=None,
+                     help="stream cross-process span trees into DIR and "
+                     "merge them into DIR/trace.json (see `repro trace`)")
     exp.add_argument("--output-dir", metavar="DIR", default=None,
                      help="directory for result JSON and run manifests")
     exp.add_argument("--verify", action="store_true",
@@ -369,6 +458,12 @@ def main(argv: list[str] | None = None) -> int:
                             "points under repro.verify")
     char_build.add_argument("--profile", action="store_true",
                             help="print store hit/miss counters after the build")
+    char_build.add_argument("--trace-dir", metavar="DIR", default=None,
+                            help="stream the build batch's span trees into DIR "
+                            "and merge them into DIR/trace.json")
+    char_build.add_argument("--metrics-out", metavar="PATH", default=None,
+                            help="write the build's metrics snapshot to PATH "
+                            "(JSON; a .prom sibling is written too)")
 
     char_status = char_sub.add_parser(
         "status", help="coverage of one spec: present/missing/failed/stale")
@@ -402,6 +497,42 @@ def main(argv: list[str] | None = None) -> int:
     diag.add_argument("paths", nargs="*", default=["results"],
                       help="manifest files or directories (default: results/)")
 
+    trace_p = sub.add_parser("trace", help="timeline analytics on a merged trace")
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    trace_verbs = (
+        ("summary", "span population, wall times, task coverage"),
+        ("timeline", "ASCII Gantt of task spans in concurrency lanes"),
+        ("slowest", "tasks ranked by wall time and Newton effort"),
+        ("convergence", "ConvergenceError forensics grouped per task"),
+    )
+    for verb, verb_help in trace_verbs:
+        verb_p = trace_sub.add_parser(verb, help=verb_help)
+        verb_p.add_argument("--trace", default="results/trace", metavar="PATH",
+                            help="merged trace.json or its trace directory "
+                            "(default: results/trace)")
+        if verb == "timeline":
+            verb_p.add_argument("--width", type=int, default=72, metavar="COLS",
+                                help="timeline width in characters")
+        if verb == "slowest":
+            verb_p.add_argument("--top", type=int, default=10, metavar="N",
+                                help="how many tasks to list")
+
+    bench_p = sub.add_parser(
+        "bench", help="record and check benchmark headline history")
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+    for verb, verb_help in (
+        ("history", "record fresh BENCH_*.json results and print the history"),
+        ("check", "same, then exit non-zero on any regression (CI gate)"),
+    ):
+        verb_p = bench_sub.add_parser(verb, help=verb_help)
+        verb_p.add_argument("--history", default="results/bench_history.jsonl",
+                            metavar="PATH", help="history log location")
+        verb_p.add_argument("--root", default=".", metavar="DIR",
+                            help="directory scanned for BENCH_*.json")
+        verb_p.add_argument("--tolerance", type=float, default=0.25, metavar="F",
+                            help="allowed fractional drop below the baseline "
+                            "median for higher-is-better metrics")
+
     args = parser.parse_args(argv)
     handlers = {
         "device-info": _cmd_device_info,
@@ -410,6 +541,8 @@ def main(argv: list[str] | None = None) -> int:
         "char": _cmd_char,
         "netlist": _cmd_netlist,
         "diag": _cmd_diag,
+        "trace": _cmd_trace,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -20,6 +20,13 @@ returns a :class:`BatchReport`.  The contract:
   retry counts) are aggregated across workers into the caller's active
   telemetry session, so run manifests of parallel runs stay as
   diagnosable as serial ones.
+* **Tracing** — with ``trace_dir`` configured, the scheduler mints a
+  :class:`~repro.obs.context.TraceSpec` (trace id + batch span id) and
+  threads it into every worker; workers stream per-task span trees to
+  per-process JSONL sinks, the scheduler records the batch span and
+  aggregate checkpoint-I/O span, and the sinks are merged into one
+  run-level ``trace.json`` when the batch completes (``repro trace``
+  renders it).
 """
 
 from __future__ import annotations
@@ -60,6 +67,12 @@ class EngineConfig:
     fails the task with a structured ``VerificationError`` outcome —
     it is a solver bug, not a convergence hiccup, so it is never
     retried.
+
+    ``trace_dir`` enables the cross-process trace pipeline: per-task
+    span trees stream to JSONL sinks under that directory and merge
+    into ``<trace_dir>/trace.json`` when the batch completes.
+    ``trace_id`` pins the run-level trace id (several batches of one
+    run share it); left ``None``, a fresh id is minted per batch.
     """
 
     jobs: int = 1
@@ -73,6 +86,8 @@ class EngineConfig:
     collect_telemetry: bool = True
     verify_fraction: float = 0.0
     verify_options: VerifyOptions | None = None
+    trace_dir: str | Path | None = None
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -131,7 +146,14 @@ def run_tasks(tasks: list[Task], config: EngineConfig = EngineConfig()) -> Batch
     if len(set(indices)) != len(indices):
         raise ValueError("task indices must be unique within a batch")
 
+    trace = None
+    if config.trace_dir is not None:
+        from repro.obs.context import TraceSpec
+
+        trace = TraceSpec.for_batch(config.trace_dir, config.run_key, config.trace_id)
+
     start = time.perf_counter()
+    batch_t0_unix = time.time()
     done: dict[int, TaskOutcome] = {}
     log = None
     if config.checkpoint_path is not None:
@@ -140,14 +162,16 @@ def run_tasks(tasks: list[Task], config: EngineConfig = EngineConfig()) -> Batch
             done = log.open_resumed()
         else:
             log.open_fresh()
+        if trace is not None:
+            log = _TimedCheckpoint(log)
 
     pending = [t for t in tasks if t.index not in done]
     resumed_count = len(tasks) - len(pending)
     try:
         if config.jobs == 1:
-            fresh = _run_inline(pending, config, log)
+            fresh = _run_inline(pending, config, log, trace)
         else:
-            fresh = _run_pool(pending, config, log)
+            fresh = _run_pool(pending, config, log, trace)
     finally:
         if log is not None:
             log.close()
@@ -163,10 +187,72 @@ def run_tasks(tasks: list[Task], config: EngineConfig = EngineConfig()) -> Batch
     for outcome in fresh.values():
         _merge_counts(report.counters, outcome.counters)
     _publish_to_session(report, resumed_count)
+    if trace is not None:
+        _finalize_trace(trace, config, report, log, batch_t0_unix)
     return report
 
 
-def _run_inline(pending, config, log) -> dict[int, TaskOutcome]:
+class _TimedCheckpoint:
+    """Checkpoint-log proxy that accumulates append wall time.
+
+    Traced batches wrap the log in this so the scheduler can emit one
+    aggregate ``checkpoint.io`` span per batch instead of one span per
+    outcome — checkpoint appends are frequent and individually tiny.
+    """
+
+    def __init__(self, log: CheckpointLog):
+        self._log = log
+        self.append_s = 0.0
+        self.appends = 0
+
+    def append(self, outcome) -> None:
+        t0 = time.perf_counter()
+        self._log.append(outcome)
+        self.append_s += time.perf_counter() - t0
+        self.appends += 1
+
+    def close(self) -> None:
+        self._log.close()
+
+
+def _finalize_trace(trace, config, report, log, batch_t0_unix) -> None:
+    """Record the scheduler-side spans and merge the run-level trace."""
+    from repro.obs.sink import SpanSink
+    from repro.obs.trace import merge_trace
+    from repro.telemetry.core import derive_span_id
+
+    sink = SpanSink(config.trace_dir, role="scheduler", trace_id=trace.trace_id)
+    try:
+        if isinstance(log, _TimedCheckpoint) and log.appends:
+            sink.write_span(
+                derive_span_id(
+                    trace.trace_id, trace.parent_span_id, "checkpoint.io", 0
+                ),
+                trace.parent_span_id,
+                "checkpoint.io",
+                batch_t0_unix,
+                log.append_s,
+                appends=log.appends,
+            )
+        sink.write_span(
+            trace.parent_span_id,
+            "",
+            "batch",
+            batch_t0_unix,
+            report.wall_s,
+            run_key=config.run_key,
+            jobs=config.jobs,
+            tasks=len(report.outcomes),
+            ok=report.ok_count,
+            failed=report.failed_count,
+            resumed=report.resumed_count,
+        )
+    finally:
+        sink.close()
+    merge_trace(config.trace_dir)
+
+
+def _run_inline(pending, config, log, trace=None) -> dict[int, TaskOutcome]:
     """Single-job path: runs in-process, accepts unpicklable task fns."""
     installed_cache = None
     if config.cache_dir is not None:
@@ -185,6 +271,7 @@ def _run_inline(pending, config, log) -> dict[int, TaskOutcome]:
                 collect_telemetry=config.collect_telemetry,
                 verify_fraction=config.verify_fraction,
                 verify_options=config.verify_options,
+                trace=trace,
             )
             outcomes[task.index] = outcome
             if log is not None:
@@ -197,7 +284,7 @@ def _run_inline(pending, config, log) -> dict[int, TaskOutcome]:
             set_table_cache(installed_cache)
 
 
-def _run_pool(pending, config, log) -> dict[int, TaskOutcome]:
+def _run_pool(pending, config, log, trace=None) -> dict[int, TaskOutcome]:
     """Multi-worker path over a fork-context process pool.
 
     Tasks are submitted through a bounded in-flight window; each
@@ -231,6 +318,7 @@ def _run_pool(pending, config, log) -> dict[int, TaskOutcome]:
                     collect_telemetry=config.collect_telemetry,
                     verify_fraction=config.verify_fraction,
                     verify_options=config.verify_options,
+                    trace=trace,
                 )
                 in_flight[future] = task
             finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)

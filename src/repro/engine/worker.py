@@ -105,6 +105,89 @@ class _attempt_deadline:
             self._armed = False
 
 
+class _TaskTrace:
+    """Records one task's span tree into this process's trace sink.
+
+    Built once per traced task; writes the attempt spans (and the
+    solver spans each attempt's telemetry session accumulated), any
+    failure-forensics events, and finally the task span itself.  All
+    span ids derive from the task's logical position (see
+    :mod:`repro.obs.context`), never from this process's identity.
+    """
+
+    def __init__(self, trace, task: Task):
+        from repro.obs.context import attempt_span_id, task_span_id
+        from repro.obs.sink import worker_sink
+
+        self._attempt_id = attempt_span_id
+        self.trace = trace
+        self.task = task
+        self.sink = worker_sink(trace.directory, trace.trace_id)
+        self.task_span = task_span_id(trace.trace_id, trace.parent_span_id, task.index)
+        self.t0_unix = time.time()
+        self._attempt_t0 = (self.t0_unix, time.perf_counter())
+
+    def begin_attempt(self, attempt: int) -> None:
+        self._attempt_t0 = (time.time(), time.perf_counter())
+
+    def context(self, attempt: int) -> telemetry.TraceContext:
+        """The trace context rooting this attempt's solver spans."""
+        return telemetry.TraceContext(
+            trace_id=self.trace.trace_id,
+            parent_span_id=self._attempt_id(
+                self.trace.trace_id, self.task_span, attempt
+            ),
+        )
+
+    def end_attempt(self, attempt: int, session) -> None:
+        t0_unix, t0_perf = self._attempt_t0
+        self.sink.write_span(
+            self._attempt_id(self.trace.trace_id, self.task_span, attempt),
+            self.task_span,
+            "attempt",
+            t0_unix,
+            time.perf_counter() - t0_perf,
+            index=self.task.index,
+            attempt=attempt,
+        )
+        if session is not None:
+            self.sink.write_session_spans(session)
+
+    def error(self, attempt: int, exc: BaseException) -> None:
+        name = (
+            "convergence_error"
+            if isinstance(exc, RETRYABLE_ERRORS)
+            else "task_error"
+        )
+        self.sink.write_event(
+            name,
+            level="error",
+            index=self.task.index,
+            attempt=attempt,
+            error_type=type(exc).__name__,
+            error="".join(traceback.format_exception_only(exc)).strip(),
+        )
+
+    def finish(self, outcome: TaskOutcome) -> TaskOutcome:
+        fields = {
+            "index": self.task.index,
+            "status": outcome.status,
+            "attempts": outcome.attempts,
+            "counters": outcome.counters,
+        }
+        if outcome.error_type:
+            fields["error_type"] = outcome.error_type
+        self.sink.write_span(
+            self.task_span,
+            self.trace.parent_span_id,
+            "task",
+            self.t0_unix,
+            outcome.wall_s,
+            **fields,
+        )
+        return outcome
+
+
 def execute_task(
     task: Task,
     retries: int = 0,
@@ -112,6 +195,7 @@ def execute_task(
     collect_telemetry: bool = True,
     verify_fraction: float = 0.0,
     verify_options=None,
+    trace=None,
 ) -> TaskOutcome:
     """Run one task to a structured outcome; never raises.
 
@@ -129,28 +213,51 @@ def execute_task(
     the work is deterministic, so the violation is a real solver bug,
     recorded as a structured failure (``error_type``
     ``VerificationError``) that survives the batch.
+
+    With ``trace`` (a :class:`~repro.obs.context.TraceSpec`), the task's
+    span tree — task, attempts, and the solver spans inside each
+    attempt — streams to this process's JSONL sink; each attempt's
+    telemetry session is rooted at the attempt span, so solver spans
+    parent correctly in the merged run-level trace.  Failed attempts
+    additionally emit ``convergence_error`` / ``task_error`` forensics
+    events.  Counter semantics are unchanged: task counters still ride
+    back on the outcome only for successful tasks.
     """
     start = time.perf_counter()
     counters: dict[str, int] = {}
     attempt = 0
+    tracer = _TaskTrace(trace, task) if trace is not None else None
     audited = verify_selected(task.seed, verify_fraction)
     if audited:
         counters["verify.audited_tasks"] = 1
     while True:
         ctx = TaskContext(index=task.index, seed=task.seed, attempt=attempt)
         verify_ctx = verify.enabled(verify_options) if audited else nullcontext(None)
+        if tracer is not None:
+            tracer.begin_attempt(attempt)
+        session = None
         try:
             with verify_ctx as ver:
                 try:
-                    if collect_telemetry:
-                        with telemetry.enabled(log_level="error") as session:
+                    if collect_telemetry or tracer is not None:
+                        trace_ctx = (
+                            tracer.context(attempt) if tracer is not None else None
+                        )
+                        with telemetry.enabled(
+                            log_level="error", trace=trace_ctx
+                        ) as session:
                             with _attempt_deadline(timeout_s):
                                 value = task.fn(task.payload, ctx)
-                        _merge_counts(counters, session.counters)
+                        if collect_telemetry:
+                            _merge_counts(counters, session.counters)
                     else:
                         with _attempt_deadline(timeout_s):
                             value = task.fn(task.payload, ctx)
                 finally:
+                    # The attempt span lands success and failure alike —
+                    # retried attempts are exactly the interesting ones.
+                    if tracer is not None:
+                        tracer.end_attempt(attempt, session)
                     # Merge audit counters on success *and* failure —
                     # a violation-aborted attempt still reports how far
                     # the audits got.
@@ -158,7 +265,7 @@ def execute_task(
                         for name, n in ver.audits.items():
                             key = f"verify.audit.{name}"
                             counters[key] = counters.get(key, 0) + n
-            return TaskOutcome(
+            outcome = TaskOutcome(
                 index=task.index,
                 status="ok",
                 value=value,
@@ -166,7 +273,10 @@ def execute_task(
                 wall_s=time.perf_counter() - start,
                 counters=counters,
             )
+            return tracer.finish(outcome) if tracer is not None else outcome
         except RETRYABLE_ERRORS as exc:
+            if tracer is not None:
+                tracer.error(attempt, exc)
             counters["engine.convergence_errors"] = (
                 counters.get("engine.convergence_errors", 0) + 1
             )
@@ -174,12 +284,20 @@ def execute_task(
                 attempt += 1
                 counters["engine.retries"] = counters.get("engine.retries", 0) + 1
                 continue
-            return _failure(task, exc, attempt + 1, start, counters)
+            return _finish(tracer, _failure(task, exc, attempt + 1, start, counters))
         except TaskTimeout as exc:
+            if tracer is not None:
+                tracer.error(attempt, exc)
             counters["engine.timeouts"] = counters.get("engine.timeouts", 0) + 1
-            return _failure(task, exc, attempt + 1, start, counters)
+            return _finish(tracer, _failure(task, exc, attempt + 1, start, counters))
         except Exception as exc:  # noqa: BLE001 — the pool must survive
-            return _failure(task, exc, attempt + 1, start, counters)
+            if tracer is not None:
+                tracer.error(attempt, exc)
+            return _finish(tracer, _failure(task, exc, attempt + 1, start, counters))
+
+
+def _finish(tracer, outcome: TaskOutcome) -> TaskOutcome:
+    return tracer.finish(outcome) if tracer is not None else outcome
 
 
 def _failure(task, exc, attempts, start, counters) -> TaskOutcome:

@@ -34,6 +34,8 @@ def run(
     cache_dir: str | None = None,
     retries: int = 2,
     timeout_s: float | None = None,
+    trace_dir: str | None = None,
+    trace_id: str | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         "fig10",
@@ -72,6 +74,8 @@ def run(
             cache_dir=cache_dir,
             retries=retries,
             timeout_s=timeout_s,
+            trace_dir=trace_dir,
+            trace_id=trace_id,
         )
         mc = MonteCarloBatch(spec).run(samples, seed=seed, engine=engine)
         task_failures += mc.report.failed_count

@@ -46,6 +46,8 @@ def engine_config_for(
     cache_dir: str | Path | None = None,
     retries: int = 2,
     timeout_s: float | None = None,
+    trace_dir: str | Path | None = None,
+    trace_id: str | None = None,
 ) -> EngineConfig:
     """The engine configuration for one experiment study.
 
@@ -53,6 +55,11 @@ def engine_config_for(
     in; the CLI runner always passes a directory so interrupted command
     line runs are resumable by default).  ``resume=True`` without a
     checkpoint directory resumes from the default location.
+
+    ``trace_dir`` streams per-task span trees into that directory and
+    merges them into a run-level trace (see :mod:`repro.obs`);
+    ``trace_id`` keeps every study of one experiment under a single
+    trace id.
     """
     if resume and checkpoint_dir is None:
         checkpoint_dir = DEFAULT_CHECKPOINT_DIR
@@ -72,4 +79,6 @@ def engine_config_for(
         run_key=run_key_for(experiment_id, spec),
         root_seed=seed,
         cache_dir=cache_dir,
+        trace_dir=trace_dir,
+        trace_id=trace_id,
     )

@@ -10,8 +10,11 @@ writes a run manifest (wall time, Newton/fallback/step statistics,
 result checksum) next to the results; ``--trace out.json`` additionally
 dumps the structured event trace (suffixed per experiment id when
 several experiments run in one invocation); ``--log-level debug``
-widens what the trace records.  ``repro diag`` summarizes saved
-manifests.  ``--verify`` re-checks every accepted solver result
+widens what the trace records; ``--trace-dir DIR`` streams
+cross-process span trees (scheduler, workers, runner) into DIR and
+merges them into ``DIR/trace.json`` for ``repro trace``.  Instrumented
+runs also export ``<id>_metrics.json``/``.prom`` snapshots.  ``repro
+diag`` summarizes saved manifests.  ``--verify`` re-checks every accepted solver result
 against the retained reference implementations while the experiment
 runs (see :mod:`repro.verify`).
 
@@ -62,6 +65,7 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentResult
 from repro.experiments.io import save_json
+from repro.obs.export import write_metrics
 from repro.telemetry import core as telemetry
 from repro.telemetry.manifest import build_manifest, manifest_path, write_manifest
 from repro.verify import core as verify
@@ -121,6 +125,7 @@ def run_experiment(
     profile: bool = False,
     trace_path: str | Path | None = None,
     log_level: str | None = None,
+    trace_dir: str | Path | None = None,
     output_dir: str | Path | None = None,
     verify_run: bool = False,
     **kwargs,
@@ -132,6 +137,15 @@ def run_experiment(
     ``trace_path`` also dumps the structured event log; ``log_level``
     sets the event threshold (implies collection).  ``output_dir``
     additionally saves the result table as ``<id>.json``.
+
+    ``trace_dir`` turns on the cross-process trace pipeline
+    (:mod:`repro.obs`): a run-level trace id is minted here, threaded
+    through the engine into every worker for experiments whose ``run``
+    takes ``trace_dir``/``trace_id``, and the per-process span sinks are
+    merged into ``<trace_dir>/trace.json`` (rendered by ``repro
+    trace``).  Any instrumented run additionally exports its metrics
+    snapshot as ``<id>_metrics.json`` + ``<id>_metrics.prom`` next to
+    the manifest.
 
     ``verify_run`` executes the whole experiment under a
     :mod:`repro.verify` session: every converged Newton solution,
@@ -151,13 +165,29 @@ def run_experiment(
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
     run, title = REGISTRY[experiment_id]
 
-    instrument = bool(profile or trace_path or log_level)
+    trace_id = None
+    if trace_dir is not None:
+        trace_id = telemetry.mint_trace_id()
+        # Engine-backed experiments thread the context into their
+        # workers; experiments without engine plumbing still get the
+        # runner-side spans and the merged trace, so no warning here.
+        accepted = set(inspect.signature(run).parameters)
+        if "trace_dir" in accepted:
+            kwargs.setdefault("trace_dir", str(trace_dir))
+            kwargs.setdefault("trace_id", trace_id)
+
+    instrument = bool(profile or trace_path or log_level or trace_dir)
     verify_ctx = verify.enabled() if verify_run else nullcontext(None)
     with verify_ctx as ver:
         if not instrument:
             result = run(**kwargs)
         else:
-            with telemetry.enabled(log_level=log_level or "info") as session:
+            trace_ctx = (
+                telemetry.TraceContext(trace_id=trace_id) if trace_id else None
+            )
+            with telemetry.enabled(
+                log_level=log_level or "info", trace=trace_ctx
+            ) as session:
                 start = time.perf_counter()
                 with session.span(f"experiment.{experiment_id}"):
                     result = run(**kwargs)
@@ -166,6 +196,16 @@ def run_experiment(
                 write_manifest(manifest, output_dir or DEFAULT_MANIFEST_DIR)
                 if trace_path:
                     session.write_trace(trace_path)
+                metrics_dir = Path(output_dir or DEFAULT_MANIFEST_DIR)
+                write_metrics(
+                    session,
+                    metrics_dir / f"{experiment_id}_metrics.json",
+                    metrics_dir / f"{experiment_id}_metrics.prom",
+                    run=experiment_id,
+                    duration_s=wall,
+                )
+                if trace_dir is not None:
+                    _flush_runner_trace(trace_dir, trace_id, session)
     if ver is not None:
         totals = ", ".join(f"{k}={n}" for k, n in sorted(ver.audits.items()))
         # A zero count has two honest explanations: the experiment did
@@ -193,6 +233,24 @@ def run_experiment(
     return result
 
 
+def _flush_runner_trace(trace_dir, trace_id, session) -> None:
+    """Stream the runner session's spans into the trace and re-merge.
+
+    The engine already merged after each batch; merging again folds the
+    runner's own ``experiment.<id>`` span (and any spans from inline
+    solver work outside the engine) into the same ``trace.json``.
+    """
+    from repro.obs.sink import SpanSink
+    from repro.obs.trace import merge_trace
+
+    sink = SpanSink(trace_dir, role="runner", trace_id=trace_id)
+    try:
+        sink.write_session_spans(session)
+    finally:
+        sink.close()
+    merge_trace(trace_dir)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.experiments",
@@ -218,6 +276,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         default=None,
         help="write the structured JSON event trace to PATH (implies telemetry)",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="stream cross-process span trees into DIR and merge them "
+        "into DIR/trace.json (rendered by `repro trace`); engine-backed "
+        "experiments trace every worker task",
     )
     parser.add_argument(
         "--log-level",
@@ -288,23 +354,37 @@ def main(argv: list[str] | None = None) -> int:
     ids = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
     engine_kwargs = _engine_kwargs(args)
     for experiment_id in ids:
+        trace_dir = _trace_dir_for(args.trace_dir, experiment_id, multi=len(ids) > 1)
         result = run_experiment(
             experiment_id,
             profile=args.profile,
             trace_path=_trace_path_for(args.trace, experiment_id, multi=len(ids) > 1),
             log_level=args.log_level,
+            trace_dir=trace_dir,
             output_dir=args.output_dir,
             verify_run=args.verify,
             **_supported_kwargs(experiment_id, engine_kwargs),
         )
         print(result.format())
-        if args.profile or args.trace or args.log_level:
+        if args.profile or args.trace or args.log_level or args.trace_dir:
             print(
                 "manifest: %s"
                 % manifest_path(args.output_dir or DEFAULT_MANIFEST_DIR, experiment_id)
             )
+        if trace_dir is not None:
+            print(f"trace: {Path(trace_dir) / 'trace.json'}")
         print()
     return 0
+
+
+def _trace_dir_for(
+    trace_dir: str | None, experiment_id: str, multi: bool
+) -> str | Path | None:
+    """Per-experiment trace directory for multi-experiment invocations
+    (``all``): each experiment's sinks and merged trace stay separate."""
+    if trace_dir is None or not multi:
+        return trace_dir
+    return Path(trace_dir) / experiment_id
 
 
 def _trace_path_for(

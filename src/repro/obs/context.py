@@ -1,0 +1,64 @@
+"""Trace-context propagation across the worker-process boundary.
+
+A :class:`TraceSpec` is minted in the scheduler (one per traced batch)
+and travels *by value* through ``EngineConfig`` into every worker
+process, where it anchors that worker's span records:
+
+* the batch span id derives from ``(trace_id, run_key)``;
+* each task span id derives from ``(trace_id, batch span, index)``;
+* each attempt span id derives from ``(trace_id, task span, attempt)``;
+* solver spans recorded by the worker's telemetry session derive from
+  the attempt span via the session's sequence counter.
+
+Every id is a pure function of the trace id and the task's logical
+position — never of pids, worker count, or completion order — so a
+merged trace of the same seeded run is identical at any ``--jobs J``
+modulo timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.core import derive_span_id, mint_trace_id
+
+__all__ = ["TraceSpec", "batch_span_id", "task_span_id", "attempt_span_id"]
+
+
+def batch_span_id(trace_id: str, run_key: str) -> str:
+    """The deterministic span id of one engine batch."""
+    return derive_span_id(trace_id, "", f"batch[{run_key}]", 0)
+
+
+def task_span_id(trace_id: str, batch_id: str, index: int) -> str:
+    """The deterministic span id of task ``index`` within a batch."""
+    return derive_span_id(trace_id, batch_id, f"task[{index}]", 0)
+
+
+def attempt_span_id(trace_id: str, task_id: str, attempt: int) -> str:
+    """The deterministic span id of one task attempt."""
+    return derive_span_id(trace_id, task_id, f"attempt[{attempt}]", 0)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Per-batch trace coordinates handed to every worker.
+
+    Plain picklable data: ``trace_id`` names the run-level trace,
+    ``directory`` is where this process's JSONL sink lives, and
+    ``parent_span_id`` is the batch span the task spans parent to.
+    """
+
+    trace_id: str
+    directory: str
+    parent_span_id: str = ""
+
+    @staticmethod
+    def for_batch(directory, run_key: str, trace_id: str | None = None) -> "TraceSpec":
+        """Mint the spec for one batch (fresh trace id unless given)."""
+        trace_id = trace_id or mint_trace_id()
+        return TraceSpec(
+            trace_id=trace_id,
+            directory=str(directory),
+            parent_span_id=batch_span_id(trace_id, run_key),
+        )

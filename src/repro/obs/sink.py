@@ -1,0 +1,142 @@
+"""Per-process JSONL span sinks.
+
+Each process participating in a traced run — the scheduler, every pool
+worker, the experiment runner — streams its span and event records to
+its own append-only JSONL file under the trace directory
+(``<role>-<pid>.jsonl``).  One file per (process, role) means no
+cross-process locking; every record is flushed as soon as it is
+written, so a SIGKILL loses at most the record being formatted, and the
+merge step (:func:`repro.obs.trace.merge_trace`) tolerates a torn final
+line exactly like the engine's checkpoint reader.
+
+Record kinds (the ``kind`` field):
+
+* ``meta`` — one header line per file: schema, role, pid, start time;
+* ``span`` — ``{id, parent, name, t0_unix, dur_s, fields?}``;
+* ``event`` — ``{name, t_unix, level?, fields?}`` (e.g. the
+  ConvergenceError forensics workers emit for failed attempts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = ["SINK_SCHEMA", "SpanSink", "worker_sink", "reset_worker_sinks"]
+
+SINK_SCHEMA = "repro.obs.sink/v1"
+
+
+class SpanSink:
+    """Append-only JSONL writer for one process's trace records."""
+
+    def __init__(
+        self, directory: str | Path, role: str = "worker", trace_id: str | None = None
+    ):
+        self.directory = Path(directory)
+        self.role = role
+        self.trace_id = trace_id
+        self.pid = os.getpid()
+        self.path = self.directory / f"{role}-{self.pid}.jsonl"
+        self._handle = None
+
+    def _ensure_open(self) -> None:
+        if self._handle is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+            if self.path.stat().st_size == 0:
+                meta = {
+                    "kind": "meta",
+                    "schema": SINK_SCHEMA,
+                    "role": self.role,
+                    "pid": self.pid,
+                    "created_unix": time.time(),
+                }
+                if self.trace_id:
+                    meta["trace_id"] = self.trace_id
+                self._write(meta)
+
+    def _write(self, record: dict) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def write_span(
+        self,
+        span_id: str,
+        parent_id: str,
+        name: str,
+        t0_unix: float,
+        dur_s: float,
+        **fields,
+    ) -> None:
+        self._ensure_open()
+        record = {
+            "kind": "span",
+            "id": span_id,
+            "parent": parent_id,
+            "name": name,
+            "t0_unix": t0_unix,
+            "dur_s": dur_s,
+        }
+        if fields:
+            record["fields"] = fields
+        self._write(record)
+
+    def write_event(self, name: str, level: str = "info", **fields) -> None:
+        self._ensure_open()
+        record = {"kind": "event", "name": name, "t_unix": time.time(), "level": level}
+        if fields:
+            record["fields"] = fields
+        self._write(record)
+
+    def write_session_spans(self, session) -> None:
+        """Stream a telemetry session's span records into the sink.
+
+        The records already carry deterministic ids and parents from
+        the session's :class:`~repro.telemetry.core.TraceContext`, so
+        they are written verbatim.
+        """
+        if not session.spans:
+            return
+        self._ensure_open()
+        for record in session.spans:
+            self._write({"kind": "span", **record})
+        if session.dropped_spans:
+            self.write_event(
+                "spans.dropped", level="warning", count=session.dropped_spans
+            )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# -- per-process sink cache ------------------------------------------------------
+#
+# Pool workers persist across tasks, so each process keeps one open
+# sink per trace directory.  The cache is keyed by pid as well: a
+# forked child inherits the parent's module state (including any open
+# sink from an earlier inline run) and must not write through the
+# inherited handle — same-file appends from two processes would
+# interleave mid-line.
+
+_sinks: dict[tuple[int, str], SpanSink] = {}
+
+
+def worker_sink(directory: str | Path, trace_id: str | None = None) -> SpanSink:
+    """This process's sink for ``directory`` (opened lazily, cached)."""
+    key = (os.getpid(), str(directory))
+    sink = _sinks.get(key)
+    if sink is None:
+        sink = _sinks[key] = SpanSink(directory, role="worker", trace_id=trace_id)
+    return sink
+
+
+def reset_worker_sinks() -> None:
+    """Close and forget every cached sink (test isolation)."""
+    for sink in _sinks.values():
+        sink.close()
+    _sinks.clear()

@@ -29,22 +29,85 @@ thread-safe (the simulator is single-threaded).
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 import time
 from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
 
 __all__ = [
     "LEVELS",
     "Histogram",
     "TelemetrySession",
+    "TraceContext",
     "active",
+    "atomic_write_text",
+    "derive_span_id",
     "disable",
     "enable",
     "enabled",
+    "mint_trace_id",
 ]
 
 LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def mint_trace_id() -> str:
+    """A fresh 64-bit random trace id (16 hex chars)."""
+    return os.urandom(8).hex()
+
+
+def derive_span_id(trace_id: str, parent_id: str, name: str, seq: int) -> str:
+    """Deterministic span id from the span's position in the trace.
+
+    A pure function of ``(trace_id, parent_id, name, seq)``, so two runs
+    of the same deterministic workload under the same trace id produce
+    identical span ids regardless of worker count or completion order —
+    the property the cross-worker merge determinism tests pin.
+    """
+    digest = hashlib.sha256(
+        f"{trace_id}|{parent_id}|{name}|{seq}".encode()
+    ).hexdigest()
+    return digest[:16]
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` via write-then-rename.
+
+    Same pattern as the char store's npz payloads: a SIGKILL mid-write
+    leaves either the old file or the new one, never a truncated mix.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.stem, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Where a session's spans hang in a cross-process trace.
+
+    ``trace_id`` names the run-level trace; ``parent_span_id`` is the
+    id every *top-level* span of this session parents to (e.g. the
+    worker attempt span for a task's solver spans).  Sessions without a
+    context still record spans, under a privately minted trace id.
+    """
+
+    trace_id: str
+    parent_span_id: str = ""
 
 
 class Histogram:
@@ -112,7 +175,9 @@ class TelemetrySession:
         self,
         log_level: str = "info",
         max_events: int = 100_000,
+        max_spans: int = 100_000,
         clock=time.perf_counter,
+        trace: TraceContext | None = None,
     ):
         if log_level not in LEVELS:
             raise ValueError(
@@ -120,15 +185,25 @@ class TelemetrySession:
             )
         self.log_level = log_level
         self.max_events = max_events
+        self.max_spans = max_spans
         self.clock = clock
+        self.trace = trace or TraceContext(trace_id=mint_trace_id())
         self.counters: dict[str, int] = {}
         self.histograms: dict[str, Histogram] = {}
         self.timers: dict[str, Histogram] = {}
         self.events: list[dict] = []
+        self.spans: list[dict] = []
         self.dropped_events = 0
+        self.dropped_spans = 0
         self._span_stack: list[str] = []
+        self._span_ids: list[str] = []
         self._seq = 0
+        self._span_seq = 0
         self.started = clock()
+
+    @property
+    def trace_id(self) -> str:
+        return self.trace.trace_id
 
     # -- metrics ---------------------------------------------------------------
 
@@ -188,10 +263,27 @@ class TelemetrySession:
 
     @contextmanager
     def span(self, name: str, **fields):
-        """Hierarchical timed section; nests with enclosing spans."""
+        """Hierarchical timed section; nests with enclosing spans.
+
+        Besides the ``span.<path>`` timer and the begin/end events, each
+        completed span appends one structured *span record* (id, parent
+        id, name, unix start time, duration, fields) to :attr:`spans`.
+        Span ids derive deterministically from the session's
+        :class:`TraceContext` (see :func:`derive_span_id`), so worker
+        sessions configured with the same context produce identical span
+        trees for identical work — the substrate of the cross-process
+        trace pipeline (:mod:`repro.obs`).
+        """
+        parent_id = (
+            self._span_ids[-1] if self._span_ids else self.trace.parent_span_id
+        )
+        self._span_seq += 1
+        span_id = derive_span_id(self.trace.trace_id, parent_id, name, self._span_seq)
         self._span_stack.append(name)
+        self._span_ids.append(span_id)
         path = self.span_path
         self.event("span.begin", level="debug", **fields)
+        t0_unix = time.time()
         start = self.clock()
         try:
             yield self
@@ -200,6 +292,20 @@ class TelemetrySession:
             self.add_time(f"span.{path}", duration)
             self.event("span.end", level="debug", duration_s=duration)
             self._span_stack.pop()
+            self._span_ids.pop()
+            if len(self.spans) < self.max_spans:
+                record = {
+                    "id": span_id,
+                    "parent": parent_id,
+                    "name": name,
+                    "t0_unix": t0_unix,
+                    "dur_s": duration,
+                }
+                if fields:
+                    record["fields"] = dict(fields)
+                self.spans.append(record)
+            else:
+                self.dropped_spans += 1
 
     # -- export ----------------------------------------------------------------
 
@@ -218,20 +324,25 @@ class TelemetrySession:
         }
 
     def write_trace(self, path: str | Path) -> Path:
-        """Write the full session (metrics + events) as one JSON file."""
-        path = Path(path)
+        """Write the full session (metrics, events, spans) as one JSON file.
+
+        The write is atomic (write-then-rename), so a run killed
+        mid-dump leaves either no trace file or a complete one — never
+        a truncated JSON document.
+        """
         payload = {
             "schema": "repro.telemetry.trace/v1",
             "created_unix": time.time(),
+            "trace_id": self.trace_id,
             "log_level": self.log_level,
             "duration_s": self.clock() - self.started,
             "metrics": self.snapshot(),
             "events": self.events,
+            "spans": self.spans,
             "dropped_events": self.dropped_events,
+            "dropped_spans": self.dropped_spans,
         }
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload, indent=2))
-        return path
+        return atomic_write_text(path, json.dumps(payload, indent=2))
 
 
 # -- global session management --------------------------------------------------

@@ -6,6 +6,12 @@ per-experiment solver health table: wall time, Newton effort, which DC
 fallback tiers fired, and the transient accept/reject balance.  The
 point is trend-spotting — a run that suddenly needs gmin stepping or
 rejects 30 % of its steps shows up here without rerunning anything.
+
+Two follow-up sections appear when the manifests carry the relevant
+counters: an *engine* table (Jacobian stamp/reuse split, retries,
+timeouts, task success) for runs that went through the batch engine,
+and a *char* table (store and serve hit/miss, points computed/failed)
+for characterization-store activity.
 """
 
 from __future__ import annotations
@@ -59,8 +65,91 @@ def _fallback_summary(counters: dict) -> str:
     return " ".join(parts) if parts else "-"
 
 
+def _render_table(title: str, header: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])
+        for c in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return lines
+
+
+_ENGINE_KEYS = (
+    "newton.jacobian_stamps",
+    "newton.jacobian_reuses",
+    "engine.retries",
+    "engine.timeouts",
+    "engine.convergence_errors",
+    "engine.tasks_total",
+)
+
+
+def _engine_rows(manifests: list[dict]) -> list[list[str]]:
+    rows = []
+    for manifest in manifests:
+        counters = manifest.get("telemetry", {}).get("counters", {})
+        if not any(counters.get(key) for key in _ENGINE_KEYS):
+            continue
+        stamps = counters.get("newton.jacobian_stamps", 0)
+        reuses = counters.get("newton.jacobian_reuses", 0)
+        reuse_pct = 100.0 * reuses / (stamps + reuses) if stamps + reuses else 0.0
+        total = counters.get("engine.tasks_total", 0)
+        failed = counters.get("engine.tasks_failed", 0)
+        rows.append(
+            [
+                str(manifest.get("experiment_id", "?")),
+                f"{stamps}/{reuses}",
+                f"{reuse_pct:.0f}%",
+                str(counters.get("engine.retries", 0)),
+                str(counters.get("engine.timeouts", 0)),
+                str(counters.get("engine.convergence_errors", 0)),
+                f"{total - failed}/{total}" if total else "-",
+            ]
+        )
+    return rows
+
+
+_CHAR_KEYS = (
+    "char.store.hits",
+    "char.store.misses",
+    "char.serve.hits",
+    "char.serve.misses",
+    "char.points_computed",
+    "char.points_failed",
+)
+
+
+def _char_rows(manifests: list[dict]) -> list[list[str]]:
+    rows = []
+    for manifest in manifests:
+        counters = manifest.get("telemetry", {}).get("counters", {})
+        if not any(counters.get(key) for key in _CHAR_KEYS):
+            continue
+        rows.append(
+            [
+                str(manifest.get("experiment_id", "?")),
+                f"{counters.get('char.store.hits', 0)}/"
+                f"{counters.get('char.store.misses', 0)}",
+                f"{counters.get('char.serve.hits', 0)}/"
+                f"{counters.get('char.serve.misses', 0)}",
+                str(counters.get("char.points_computed", 0)),
+                str(counters.get("char.points_failed", 0)),
+            ]
+        )
+    return rows
+
+
 def format_diag_report(manifests: list[dict]) -> str:
-    """Fixed-width solver health table, one row per manifest."""
+    """Solver health tables, one row per manifest.
+
+    Always renders the solver table; the engine and char sections are
+    appended only when at least one manifest recorded those counters,
+    so pre-engine manifests keep their old report shape.
+    """
     header = [
         "experiment",
         "wall (s)",
@@ -88,15 +177,43 @@ def format_diag_report(manifests: list[dict]) -> str:
                 checksum[:12],
             ]
         )
-    widths = [
-        max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])
-        for c in range(len(header))
-    ]
-    lines = ["== solver diagnostics =="]
-    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
-    lines.append("  ".join("-" * w for w in widths))
-    for row in rows:
-        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    lines = _render_table("== solver diagnostics ==", header, rows)
     if not rows:
         lines.append("(no run manifests found — run an experiment with --profile)")
+
+    engine_rows = _engine_rows(manifests)
+    if engine_rows:
+        lines.append("")
+        lines.extend(
+            _render_table(
+                "== engine diagnostics ==",
+                [
+                    "experiment",
+                    "jac stamp/reuse",
+                    "reuse",
+                    "retries",
+                    "timeouts",
+                    "conv errors",
+                    "tasks ok",
+                ],
+                engine_rows,
+            )
+        )
+
+    char_rows = _char_rows(manifests)
+    if char_rows:
+        lines.append("")
+        lines.extend(
+            _render_table(
+                "== char diagnostics ==",
+                [
+                    "experiment",
+                    "store hit/miss",
+                    "serve hit/miss",
+                    "computed",
+                    "failed",
+                ],
+                char_rows,
+            )
+        )
     return "\n".join(lines)

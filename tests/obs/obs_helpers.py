@@ -1,0 +1,26 @@
+"""Module-level task functions for the trace-pipeline tests.
+
+Pool workers pickle task functions by qualified name, so everything a
+multi-worker traced test submits must live in an importable module —
+same constraint as ``tests/engine/engine_helpers.py``.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.dcop import ConvergenceError
+
+
+def seeded_value(payload, ctx) -> float:
+    """Deterministic float from the task's private rng stream."""
+    return float(ctx.rng().standard_normal()) + float(payload)
+
+
+def flaky_once(payload, ctx) -> float:
+    """Diverges on the first attempt; succeeds once retried."""
+    if ctx.attempt == 0:
+        raise ConvergenceError(f"task {ctx.index}: first attempt diverges")
+    return float(ctx.attempt)
+
+
+def always_diverges(payload, ctx) -> float:
+    raise ConvergenceError("no operating point found")

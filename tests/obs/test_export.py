@@ -1,0 +1,111 @@
+"""Tests for the metrics export layer (JSON envelope + Prometheus text)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    metrics_payload,
+    to_prometheus,
+    write_metrics,
+)
+from repro.telemetry.core import TelemetrySession, TraceContext
+
+
+def make_session() -> TelemetrySession:
+    tel = TelemetrySession(trace=TraceContext(trace_id="abad1deaabad1dea"))
+    tel.count("dcop.solves", 7)
+    tel.count("dcop.converged.warm_start", 5)
+    tel.observe("newton.iters_per_solve", 4.0)
+    tel.observe("newton.iters_per_solve", 8.0)
+    tel.add_time("dcop.wall", 0.25)
+    return tel
+
+
+class TestEnvelope:
+    def test_payload_shape(self):
+        payload = metrics_payload(
+            make_session().snapshot(), run="fig09", trace_id="x", duration_s=1.5
+        )
+        assert payload["schema"] == METRICS_SCHEMA
+        assert payload["run"] == "fig09"
+        assert payload["trace_id"] == "x"
+        assert payload["duration_s"] == 1.5
+        assert payload["metrics"]["counters"]["dcop.solves"] == 7
+
+    def test_bare_defaults(self):
+        payload = metrics_payload({})
+        assert payload["run"] is None
+        assert payload["trace_id"] is None
+
+
+class TestPrometheus:
+    def test_counters_sanitized_and_suffixed(self):
+        text = to_prometheus(make_session().snapshot())
+        assert "# TYPE repro_dcop_solves_total counter" in text
+        assert "repro_dcop_solves_total 7" in text
+        assert "repro_dcop_converged_warm_start_total 5" in text
+
+    def test_leading_digit_names_stay_legal(self):
+        text = to_prometheus({"counters": {"6t.cell": 1}})
+        assert "repro__6t_cell_total 1" in text
+
+    def test_histograms_render_as_summaries(self):
+        text = to_prometheus(make_session().snapshot())
+        assert "# TYPE repro_newton_iters_per_solve summary" in text
+        assert "repro_newton_iters_per_solve_count 2" in text
+        assert 'repro_newton_iters_per_solve{quantile="0.5"}' in text
+
+    def test_timers_suffixed_seconds(self):
+        text = to_prometheus(make_session().snapshot())
+        assert "# TYPE repro_dcop_wall_seconds summary" in text
+        assert "repro_dcop_wall_seconds_sum 0.25" in text
+
+    def test_run_label_applied_and_escaped(self):
+        payload = metrics_payload(
+            make_session().snapshot(), run='fig"09"', duration_s=2.0
+        )
+        text = to_prometheus(payload)
+        assert 'repro_dcop_solves_total{run="fig\\"09\\""} 7' in text
+        assert "# TYPE repro_run_duration_seconds gauge" in text
+        assert 'repro_run_duration_seconds{run="fig\\"09\\""} 2.0' in text
+        assert '{run="fig\\"09\\"",quantile="0.5"}' in text
+
+    def test_non_finite_values_rendered_per_spec(self):
+        text = to_prometheus(
+            {"counters": {}, "timers": {"t": {"count": 1, "total": float("inf")}}}
+        )
+        assert "repro_t_seconds_sum +Inf" in text
+        nan_text = to_prometheus(
+            {"timers": {"t": {"count": 1, "total": float("nan")}}}
+        )
+        assert "repro_t_seconds_sum NaN" in nan_text
+
+    def test_ends_with_newline(self):
+        assert to_prometheus({}).endswith("\n")
+
+
+class TestWriteMetrics:
+    def test_writes_both_formats_atomically(self, tmp_path):
+        json_path = tmp_path / "m.json"
+        prom_path = tmp_path / "m.prom"
+        written = write_metrics(
+            make_session(), json_path, prom_path, run="fig09", duration_s=1.0
+        )
+        assert written == [json_path, prom_path]
+        payload = json.loads(json_path.read_text())
+        assert payload["schema"] == METRICS_SCHEMA
+        assert prom_path.read_text().startswith("#")
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_trace_id_defaults_to_session(self, tmp_path):
+        write_metrics(make_session(), tmp_path / "m.json")
+        payload = json.loads((tmp_path / "m.json").read_text())
+        assert payload["trace_id"] == "abad1deaabad1dea"
+
+    def test_accepts_pretaken_snapshot(self, tmp_path):
+        write_metrics(make_session().snapshot(), tmp_path / "m.json", run="r")
+        payload = json.loads((tmp_path / "m.json").read_text())
+        assert payload["trace_id"] is None
+        assert payload["metrics"]["counters"]["dcop.solves"] == 7

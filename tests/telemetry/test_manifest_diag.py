@@ -118,3 +118,68 @@ class TestDiagReport:
         report = format_diag_report([])
         assert "no run manifests" in report
         assert "--profile" in report
+
+
+class TestDiagEngineSection:
+    def engine_manifest(self, tmp_path):
+        tel = TelemetrySession()
+        tel.count("newton.jacobian_stamps", 60)
+        tel.count("newton.jacobian_reuses", 40)
+        tel.count("engine.retries", 3)
+        tel.count("engine.convergence_errors", 5)
+        tel.count("engine.tasks_total", 8)
+        tel.count("engine.tasks_failed", 1)
+        return build_manifest("figMC", "mc", make_result(), tel, 4.0)
+
+    def test_engine_table_renders_when_counters_present(self, tmp_path):
+        report = format_diag_report([self.engine_manifest(tmp_path)])
+        assert "== engine diagnostics ==" in report
+        assert "60/40" in report  # jacobian stamps/reuses
+        assert "40%" in report  # reuse fraction
+        assert "7/8" in report  # tasks ok/total
+
+    def test_engine_section_absent_without_engine_counters(self):
+        tel = TelemetrySession()
+        tel.count("dcop.solves", 2)
+        manifest = build_manifest("figX", "t", make_result(), tel, 1.0)
+        report = format_diag_report([manifest])
+        assert "== solver diagnostics ==" in report
+        assert "engine diagnostics" not in report
+
+    def test_mixed_manifests_only_engine_rows_listed(self, tmp_path):
+        plain = build_manifest("figA", "t", make_result(), TelemetrySession(), 1.0)
+        report = format_diag_report([plain, self.engine_manifest(tmp_path)])
+        engine_section = report.split("== engine diagnostics ==")[1]
+        assert "figMC" in engine_section
+        assert "figA" not in engine_section
+
+
+class TestDiagCharSection:
+    def char_manifest(self):
+        tel = TelemetrySession()
+        tel.count("char.store.hits", 10)
+        tel.count("char.store.misses", 6)
+        tel.count("char.serve.hits", 4)
+        tel.count("char.serve.misses", 1)
+        tel.count("char.points_computed", 6)
+        tel.count("char.points_failed", 2)
+        return build_manifest("charGrid", "char", make_result(), tel, 3.0)
+
+    def test_char_table_renders_when_counters_present(self):
+        report = format_diag_report([self.char_manifest()])
+        assert "== char diagnostics ==" in report
+        assert "10/6" in report  # store hit/miss
+        assert "4/1" in report  # serve hit/miss
+
+    def test_char_section_absent_without_char_counters(self):
+        tel = TelemetrySession()
+        tel.count("dcop.solves", 2)
+        manifest = build_manifest("figX", "t", make_result(), tel, 1.0)
+        assert "char diagnostics" not in format_diag_report([manifest])
+
+    def test_engine_and_char_sections_coexist(self, tmp_path):
+        engine = TestDiagEngineSection().engine_manifest(tmp_path)
+        report = format_diag_report([engine, self.char_manifest()])
+        assert report.index("== solver diagnostics ==") < report.index(
+            "== engine diagnostics =="
+        ) < report.index("== char diagnostics ==")
