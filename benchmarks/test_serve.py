@@ -1,0 +1,156 @@
+"""Latency benchmark for the serve daemon under concurrent load.
+
+Builds a small store, starts a real daemon (unix socket, in-process
+event loop), then drives it with ``N_CLIENTS`` concurrent clients
+issuing warm queries — a mix of exact grid points and interpolated
+midpoints, the steady-state serving workload.  Gates the warm-hit p99:
+a request answered from the in-memory grid must never cost more than
+``GATE_P99_S`` even with every client hammering at once.  One cold
+query is also timed (backfill latency: coalesce window + one real
+engine build) and reported ungated — it measures the simulator, not
+the daemon.
+
+Emits ``BENCH_serve.json`` at the repo root (schema
+``repro.bench.serve/v1``), which ``repro bench`` tracks with a
+lower-is-better ``p99_warm_s`` headline.
+
+Run with ``PYTHONPATH=src python -m pytest -q -s benchmarks/test_serve.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.char import CharSpec, CharStore, build_grid
+from repro.serve import ServeConfig, ServeDaemon
+from repro.serve.client import ServeClient
+
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 40
+GATE_P99_S = 0.25
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+SPEC = CharSpec(
+    name="servebench",
+    designs=("cmos", "proposed"),
+    vdds=(0.6, 0.8),
+    metrics=("drnm", "hold_power"),
+)
+
+#: (metric, design, vdd) rotation per client: exact points and midpoints.
+WARM_POINTS = [
+    ("hold_power", "cmos", 0.6),
+    ("drnm", "proposed", 0.8),
+    ("hold_power", "cmos", 0.7),
+    ("drnm", "proposed", 0.65),
+    ("hold_power", "proposed", 0.75),
+]
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _client_load(socket_path: Path, worker: int) -> list[float]:
+    latencies = []
+    with ServeClient(socket_path=socket_path) as client:
+        for i in range(REQUESTS_PER_CLIENT):
+            metric, design, vdd = WARM_POINTS[(worker + i) % len(WARM_POINTS)]
+            start = time.perf_counter()
+            response = client.query(metric, design=design, vdd=vdd)
+            latencies.append(time.perf_counter() - start)
+            assert response["served"] == "memory", response
+    return latencies
+
+
+def test_serve_latency_under_load(tmp_path):
+    store_dir = tmp_path / "char"
+    report = build_grid(SPEC, CharStore(store_dir))
+    assert report.failed == 0, report.failures
+
+    config = ServeConfig(
+        store_dir=store_dir,
+        specs=[SPEC],
+        socket_path=tmp_path / "bench.sock",
+        coalesce_s=0.05,
+    )
+    daemon = ServeDaemon(config)
+    thread = threading.Thread(target=lambda: asyncio.run(daemon.run()), daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 15.0
+    while not Path(config.socket_path).exists():
+        assert time.monotonic() < deadline, "daemon never came up"
+        time.sleep(0.01)
+
+    try:
+        # Warm-up pass: touch every point once so the measured window
+        # holds no first-touch numpy/json costs.
+        with ServeClient(socket_path=config.socket_path) as client:
+            for metric, design, vdd in WARM_POINTS:
+                client.query(metric, design=design, vdd=vdd)
+
+        wall_start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+            latency_lists = list(
+                pool.map(
+                    lambda w: _client_load(config.socket_path, w),
+                    range(N_CLIENTS),
+                )
+            )
+        wall = time.perf_counter() - wall_start
+        latencies = [lat for chunk in latency_lists for lat in chunk]
+
+        # One cold point: coalesce window + a real engine build.
+        with ServeClient(socket_path=config.socket_path) as client:
+            cold_start = time.perf_counter()
+            cold = client.query("hold_power", design="cmos", vdd=0.55)
+            cold_wall = time.perf_counter() - cold_start
+            assert cold["served"] == "backfill"
+            client.shutdown()
+    finally:
+        thread.join(30)
+        assert not thread.is_alive(), "daemon failed to drain"
+
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    total = len(latencies)
+    print(
+        f"\n[{N_CLIENTS} clients x {REQUESTS_PER_CLIENT} reqs] "
+        f"p50 {p50 * 1e3:.2f} ms, p99 {p99 * 1e3:.2f} ms, "
+        f"{total / wall:.0f} req/s; cold backfill {cold_wall:.2f} s"
+    )
+
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "schema": "repro.bench.serve/v1",
+                "created_unix": time.time(),
+                "clients": N_CLIENTS,
+                "requests_total": total,
+                "p50_warm_s": p50,
+                "p99_warm_s": p99,
+                "throughput_rps": total / wall,
+                "cold_backfill_s": cold_wall,
+                "gate_p99_s": GATE_P99_S,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert p99 <= GATE_P99_S, (
+        f"warm-hit p99 {p99:.4f} s exceeds the {GATE_P99_S:.2f} s gate"
+    )
+
+
+if __name__ == "__main__":
+    import pytest
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q", "-s"]))

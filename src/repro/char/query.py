@@ -48,7 +48,24 @@ __all__ = [
 
 
 class CharQueryError(LookupError):
-    """The grid cannot answer: axis out of range or entries missing."""
+    """The grid cannot answer: axis out of range or entries missing.
+
+    ``reason`` classifies the failure for programmatic consumers (the
+    serving daemon routes on it):
+
+    * ``"bad-request"`` — the query itself is invalid (unknown method,
+      cubic on an ineligible axis); no amount of characterization helps;
+    * ``"off-grid"`` — the metric/design/corner/beta is not on this
+      grid's axes (another grid, or a backfill, may hold it);
+    * ``"out-of-range"`` — a numeric axis value lies outside the
+      characterized range;
+    * ``"missing-entry"`` — the bracketing entries exist on the axes
+      but have not been characterized yet.
+    """
+
+    def __init__(self, message: str, reason: str = "bad-request"):
+        super().__init__(message)
+        self.reason = reason
 
 
 # -- exact serving ---------------------------------------------------------
@@ -174,10 +191,21 @@ class CharGrid:
     @staticmethod
     def from_store(store: CharStore | str | Path, spec: CharSpec) -> "CharGrid":
         """Load from the compiled npz payload, assembling it if absent
-        or stale (fingerprint set changed since it was compiled)."""
+        or stale (fingerprint set changed since it was compiled).
+
+        Tolerates a concurrent ``build_grid`` writer: when a payload
+        compiled from a just-read index immediately looks stale again
+        (the writer appended between the read and the load), the index
+        is re-read and the payload recompiled a bounded number of
+        times, then the latest snapshot is served — reads never error
+        out just because a build is in flight.
+        """
         store = as_store(store)
         path = store.grid_path(spec)
-        if not path.exists() or _payload_stale(path, spec):
+        for _ in range(3):
+            if path.exists() and not _payload_stale(path, spec):
+                break
+            store.refresh()
             store.compile_grid(spec)
         return CharGrid.from_npz(path)
 
@@ -209,7 +237,8 @@ class CharGrid:
         if metric not in self.spec.metrics:
             raise CharQueryError(
                 f"metric {metric!r} is not in spec {self.spec.name!r} "
-                f"(has: {', '.join(self.spec.metrics)})"
+                f"(has: {', '.join(self.spec.metrics)})",
+                reason="off-grid",
             )
         if method not in ("auto", "linear", "cubic", "nearest"):
             raise CharQueryError(f"unknown method {method!r}")
@@ -238,7 +267,8 @@ class CharGrid:
                     f"grid incomplete: entry ({design}, corner={corner}, "
                     f"beta={self.spec.betas[bi]}, vdd={self.spec.vdds[vi]:g}) "
                     f"for {metric!r} has not been characterized — run "
-                    f"`repro char build` first"
+                    f"`repro char build` first",
+                    reason="missing-entry",
                 )
 
         nearest = self._nearest(
@@ -314,7 +344,8 @@ class CharGrid:
         except ValueError:
             raise CharQueryError(
                 f"{name} {value!r} is not on the grid (axis: "
-                f"{', '.join(str(v) for v in axis)})"
+                f"{', '.join(str(v) for v in axis)})",
+                reason="off-grid",
             ) from None
 
     def _numeric_axis(self, name: str, value, axis) -> tuple[int, float, list]:
@@ -333,7 +364,8 @@ class CharGrid:
             # only exact matches make sense.
             raise CharQueryError(
                 f"beta={value:g} is not on the grid (characterized betas: "
-                f"{', '.join(str(b) for b in axis)})"
+                f"{', '.join(str(b) for b in axis)})",
+                reason="off-grid",
             )
         numeric = [float(v) for v in axis]
         x = float(value)
@@ -341,7 +373,8 @@ class CharGrid:
             raise CharQueryError(
                 f"{name}={x:g} is outside the characterized range "
                 f"[{numeric[0]:g}, {numeric[-1]:g}] — extend the spec and "
-                "rebuild instead of extrapolating"
+                "rebuild instead of extrapolating",
+                reason="out-of-range",
             )
         for i, v in enumerate(numeric):
             if math.isclose(x, v, rel_tol=1e-9, abs_tol=1e-12):

@@ -62,6 +62,16 @@ class StoreStatus:
     def missing(self) -> int:
         return self.total - self.present
 
+    def to_json(self) -> dict:
+        return {
+            "spec": self.spec,
+            "total": self.total,
+            "present": self.present,
+            "missing": self.missing,
+            "failed": self.failed,
+            "stale": self.stale,
+        }
+
     def summary(self) -> str:
         return (
             f"{self.spec}: {self.present}/{self.total} entries present, "
@@ -76,7 +86,7 @@ class CharStore:
     def __init__(self, directory: str | Path = DEFAULT_STORE_DIR):
         self.directory = Path(directory)
         self._index_cache: dict[str, dict] | None = None
-        self._index_mtime: float | None = None
+        self._index_token: tuple[int, int] | None = None
 
     # -- paths -------------------------------------------------------------
 
@@ -96,18 +106,38 @@ class CharStore:
 
     # -- index reading -----------------------------------------------------
 
-    def load_index(self) -> dict[str, dict]:
-        """All entry records by fingerprint (last-wins), cached by mtime.
+    def index_token(self) -> tuple[int, int] | None:
+        """Cheap change token for the index: ``(mtime_ns, size)``.
 
-        A torn trailing line (kill mid-append) is ignored; an index
-        written by a different schema raises.
+        Size participates because a concurrent writer can append twice
+        within one mtime tick — mtime alone would serve a stale cache.
+        ``None`` when no index exists yet.
         """
         try:
-            mtime = self.index_path.stat().st_mtime_ns
+            stat = self.index_path.stat()
         except FileNotFoundError:
-            self._index_cache, self._index_mtime = {}, None
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def refresh(self) -> None:
+        """Drop the index cache so the next read hits the disk."""
+        self._index_cache, self._index_token = None, None
+
+    def load_index(self) -> dict[str, dict]:
+        """All entry records by fingerprint (last-wins), cached by
+        ``(mtime, size)`` token.
+
+        Reads tolerate a concurrent writer: a torn trailing line (kill
+        or in-flight append) is ignored, and a torn *header* (the index
+        file caught mid-creation) reads as an empty index without being
+        cached, so the next read sees the completed file.  An index
+        written by a different schema still raises.
+        """
+        token = self.index_token()
+        if token is None:
+            self._index_cache, self._index_token = {}, None
             return {}
-        if self._index_cache is not None and self._index_mtime == mtime:
+        if self._index_cache is not None and self._index_token == token:
             return self._index_cache
 
         records: dict[str, dict] = {}
@@ -116,10 +146,10 @@ class CharStore:
             if header_line:
                 try:
                     header = json.loads(header_line)
-                except json.JSONDecodeError as exc:
-                    raise ValueError(
-                        f"unreadable store index header in {self.index_path}"
-                    ) from exc
+                except json.JSONDecodeError:
+                    # Mid-creation: the writer has opened the file but
+                    # not finished the header line yet.
+                    return {}
                 if header.get("schema") != _INDEX_SCHEMA:
                     raise ValueError(
                         f"{self.index_path} has schema {header.get('schema')!r}, "
@@ -134,8 +164,19 @@ class CharStore:
                 except json.JSONDecodeError:
                     break  # torn tail from an interrupted append
                 records[str(record["fp"])] = record
-        self._index_cache, self._index_mtime = records, mtime
+        self._index_cache, self._index_token = records, token
         return records
+
+    def index_summary(self) -> dict:
+        """Whole-index counts for machine consumers (``status --json``)."""
+        records = self.load_index()
+        ok = sum(1 for r in records.values() if r.get("status") == "ok")
+        return {
+            "path": str(self.index_path),
+            "entries": len(records),
+            "ok": ok,
+            "failed": len(records) - ok,
+        }
 
     def get(self, fingerprint: str) -> dict | None:
         return self.load_index().get(fingerprint)

@@ -21,6 +21,9 @@ Commands:
 * ``trace summary|timeline|slowest|convergence`` — timeline analytics
   over a merged run-level trace (produced by ``experiment --trace-dir``
   or ``char build --trace-dir``);
+* ``serve start|status|query`` — the online characterization service
+  (:mod:`repro.serve`): run the asyncio daemon over a store, inspect a
+  running daemon, and query it through the JSON-lines protocol;
 * ``bench history|check`` — record ``BENCH_*.json`` headline metrics
   into ``results/bench_history.jsonl`` and flag regressions (``check``
   exits non-zero on one — the CI gate).
@@ -215,7 +218,18 @@ def _cmd_char(args) -> int:
         return 1 if report.failed else 0
 
     if args.char_command == "status":
-        print(store.status(spec).summary())
+        status = store.status(spec)
+        if args.json:
+            import json as json_module
+
+            payload = {
+                **status.to_json(),
+                "store": str(store.directory),
+                "index": store.index_summary(),
+            }
+            print(json_module.dumps(payload, indent=2))
+        else:
+            print(status.summary())
         return 0
 
     if args.char_command == "query":
@@ -308,6 +322,139 @@ def _char_export(spec, store, args) -> int:
     if args.out is not None:
         print(f"wrote {len(rows)} entries to {args.out}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    if args.serve_command == "start":
+        return _serve_start(args)
+
+    from repro.serve.client import ServeClient, ServeError
+
+    try:
+        client = ServeClient(
+            socket_path=None if args.port else args.socket,
+            tcp_port=args.port,
+            timeout_s=args.timeout_s,
+        )
+    except (ConnectionError, FileNotFoundError, OSError) as exc:
+        target = f"port {args.port}" if args.port else args.socket
+        print(f"error: cannot reach a serve daemon at {target}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    import json as json_module
+
+    with client:
+        if args.serve_command == "status":
+            try:
+                status = client.status()
+            except (ServeError, ConnectionError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if args.json:
+                print(json_module.dumps(status, indent=2))
+            else:
+                print(_format_serve_status(status))
+            return 0
+
+        # serve query
+        try:
+            response = client.query(
+                args.metric, design=args.design, vdd=args.vdd,
+                beta=args.beta, corner=args.corner, method=args.method,
+            )
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ConnectionError as exc:
+            print(f"error: daemon hung up: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json_module.dumps(
+                _encode_json_tree(response), indent=2, allow_nan=False))
+        else:
+            from repro.char.query import CharAnswer
+
+            answer = CharAnswer(
+                metric=response["result"]["metric"],
+                unit=response["result"]["unit"],
+                value=response["result"]["value"],
+                coords=response["result"]["coords"],
+                method=response["result"]["method"],
+                nearest=response["result"]["nearest"],
+                notes=tuple(response["result"]["notes"]),
+            )
+            print(answer.summary())
+            print(f"  served: {response['served']} "
+                  f"({response['wall_us']:.0f} us server-side)")
+        return 0
+
+
+def _serve_start(args) -> int:
+    import asyncio
+
+    from repro.char import resolve_spec
+    from repro.serve.daemon import ServeConfig, serve
+
+    try:
+        specs = [resolve_spec(name) for name in (args.spec or ["nominal"])]
+        config = ServeConfig(
+            store_dir=args.store,
+            specs=specs,
+            socket_path=args.socket,
+            tcp_port=args.port,
+            max_inflight=args.max_inflight,
+            backfill_depth=args.backfill_depth,
+            coalesce_s=args.coalesce_s,
+            request_timeout_s=args.timeout_s,
+            drain_grace_s=args.drain_grace_s,
+            jobs=args.jobs,
+            verify_fraction=args.verify_fraction,
+            metrics_out=args.metrics_out,
+            trace_dir=args.trace_dir,
+        )
+    except ValueError as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    where = []
+    if config.socket_path is not None:
+        where.append(str(config.socket_path))
+    if config.tcp_port is not None:
+        where.append(f"127.0.0.1:{config.tcp_port}")
+    print(f"serving {', '.join(s.name for s in specs)} from {args.store} "
+          f"on {' and '.join(where)} (SIGTERM drains)")
+    asyncio.run(serve(config))
+    print("serve: drained and stopped")
+    return 0
+
+
+def _format_serve_status(status: dict) -> str:
+    lines = [
+        f"serve daemon pid {status['pid']} — up {status['uptime_s']:.1f} s, "
+        f"store {status['store']}"
+        + (" [draining]" if status.get("draining") else ""),
+    ]
+    for coverage in status.get("coverage", []):
+        lines.append(
+            f"  {coverage['spec']}: {coverage['present']}/{coverage['total']} "
+            f"present, {coverage['missing']} missing, "
+            f"{coverage['failed']} failed"
+        )
+    backfill = status.get("backfill", {})
+    lines.append(
+        f"  backfill: {backfill.get('pending', 0)} pending, "
+        f"{backfill.get('in_flight', 0)} in flight, "
+        f"{backfill.get('batches_completed', 0)} batches / "
+        f"{backfill.get('points_completed', 0)} points completed"
+    )
+    counters = status.get("counters", {})
+    lines.append(
+        f"  requests: {counters.get('serve.requests', 0)} total, "
+        f"{counters.get('serve.hits', 0)} hits, "
+        f"{counters.get('serve.misses', 0)} misses, "
+        f"{counters.get('serve.timeouts', 0)} timeouts"
+    )
+    return "\n".join(lines)
 
 
 def _cmd_trace(args) -> int:
@@ -468,6 +615,9 @@ def main(argv: list[str] | None = None) -> int:
     char_status = char_sub.add_parser(
         "status", help="coverage of one spec: present/missing/failed/stale")
     _char_common(char_status)
+    char_status.add_argument("--json", action="store_true",
+                             help="machine-readable store state (spec "
+                             "coverage + whole-index counts)")
 
     char_query = char_sub.add_parser(
         "query", help="interpolated metric query with provenance")
@@ -517,6 +667,65 @@ def main(argv: list[str] | None = None) -> int:
             verb_p.add_argument("--top", type=int, default=10, metavar="N",
                                 help="how many tasks to list")
 
+    serve_p = sub.add_parser(
+        "serve", help="online characterization service (repro.serve)")
+    serve_sub = serve_p.add_subparsers(dest="serve_command", required=True)
+
+    serve_start = serve_sub.add_parser(
+        "start", help="run the serving daemon in the foreground")
+    serve_start.add_argument("--spec", action="append", default=None,
+                             metavar="NAME|FILE",
+                             help="serving spec (repeatable; default: nominal)")
+    serve_start.add_argument("--store", default="results/char", metavar="DIR",
+                             help="characterization store directory")
+    serve_start.add_argument("--socket", default="results/serve.sock",
+                             metavar="PATH", help="unix socket to listen on")
+    serve_start.add_argument("--port", type=int, default=None, metavar="N",
+                             help="also listen on localhost TCP port N")
+    serve_start.add_argument("--jobs", type=int, default=1, metavar="J",
+                             help="worker processes per backfill build")
+    serve_start.add_argument("--max-inflight", type=int, default=64,
+                             metavar="N", help="concurrent query budget "
+                             "(past it: structured overload rejection)")
+    serve_start.add_argument("--backfill-depth", type=int, default=256,
+                             metavar="N", help="pending backfill point budget")
+    serve_start.add_argument("--coalesce-s", type=float, default=0.05,
+                             metavar="F", help="miss-coalescing window (s)")
+    serve_start.add_argument("--timeout-s", type=float, default=120.0,
+                             metavar="F", help="per-request budget (s)")
+    serve_start.add_argument("--drain-grace-s", type=float, default=30.0,
+                             metavar="F", help="graceful shutdown budget (s)")
+    serve_start.add_argument("--verify-fraction", type=float, default=0.0,
+                             metavar="F", help="sample-audit fraction for "
+                             "backfill builds")
+    serve_start.add_argument("--metrics-out", metavar="PATH", default=None,
+                             help="write the final metrics snapshot to PATH "
+                             "(JSON; a .prom sibling is written too)")
+    serve_start.add_argument("--trace-dir", metavar="DIR", default=None,
+                             help="stream backfill-build span trees into DIR")
+
+    for verb, verb_help in (
+        ("status", "coverage, backfill queue, and request counters"),
+        ("query", "one metric query against a running daemon"),
+    ):
+        verb_p = serve_sub.add_parser(verb, help=verb_help)
+        verb_p.add_argument("--socket", default="results/serve.sock",
+                            metavar="PATH", help="daemon unix socket")
+        verb_p.add_argument("--port", type=int, default=None, metavar="N",
+                            help="connect via localhost TCP instead")
+        verb_p.add_argument("--timeout-s", type=float, default=120.0,
+                            metavar="F", help="client-side timeout (s)")
+        verb_p.add_argument("--json", action="store_true",
+                            help="print the raw response as JSON")
+        if verb == "query":
+            verb_p.add_argument("metric")
+            verb_p.add_argument("--design", required=True)
+            verb_p.add_argument("--vdd", type=float, required=True)
+            verb_p.add_argument("--beta", type=float, default=None)
+            verb_p.add_argument("--corner", default="tt")
+            verb_p.add_argument("--method", default="auto",
+                                choices=("auto", "linear", "cubic", "nearest"))
+
     bench_p = sub.add_parser(
         "bench", help="record and check benchmark headline history")
     bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
@@ -542,6 +751,7 @@ def main(argv: list[str] | None = None) -> int:
         "netlist": _cmd_netlist,
         "diag": _cmd_diag,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

@@ -51,6 +51,7 @@ HEADLINES: dict[str, tuple[str, str, str | None]] = {
     "repro.bench.engine": ("speedup", "higher", "min_speedup"),
     "repro.bench.char": ("speedup", "higher", "min_speedup"),
     "repro.bench.spice_core": ("speedup", "higher", "gate"),
+    "repro.bench.serve": ("p99_warm_s", "lower", "gate_p99_s"),
     "repro.bench.telemetry": (
         "disabled_overhead_guard.overhead_fraction",
         "lower",

@@ -1,0 +1,205 @@
+"""The serve wire protocol: JSON lines over a byte stream.
+
+One request per line, one response line per request, in order.  The
+transport is a unix-domain socket (default) or a localhost TCP port —
+the framing and payloads are identical on both.
+
+Requests are JSON objects with an ``op`` field::
+
+    {"op": "ping"}
+    {"op": "query", "metric": "drnm", "design": "proposed", "vdd": 0.65,
+     "beta": null, "corner": "tt", "method": "auto", "id": "q1"}
+    {"op": "status"}
+    {"op": "metrics"}
+    {"op": "shutdown"}
+
+Responses echo the request ``id`` (when given) and carry either a
+``result`` or a structured ``error``::
+
+    {"ok": true, "id": "q1", "result": {...}, "served": "memory",
+     "wall_us": 180.2}
+    {"ok": false, "error": {"code": "overloaded", "message": "..."}}
+
+Error codes (``ERROR_CODES``) are part of the protocol contract:
+
+* ``bad_request`` — malformed JSON, missing/unknown fields, or a point
+  that can never be characterized (unknown metric/design/corner, a
+  metric the design does not define);
+* ``oversized`` — the request line exceeded the daemon's byte limit;
+  the connection is closed after this response;
+* ``overloaded`` — admission control rejected the request (too many
+  in-flight requests or a full backfill queue); retry later;
+* ``shutting_down`` — the daemon is draining; no new queries;
+* ``timeout`` — the per-request budget elapsed (a triggered backfill
+  keeps running; retry once it lands);
+* ``backfill_failed`` — the point was simulated and failed (the
+  failure is recorded in the store index);
+* ``internal`` — an unexpected server-side error.
+
+Values ride the same strict-JSON convention as the experiment
+artifacts: non-finite floats (an unwritable cell's infinite
+``wl_crit`` is data) are encoded as ``{"__float__": "Infinity"}``
+objects (:mod:`repro.experiments.io`).
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "PROTOCOL_SCHEMA",
+    "MAX_LINE_BYTES",
+    "ERROR_CODES",
+    "OPS",
+    "ProtocolError",
+    "parse_request",
+    "encode_line",
+    "decode_line",
+    "ok_response",
+    "error_response",
+]
+
+PROTOCOL_SCHEMA = "repro.serve/v1"
+
+MAX_LINE_BYTES = 64 * 1024
+"""Default request-line byte budget; the daemon closes connections
+that exceed it (after sending an ``oversized`` error)."""
+
+OPS = ("ping", "query", "status", "metrics", "shutdown")
+
+ERROR_CODES = (
+    "bad_request",
+    "oversized",
+    "overloaded",
+    "shutting_down",
+    "timeout",
+    "backfill_failed",
+    "internal",
+)
+
+_QUERY_REQUIRED = ("metric", "design", "vdd")
+_QUERY_OPTIONAL = {"beta": None, "corner": "tt", "method": "auto"}
+
+
+class ProtocolError(ValueError):
+    """A request that violates the wire contract."""
+
+    def __init__(self, code: str, message: str):
+        assert code in ERROR_CODES, code
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def parse_request(line: bytes | str, max_bytes: int = MAX_LINE_BYTES) -> dict:
+    """Validate one request line into a normalized request dict.
+
+    Raises :class:`ProtocolError` (``oversized`` / ``bad_request``) on
+    any violation; never raises anything else for untrusted input.
+    """
+    raw = line.encode() if isinstance(line, str) else line
+    if len(raw) > max_bytes:
+        raise ProtocolError(
+            "oversized", f"request line is {len(raw)} bytes (limit {max_bytes})"
+        )
+    try:
+        payload = json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError("bad_request", f"request is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise ProtocolError("bad_request", "request must be a JSON object")
+    op = payload.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            "bad_request", f"unknown op {op!r}; expected one of {', '.join(OPS)}"
+        )
+    request: dict = {"op": op}
+    request_id = payload.get("id")
+    if request_id is not None:
+        if not isinstance(request_id, (str, int)):
+            raise ProtocolError("bad_request", "id must be a string or integer")
+        request["id"] = request_id
+    if op != "query":
+        return request
+
+    for field in _QUERY_REQUIRED:
+        if field not in payload:
+            raise ProtocolError("bad_request", f"query is missing {field!r}")
+    metric, design = payload["metric"], payload["design"]
+    if not isinstance(metric, str) or not isinstance(design, str):
+        raise ProtocolError("bad_request", "metric and design must be strings")
+    try:
+        vdd = float(payload["vdd"])
+    except (TypeError, ValueError):
+        raise ProtocolError("bad_request", f"vdd {payload['vdd']!r} is not a number")
+    beta = payload.get("beta", _QUERY_OPTIONAL["beta"])
+    if beta is not None:
+        try:
+            beta = float(beta)
+        except (TypeError, ValueError):
+            raise ProtocolError("bad_request", f"beta {beta!r} is not a number")
+    corner = payload.get("corner", _QUERY_OPTIONAL["corner"])
+    if not isinstance(corner, str):
+        raise ProtocolError("bad_request", "corner must be a string")
+    method = payload.get("method", _QUERY_OPTIONAL["method"])
+    if method not in ("auto", "linear", "cubic", "nearest"):
+        raise ProtocolError("bad_request", f"unknown method {method!r}")
+    request.update(metric=metric, design=design, vdd=vdd, beta=beta,
+                   corner=corner, method=method)
+    return request
+
+
+def _encode_tree(value):
+    """Strict-JSON encoding of a response tree (non-finite floats wrapped)."""
+    from repro.experiments.io import _encode_value
+
+    if isinstance(value, dict):
+        return {k: _encode_tree(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_tree(v) for v in value]
+    return _encode_value(value)
+
+
+def _decode_tree(value):
+    from repro.experiments.io import _decode_value
+
+    if isinstance(value, dict):
+        if "__float__" in value:
+            return _decode_value(value)
+        return {k: _decode_tree(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_tree(v) for v in value]
+    return value
+
+
+def encode_line(payload: dict) -> bytes:
+    """One response/request dict as a newline-terminated JSON line."""
+    return (
+        json.dumps(_encode_tree(payload), allow_nan=False, separators=(",", ":"))
+        + "\n"
+    ).encode()
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse a received line, unwrapping the non-finite float encoding."""
+    payload = json.loads(line)
+    if not isinstance(payload, dict):
+        raise ValueError("protocol line must be a JSON object")
+    return _decode_tree(payload)
+
+
+def ok_response(request: dict | None = None, **fields) -> dict:
+    response = {"ok": True, **fields}
+    if request is not None and "id" in request:
+        response["id"] = request["id"]
+    return response
+
+
+def error_response(
+    code: str, message: str, request: dict | None = None
+) -> dict:
+    assert code in ERROR_CODES, code
+    response = {"ok": False, "error": {"code": code, "message": message}}
+    if request is not None and "id" in request:
+        response["id"] = request["id"]
+    return response

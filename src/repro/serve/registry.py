@@ -1,0 +1,180 @@
+"""In-memory grid registry: what the daemon answers queries from.
+
+A :class:`GridRegistry` holds one :class:`~repro.char.query.CharGrid`
+per serving spec, loaded from the characterization store, plus the
+store handle itself for exact-point lookups of backfilled entries that
+live outside every serving spec's axes.
+
+``maybe_reload()`` is the store-coherence hook: it stats the index
+(``(mtime, size)`` token) before answering and reloads grids when the
+store changed underneath — which is exactly what happens every time a
+backfill batch lands, and whenever an external ``repro char build``
+touches the same store while the daemon runs.  Reloads go through
+:meth:`CharGrid.from_store`, so a solver/device fingerprint change
+recompiles the payloads and stale entries silently stop being served.
+
+``answer()`` tries every grid in spec order, falls back to the exact
+index lookup, and raises the *most backfillable* of the collected
+:class:`CharQueryError` causes on a miss — ``missing-entry`` beats
+``out-of-range`` beats ``off-grid`` beats ``bad-request`` — so the
+daemon can route the miss without string-matching error text.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.char.fingerprint import entry_fingerprint
+from repro.char.metrics import METRICS
+from repro.char.query import CharAnswer, CharGrid, CharQueryError, as_store
+from repro.char.spec import CharPoint, CharSpec
+from repro.char.store import CharStore
+
+__all__ = ["GridRegistry", "BACKFILLABLE_REASONS", "validate_point"]
+
+BACKFILLABLE_REASONS = ("missing-entry", "out-of-range", "off-grid")
+"""Miss reasons a backfill build can cure, most-specific first."""
+
+_REASON_RANK = {reason: rank for rank, reason in enumerate(BACKFILLABLE_REASONS)}
+
+
+def validate_point(metric: str, design: str, vdd: float, beta, corner: str) -> None:
+    """Reject points that can never be characterized.
+
+    Raises :class:`CharQueryError` with ``reason="bad-request"`` for an
+    unknown metric/design/corner, a metric the design does not define,
+    a beta sweep on a fixed-sizing design, a non-``tt`` corner on a
+    corner-insensitive design, or an out-of-domain V_DD/beta — the
+    same constraints :class:`~repro.char.spec.CharSpec` compiles away.
+    """
+    from repro.char.designs import DESIGNS
+    from repro.devices.corners import CORNERS
+
+    if metric not in METRICS:
+        known = ", ".join(sorted(METRICS))
+        raise CharQueryError(f"unknown metric {metric!r}; known: {known}")
+    if design not in DESIGNS:
+        known = ", ".join(sorted(DESIGNS))
+        raise CharQueryError(f"unknown design {design!r}; known: {known}")
+    if corner not in CORNERS:
+        known = ", ".join(sorted(CORNERS))
+        raise CharQueryError(f"unknown corner {corner!r}; known: {known}")
+    design_def = DESIGNS[design]
+    if metric not in design_def.metrics:
+        raise CharQueryError(
+            f"metric {metric!r} is not defined for design {design!r}"
+        )
+    if corner != "tt" and not design_def.corner_sensitive:
+        raise CharQueryError(
+            f"design {design!r} is corner-insensitive; only tt applies"
+        )
+    if beta is not None and not design_def.beta_sweepable:
+        raise CharQueryError(
+            f"design {design!r} has a fixed topology-defined sizing; "
+            "beta is not a free axis"
+        )
+    if beta is not None and float(beta) <= 0.0:
+        raise CharQueryError(f"beta must be positive, got {beta:g}")
+    if not 0.0 < float(vdd) <= 2.0:
+        raise CharQueryError(f"vdd {vdd:g} out of the (0, 2] V device domain")
+
+
+class GridRegistry:
+    """Loaded serving grids plus the store's exact-lookup path."""
+
+    def __init__(self, store: CharStore | str | Path, specs: list[CharSpec]):
+        self.store = as_store(store) or CharStore()
+        self.specs = list(specs)
+        self._grids: list[CharGrid] = []
+        self._token: tuple[int, int] | None = None
+        self.reloads = 0
+        self.reload()
+
+    # -- store coherence ---------------------------------------------------
+
+    def reload(self) -> None:
+        """(Re)load every serving grid from the store, unconditionally."""
+        self.store.refresh()
+        self._grids = [CharGrid.from_store(self.store, s) for s in self.specs]
+        self._token = self.store.index_token()
+        self.reloads += 1
+
+    def maybe_reload(self) -> bool:
+        """Reload iff the store index changed since the last load."""
+        token = self.store.index_token()
+        if token == self._token:
+            return False
+        self.reload()
+        return True
+
+    # -- coverage ----------------------------------------------------------
+
+    def coverage(self) -> list[dict]:
+        """Per-spec :class:`~repro.char.store.StoreStatus` as JSON."""
+        return [self.store.status(spec).to_json() for spec in self.specs]
+
+    # -- answering ---------------------------------------------------------
+
+    def answer(
+        self,
+        metric: str,
+        design: str,
+        vdd: float,
+        beta: float | None = None,
+        corner: str = "tt",
+        method: str = "auto",
+    ) -> CharAnswer:
+        """Answer from the loaded grids, else the exact index lookup.
+
+        Raises :class:`CharQueryError` with the most backfillable
+        collected reason on a miss (see the module docstring).
+        """
+        validate_point(metric, design, vdd, beta, corner)
+        misses: list[CharQueryError] = []
+        for grid in self._grids:
+            try:
+                return grid.query(
+                    metric, design=design, vdd=vdd, beta=beta,
+                    corner=corner, method=method,
+                )
+            except CharQueryError as exc:
+                misses.append(exc)
+        exact = self._exact(metric, design, vdd, beta, corner)
+        if exact is not None:
+            return exact
+        if not misses:
+            raise CharQueryError(
+                f"no serving grids are loaded and ({design}, vdd={vdd:g}) "
+                f"is not in the store index",
+                reason="off-grid",
+            )
+        misses.sort(key=lambda e: _REASON_RANK.get(e.reason, len(_REASON_RANK)))
+        raise misses[0]
+
+    def _exact(self, metric, design, vdd, beta, corner) -> CharAnswer | None:
+        """Exact stored value for points outside every serving spec —
+        how previously backfilled ad-hoc points stay warm."""
+        point = CharPoint(design=design, corner=corner, vdd=float(vdd), beta=beta)
+        value = self.store.value(point, metric)
+        if value is None:
+            # The writer may have appended since our cached index read.
+            self.store.refresh()
+            value = self.store.value(point, metric)
+        if value is None:
+            return None
+        coords = {"design": design, "corner": corner, "beta": beta,
+                  "vdd": float(vdd)}
+        return CharAnswer(
+            metric=metric,
+            unit=METRICS[metric].unit,
+            value=value,
+            coords=coords,
+            method="exact",
+            nearest={
+                "coords": coords,
+                "value": value,
+                "fp": entry_fingerprint(point, metric),
+                "distance": 0.0,
+            },
+            notes=("served from the store index (off-spec exact point)",),
+        )

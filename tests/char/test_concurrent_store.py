@@ -1,0 +1,117 @@
+"""Store reads racing a concurrent writer mid-build.
+
+The serving daemon reads the same index a `repro char build` process
+appends to; these are the regression tests for every torn state a
+reader can observe: a header caught mid-creation, a torn trailing
+record, and two appends inside one mtime tick."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.char import CharSpec, CharStore, build_grid
+from repro.char.query import CharGrid, CharQueryError
+
+_HEADER = json.dumps({"schema": "repro.char.index/v1"})
+
+
+def _record(fp: str, value: float = 1.0, status: str = "ok") -> dict:
+    return {"fp": fp, "status": status, "value": value}
+
+
+class TestTornIndexReads:
+    def test_torn_header_reads_empty_without_caching(self, tmp_path):
+        store = CharStore(tmp_path)
+        store.index_path.parent.mkdir(parents=True, exist_ok=True)
+        store.index_path.write_text('{"schema": "repro.ch')  # mid-creation
+        assert store.load_index() == {}
+        assert store.load_index() == {}  # still readable, still empty
+
+        # The writer finishes the file; the very next read sees it.
+        store.index_path.write_text(
+            _HEADER + "\n" + json.dumps(_record("f1")) + "\n"
+        )
+        assert set(store.load_index()) == {"f1"}
+
+    def test_wrong_schema_still_raises(self, tmp_path):
+        store = CharStore(tmp_path)
+        store.index_path.parent.mkdir(parents=True, exist_ok=True)
+        store.index_path.write_text('{"schema": "somebody.else/v9"}\n')
+        with pytest.raises(ValueError, match="schema"):
+            store.load_index()
+
+    def test_torn_trailing_record_is_ignored_until_complete(self, tmp_path):
+        store = CharStore(tmp_path)
+        store.append([_record("f1")])
+        with store.index_path.open("a") as handle:
+            handle.write('{"fp": "f2", "va')  # append caught mid-line
+        assert set(store.load_index()) == {"f1"}
+
+        with store.index_path.open("a") as handle:
+            handle.write('lue": 2.0, "status": "ok"}\n')
+        store.refresh()
+        index = store.load_index()
+        assert set(index) == {"f1", "f2"}
+        assert index["f2"]["value"] == 2.0
+
+    def test_same_mtime_double_append_invalidates_the_cache(self, tmp_path):
+        store = CharStore(tmp_path)
+        store.append([_record("f1")])
+        assert set(store.load_index()) == {"f1"}
+        first_stat = store.index_path.stat()
+
+        writer = CharStore(tmp_path)  # a second process's handle
+        writer.append([_record("f2")])
+        # Pin the mtime back to the first append's: only the size differs.
+        os.utime(
+            store.index_path,
+            ns=(first_stat.st_atime_ns, first_stat.st_mtime_ns),
+        )
+        assert set(store.load_index()) == {"f1", "f2"}
+
+    def test_refresh_drops_the_cache(self, tmp_path):
+        store = CharStore(tmp_path)
+        store.append([_record("f1")])
+        store.load_index()
+        assert store._index_cache is not None
+        store.refresh()
+        assert store._index_cache is None
+        assert set(store.load_index()) == {"f1"}
+
+
+class TestGridReadsDuringBuild:
+    SPEC = CharSpec(
+        name="conc", designs=("cmos",), vdds=(0.6, 0.8), metrics=("hold_power",)
+    )
+
+    def test_partial_index_serves_without_erroring(self, tmp_path):
+        """A reader arriving mid-build gets a partial grid that answers
+        what exists and raises a routable miss for what doesn't."""
+        store = CharStore(tmp_path)
+        half = CharSpec(
+            name="conc", designs=("cmos",), vdds=(0.6,), metrics=("hold_power",)
+        )
+        build_grid(half, store)
+
+        grid = CharGrid.from_store(CharStore(tmp_path), self.SPEC)
+        answer = grid.query("hold_power", design="cmos", vdd=0.6)
+        assert answer.method == "exact"
+        with pytest.raises(CharQueryError) as excinfo:
+            grid.query("hold_power", design="cmos", vdd=0.8)
+        assert excinfo.value.reason == "missing-entry"
+
+    def test_reader_sees_the_completed_build_after_refresh(self, tmp_path):
+        store = CharStore(tmp_path)
+        half = CharSpec(
+            name="conc", designs=("cmos",), vdds=(0.6,), metrics=("hold_power",)
+        )
+        build_grid(half, store)
+        reader = CharStore(tmp_path)
+        reader.load_index()  # cache the half-built state
+
+        build_grid(self.SPEC, store)  # the writer finishes
+        grid = CharGrid.from_store(reader, self.SPEC)
+        assert grid.query("hold_power", design="cmos", vdd=0.8).method == "exact"

@@ -62,6 +62,23 @@ class TestBenchRecord:
         assert rec["value"] == 0.001
         assert rec["limit"] == 0.03
 
+    def test_serve_headline_gates_warm_p99(self):
+        rec = record(
+            {
+                "schema": "repro.bench.serve/v1",
+                "created_unix": 2.0,
+                "p50_warm_s": 0.002,
+                "p99_warm_s": 0.004,
+                "gate_p99_s": 0.25,
+            },
+            "BENCH_serve.json",
+        )
+        assert rec["bench"] == "serve"
+        assert rec["metric"] == "p99_warm_s"
+        assert rec["direction"] == "lower"
+        assert rec["value"] == 0.004
+        assert rec["limit"] == 0.25
+
     def test_unknown_schema_falls_back_to_top_level_speedup(self):
         rec = record({"schema": "repro.bench.future/v9", "speedup": 4.0})
         assert rec["value"] == 4.0

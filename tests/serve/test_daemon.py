@@ -1,0 +1,281 @@
+"""Daemon behavior over a live socket: hits, backfill, admission
+control, and the protocol edge cases the serving contract promises —
+malformed JSON, oversized lines, mid-backfill disconnects, double
+shutdown."""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.client import ServeError
+
+COLD = {"metric": "hold_power", "design": "cmos", "vdd": 0.55}
+
+
+def _wait(predicate, timeout_s=30.0, interval_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+class TestWarmPath:
+    def test_ping_and_warm_queries(self, daemon_factory):
+        daemon = daemon_factory()
+        with daemon.client() as client:
+            assert client.ping()
+            exact = client.query("hold_power", design="cmos", vdd=0.6)
+            assert exact["served"] == "memory"
+            assert exact["result"]["method"] == "exact"
+            assert exact["wall_us"] > 0
+            interp = client.query(
+                "hold_power", design="cmos", vdd=0.7, request_id="q1"
+            )
+            assert interp["id"] == "q1"
+            assert interp["result"]["method"] == "linear"
+
+    def test_status_payload(self, daemon_factory):
+        daemon = daemon_factory()
+        with daemon.client() as client:
+            client.ping()
+            status = client.status()
+        assert status["schema"] == protocol.PROTOCOL_SCHEMA
+        assert isinstance(status["pid"], int)
+        assert status["specs"] == ["servetest"]
+        assert status["coverage"][0]["present"] == 2
+        assert status["index"]["entries"] == 2
+        assert status["draining"] is False
+        assert status["backfill"]["pending"] == 0
+        assert status["counters"]["serve.requests"] >= 1
+
+    def test_metrics_payload(self, daemon_factory):
+        daemon = daemon_factory()
+        with daemon.client() as client:
+            client.query("hold_power", design="cmos", vdd=0.6)
+            metrics = client.metrics()
+        counters = metrics["json"]["metrics"]["counters"]
+        assert counters["serve.hits"] == 1
+        assert "repro_serve_hits_total" in metrics["prom"]
+
+    def test_tcp_listener_speaks_the_same_protocol(self, daemon_factory):
+        import socket as socketlib
+
+        probe = socketlib.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        daemon = daemon_factory(tcp_port=port)
+        from repro.serve.client import ServeClient
+
+        with ServeClient(tcp_port=port) as client:
+            assert client.ping()
+            answer = client.query("hold_power", design="cmos", vdd=0.6)
+            assert answer["served"] == "memory"
+
+
+class TestProtocolEdges:
+    def test_malformed_json_keeps_the_connection(self, daemon_factory):
+        daemon = daemon_factory()
+        with daemon.client() as client:
+            response = client.raw(b'{"op": nope}\n')
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad_request"
+            assert client.ping()  # same connection still serves
+
+    def test_unknown_op_keeps_the_connection(self, daemon_factory):
+        daemon = daemon_factory()
+        with daemon.client() as client:
+            response = client.raw(b'{"op": "explode"}\n')
+            assert response["error"]["code"] == "bad_request"
+            assert client.ping()
+
+    def test_oversized_line_answers_then_closes(self, daemon_factory):
+        daemon = daemon_factory(max_line_bytes=512)
+        with daemon.client() as client:
+            line = json.dumps({"op": "ping", "pad": "x" * 2048}).encode() + b"\n"
+            response = client.raw(line)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "oversized"
+            assert client._file.readline() == b""  # daemon hung up
+        with daemon.client() as client:
+            assert client.ping()  # daemon itself is fine
+
+    def test_semantically_invalid_queries(self, daemon_factory):
+        daemon = daemon_factory()
+        with daemon.client() as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.query("made_up_metric", design="cmos", vdd=0.6)
+            assert excinfo.value.code == "bad_request"
+            with pytest.raises(ServeError) as excinfo:
+                client.query("drnm", design="proposed", vdd=0.65, beta=1.2)
+            assert excinfo.value.code == "bad_request"
+            assert client.ping()
+
+    def test_client_disconnect_mid_backfill(self, daemon_factory):
+        daemon = daemon_factory(coalesce_s=0.2)
+        # Fire a cold query and hang up before the answer exists.
+        doomed = daemon.client()
+        doomed._sock.sendall(protocol.encode_line({"op": "query", **COLD}))
+        doomed.close()
+
+        with daemon.client() as client:
+            assert _wait(
+                lambda: client.status()["backfill"]["batches_completed"] >= 1
+            ), "backfill never completed after the client vanished"
+            assert _wait(
+                lambda: client.status()["counters"].get("serve.disconnects", 0) >= 1
+            )
+            # The daemon survived and the point landed warm.
+            answer = client.query(**COLD)
+            assert answer["served"] == "memory"
+            assert answer["result"]["method"] == "exact"
+
+
+class TestBackfill:
+    def test_cold_query_backfills_and_stays_warm(self, daemon_factory):
+        daemon = daemon_factory(coalesce_s=0.05)
+        with daemon.client() as client:
+            cold = client.query(**COLD)
+            assert cold["served"] == "backfill"
+            assert cold["result"]["method"] == "exact"
+            warm = client.query(**COLD)
+            assert warm["served"] == "memory"
+            assert warm["result"]["value"] == cold["result"]["value"]
+            status = client.status()
+        assert status["counters"]["serve.misses"] == 1
+        assert status["backfill"]["batches_completed"] == 1
+        assert status["backfill"]["points_completed"] == 1
+
+    def test_coalesced_clients_share_one_build(self, daemon_factory):
+        daemon = daemon_factory(coalesce_s=0.4)
+
+        def ask():
+            with daemon.client() as client:
+                return client.query(**COLD)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            first, second = (f.result(timeout=60) for f in
+                             [pool.submit(ask), pool.submit(ask)])
+        assert first["served"] == second["served"] == "backfill"
+        assert first["result"]["value"] == second["result"]["value"]
+        with daemon.client() as client:
+            status = client.status()
+        assert status["counters"]["serve.backfill.requests"] == 2
+        assert status["backfill"]["points_completed"] == 1
+        assert status["backfill"]["batches_completed"] == 1
+
+    def test_backfill_depth_rejects_with_overloaded(self, daemon_factory):
+        daemon = daemon_factory(coalesce_s=0.6, backfill_depth=1)
+
+        def ask(vdd):
+            with daemon.client() as client:
+                try:
+                    return client.query("hold_power", design="cmos", vdd=vdd)
+                except ServeError as exc:
+                    return exc
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            results = [
+                f.result(timeout=60)
+                for f in [pool.submit(ask, 0.55), pool.submit(ask, 0.52)]
+            ]
+        errors = [r for r in results if isinstance(r, ServeError)]
+        answers = [r for r in results if isinstance(r, dict)]
+        assert len(errors) == 1 and errors[0].code == "overloaded"
+        assert len(answers) == 1 and answers[0]["served"] == "backfill"
+
+    def test_timeout_leaves_the_backfill_running(self, daemon_factory):
+        daemon = daemon_factory(coalesce_s=0.5, request_timeout_s=0.15)
+        with daemon.client() as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.query(**COLD)
+            assert excinfo.value.code == "timeout"
+            assert _wait(
+                lambda: client.status()["backfill"]["batches_completed"] >= 1
+            ), "the timed-out backfill was abandoned"
+            retry = client.query(**COLD)
+            assert retry["served"] == "memory"
+            status = client.status()
+        assert status["counters"]["serve.timeouts"] == 1
+
+
+class TestShutdown:
+    def test_double_shutdown_is_idempotent(self, daemon_factory, tmp_path):
+        metrics_out = tmp_path / "final_metrics.json"
+        daemon = daemon_factory(metrics_out=metrics_out)
+        with daemon.client() as client:
+            first = client.request({"op": "shutdown"})
+            assert first["stopping"] is True and first["already"] is False
+            try:
+                second = client.request({"op": "shutdown"})
+            except (ConnectionError, OSError):
+                second = None  # drained before the second line arrived
+        if second is not None:
+            assert second["stopping"] is True and second["already"] is True
+
+        daemon.thread.join(20)
+        assert not daemon.thread.is_alive()
+        assert not Path(daemon.config.socket_path).exists()
+        assert metrics_out.exists()
+        assert metrics_out.with_suffix(".prom").exists()
+        payload = json.loads(metrics_out.read_text())
+        assert payload["run"] == "serve"
+
+    def test_queries_rejected_while_draining(self, daemon_factory):
+        daemon = daemon_factory()
+        # Drain with no listeners left: new connections fail, and a
+        # repeated programmatic shutdown stays a no-op.
+        with daemon.client() as client:
+            client.request({"op": "shutdown"})
+        daemon.thread.join(20)
+        assert not daemon.thread.is_alive()
+        with pytest.raises((ConnectionError, OSError, FileNotFoundError)):
+            daemon.client()
+
+
+class TestServeCLI:
+    def test_status_and_query_verbs(self, daemon_factory, capsys):
+        from repro.cli import main
+
+        daemon = daemon_factory()
+        socket_arg = ["--socket", str(daemon.config.socket_path)]
+
+        assert main(["serve", "status", *socket_arg]) == 0
+        out = capsys.readouterr().out
+        assert "serve daemon pid" in out
+        assert "servetest: 2/2 present" in out
+
+        assert main(
+            ["serve", "query", "hold_power", "--design", "cmos",
+             "--vdd", "0.6", *socket_arg]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hold_power" in out
+        assert "served: memory" in out
+
+        assert main(
+            ["serve", "query", "hold_power", "--design", "cmos",
+             "--vdd", "0.7", "--json", *socket_arg]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["served"] == "memory"
+        assert payload["result"]["method"] == "linear"
+
+    def test_query_error_paths(self, daemon_factory, capsys):
+        from repro.cli import main
+
+        daemon = daemon_factory()
+        socket_arg = ["--socket", str(daemon.config.socket_path)]
+        assert main(
+            ["serve", "query", "made_up", "--design", "cmos",
+             "--vdd", "0.6", *socket_arg]
+        ) == 2
+        assert "bad_request" in capsys.readouterr().err

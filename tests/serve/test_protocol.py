@@ -1,0 +1,126 @@
+"""Wire-protocol unit tests: request validation, framing, float encoding."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError, parse_request
+
+
+def _code(excinfo) -> str:
+    return excinfo.value.code
+
+
+class TestParseRequest:
+    def test_minimal_ops(self):
+        for op in ("ping", "status", "metrics", "shutdown"):
+            assert parse_request(json.dumps({"op": op}).encode()) == {"op": op}
+
+    def test_query_defaults(self):
+        request = parse_request(
+            b'{"op": "query", "metric": "drnm", "design": "proposed", "vdd": 0.65}'
+        )
+        assert request == {
+            "op": "query", "metric": "drnm", "design": "proposed",
+            "vdd": 0.65, "beta": None, "corner": "tt", "method": "auto",
+        }
+
+    def test_id_passthrough(self):
+        assert parse_request(b'{"op": "ping", "id": "q1"}')["id"] == "q1"
+        assert parse_request(b'{"op": "ping", "id": 7}')["id"] == 7
+
+    def test_bad_id_type(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(b'{"op": "ping", "id": [1]}')
+        assert _code(excinfo) == "bad_request"
+
+    def test_malformed_json(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(b'{"op": nope}')
+        assert _code(excinfo) == "bad_request"
+        assert "not valid JSON" in excinfo.value.message
+
+    def test_invalid_utf8(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(b'\xff\xfe{"op": "ping"}')
+        assert _code(excinfo) == "bad_request"
+
+    def test_non_object(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(b'[1, 2, 3]')
+        assert _code(excinfo) == "bad_request"
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(b'{"op": "explode"}')
+        assert "explode" in excinfo.value.message
+
+    def test_oversized(self):
+        line = json.dumps({"op": "ping", "pad": "x" * 100}).encode()
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(line, max_bytes=64)
+        assert _code(excinfo) == "oversized"
+
+    def test_query_missing_field(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(b'{"op": "query", "metric": "drnm", "vdd": 0.6}')
+        assert "design" in excinfo.value.message
+
+    @pytest.mark.parametrize(
+        "patch",
+        [
+            {"vdd": "zero point six-ish"},
+            {"beta": "wide"},
+            {"corner": 12},
+            {"method": "quantum"},
+            {"metric": 3},
+        ],
+    )
+    def test_query_bad_values(self, patch):
+        payload = {"op": "query", "metric": "drnm", "design": "proposed",
+                   "vdd": 0.65, **patch}
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(json.dumps(payload).encode())
+        assert _code(excinfo) == "bad_request"
+
+    def test_numeric_strings_accepted(self):
+        request = parse_request(
+            b'{"op": "query", "metric": "drnm", "design": "proposed",'
+            b' "vdd": "0.65", "beta": "1.5"}'
+        )
+        assert request["vdd"] == 0.65
+        assert request["beta"] == 1.5
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"ok": True, "result": {"value": 1.25, "coords": {"beta": None}}}
+        line = protocol.encode_line(payload)
+        assert line.endswith(b"\n") and b"\n" not in line[:-1]
+        assert protocol.decode_line(line) == payload
+
+    def test_non_finite_floats(self):
+        payload = {"ok": True, "values": [math.inf, -math.inf, math.nan], "n": 1}
+        line = protocol.encode_line(payload)
+        json.loads(line)  # strict JSON: no bare Infinity/NaN literals
+        assert b"__float__" in line
+        decoded = protocol.decode_line(line)
+        assert decoded["values"][0] == math.inf
+        assert decoded["values"][1] == -math.inf
+        assert math.isnan(decoded["values"][2])
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            protocol.decode_line(b"[1]\n")
+
+    def test_response_helpers_echo_id(self):
+        request = {"op": "query", "id": "q9"}
+        assert protocol.ok_response(request, pong=True)["id"] == "q9"
+        error = protocol.error_response("timeout", "too slow", request)
+        assert error["id"] == "q9"
+        assert error["error"]["code"] == "timeout"
+        assert protocol.ok_response({"op": "ping"}) == {"ok": True}

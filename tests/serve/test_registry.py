@@ -1,0 +1,123 @@
+"""GridRegistry + backfill batching units: validation, miss ranking,
+store coherence, and deterministic spec compilation."""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.char import CharSpec, CharStore, build_grid
+from repro.char.query import CharQueryError
+from repro.serve.backfill import MissKey, batch_specs
+from repro.serve.registry import GridRegistry, validate_point
+
+
+class TestValidatePoint:
+    def test_accepts_a_characterizable_point(self):
+        validate_point("hold_power", "cmos", 0.7, None, "tt")
+        validate_point("drnm", "proposed", 0.65, None, "ss")
+        validate_point("hold_power", "cmos", 0.7, 1.5, "tt")
+
+    @pytest.mark.parametrize(
+        "point",
+        [
+            ("nope", "cmos", 0.7, None, "tt"),          # unknown metric
+            ("hold_power", "nope", 0.7, None, "tt"),    # unknown design
+            ("hold_power", "cmos", 0.7, None, "xx"),    # unknown corner
+            ("wl_crit", "asym", 0.7, None, "tt"),       # metric not defined
+            ("hold_power", "cmos", 0.7, None, "ss"),    # corner-insensitive
+            ("drnm", "proposed", 0.65, 1.2, "tt"),      # fixed sizing
+            ("hold_power", "cmos", 0.7, -1.0, "tt"),    # non-positive beta
+            ("hold_power", "cmos", 2.5, None, "tt"),    # vdd out of domain
+        ],
+    )
+    def test_rejects_never_characterizable_points(self, point):
+        with pytest.raises(CharQueryError) as excinfo:
+            validate_point(*point)
+        assert excinfo.value.reason == "bad-request"
+
+
+class TestBatchSpecs:
+    KEYS = [
+        MissKey("cmos", "tt", None, 0.9, "hold_power"),
+        MissKey("proposed", "tt", None, 0.55, "drnm"),
+        MissKey("cmos", "tt", None, 0.55, "hold_power"),
+        MissKey("cmos", "tt", 1.5, 0.7, "hold_power"),
+    ]
+
+    def test_groups_by_corner_and_beta(self):
+        specs = batch_specs(self.KEYS)
+        assert sorted((s.betas for s in specs), key=repr) == [(1.5,), (None,)]
+        merged = next(s for s in specs if s.betas == (None,))
+        assert merged.designs == ("cmos", "proposed")
+        assert merged.vdds == (0.55, 0.9)
+        assert merged.metrics == ("drnm", "hold_power")
+        assert merged.corners == ("tt",)
+        assert all(s.name == "backfill" for s in specs)
+
+    def test_deterministic_under_permutation(self):
+        assert batch_specs(list(reversed(self.KEYS))) == batch_specs(self.KEYS)
+
+
+@pytest.fixture
+def registry_store(tmp_path, seed_store_dir) -> CharStore:
+    store_dir = tmp_path / "registry_store"
+    shutil.copytree(seed_store_dir, store_dir)
+    return CharStore(store_dir)
+
+
+class TestGridRegistry:
+    def test_exact_and_interpolated_hits(self, registry_store, serve_spec):
+        registry = GridRegistry(registry_store, [serve_spec])
+        exact = registry.answer("hold_power", "cmos", 0.6)
+        assert exact.method == "exact"
+        interp = registry.answer("hold_power", "cmos", 0.7)
+        assert interp.method == "linear"
+        low, high = (
+            registry.answer("hold_power", "cmos", v).value for v in (0.6, 0.8)
+        )
+        assert min(low, high) <= interp.value <= max(low, high)
+
+    def test_miss_reasons(self, registry_store, serve_spec):
+        registry = GridRegistry(registry_store, [serve_spec])
+        with pytest.raises(CharQueryError) as excinfo:
+            registry.answer("hold_power", "cmos", 0.55)
+        assert excinfo.value.reason == "out-of-range"
+        with pytest.raises(CharQueryError) as excinfo:
+            registry.answer("read_delay", "cmos", 0.6)
+        assert excinfo.value.reason == "off-grid"
+        with pytest.raises(CharQueryError) as excinfo:
+            registry.answer("hold_power", "unheard_of", 0.6)
+        assert excinfo.value.reason == "bad-request"
+
+    def test_no_specs_still_serves_exact_index_points(self, registry_store):
+        registry = GridRegistry(registry_store, [])
+        assert registry.answer("hold_power", "cmos", 0.6).method == "exact"
+        with pytest.raises(CharQueryError) as excinfo:
+            registry.answer("hold_power", "cmos", 0.7)  # not in the index
+        assert excinfo.value.reason == "off-grid"
+
+    def test_off_spec_exact_fallback(self, registry_store, serve_spec):
+        extra = CharSpec(
+            name="extra", designs=("cmos",), vdds=(0.9,), metrics=("hold_power",)
+        )
+        build_grid(extra, registry_store)
+        registry = GridRegistry(registry_store, [serve_spec])
+        answer = registry.answer("hold_power", "cmos", 0.9)
+        assert answer.method == "exact"
+        assert any("off-spec" in note for note in answer.notes)
+
+    def test_maybe_reload_tracks_the_index(self, registry_store, serve_spec):
+        registry = GridRegistry(registry_store, [serve_spec])
+        loads = registry.reloads
+        assert registry.maybe_reload() is False
+
+        extra = CharSpec(
+            name="extra", designs=("cmos",), vdds=(0.9,), metrics=("hold_power",)
+        )
+        build_grid(extra, CharStore(registry_store.directory))
+        assert registry.maybe_reload() is True
+        assert registry.reloads == loads + 1
+        assert registry.answer("hold_power", "cmos", 0.9).value is not None
+        assert registry.maybe_reload() is False

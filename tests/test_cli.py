@@ -110,3 +110,47 @@ class TestNetlist:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCharStatusJson:
+    def test_empty_store_reports_coverage(self, tmp_path, capsys):
+        import json
+
+        assert main(
+            ["char", "status", "--spec", "nominal", "--store", str(tmp_path),
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"] == "nominal"
+        assert payload["present"] == 0
+        assert payload["missing"] == payload["total"] > 0
+        assert payload["store"] == str(tmp_path)
+        assert payload["index"]["entries"] == 0
+
+    def test_plain_output_unchanged(self, tmp_path, capsys):
+        assert main(
+            ["char", "status", "--spec", "nominal", "--store", str(tmp_path)]
+        ) == 0
+        assert "entries present" in capsys.readouterr().out
+
+
+class TestServeCLIOffline:
+    def test_status_without_a_daemon_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "no-daemon.sock"
+        assert main(["serve", "status", "--socket", str(missing)]) == 2
+        assert "cannot reach a serve daemon" in capsys.readouterr().err
+
+    def test_query_without_a_daemon_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "no-daemon.sock"
+        assert main(
+            ["serve", "query", "hold_power", "--design", "cmos", "--vdd", "0.6",
+             "--socket", str(missing)]
+        ) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_start_rejects_unknown_spec(self, tmp_path, capsys):
+        assert main(
+            ["serve", "start", "--spec", "made-up",
+             "--socket", str(tmp_path / "s.sock"), "--store", str(tmp_path)]
+        ) == 2
+        assert "unknown spec" in capsys.readouterr().err
