@@ -86,9 +86,28 @@ def selftest(tolerance: float) -> int:
     if not bad_problems:
         print("selftest FAILED: planted regression (3.8x -> 1.2x) not flagged")
         return 1
+
+    # The stacked-batch family must normalize through its registered
+    # headline and enforce the payload's own hard gate.
+    batch_record = bench.bench_record(
+        {"schema": "repro.bench.spice_batch/v1", "created_unix": 1.0,
+         "speedup": 6.8, "gate": 5.0},
+        "selftest",
+    )
+    if (
+        batch_record is None
+        or batch_record["metric"] != "speedup"
+        or batch_record["limit"] != 5.0
+    ):
+        print("selftest FAILED: spice_batch payload did not normalize")
+        return 1
+    breach = bench.check_history([{**batch_record, "value": 4.0}], tolerance)
+    if not breach:
+        print("selftest FAILED: spice_batch gate breach (4.0x < 5x) not flagged")
+        return 1
     print(
-        "selftest ok: healthy history passes, planted regression flagged "
-        f"({bad_problems[0]})"
+        "selftest ok: healthy history passes, planted regressions flagged "
+        f"({bad_problems[0]}; {breach[0]})"
     )
     return 0
 

@@ -155,4 +155,9 @@ def critical_wordline_pulse(
 ) -> float:
     """WL_crit in seconds for a cell at the given supply (inf if unwritable)."""
     search = search or WlCritSearch()
+    factory = getattr(cell, "write_bench_factory", None)
+    if factory is not None:
+        # One built netlist for the whole bisection (waveform swaps per
+        # width) instead of a rebuild per probe — value-identical.
+        return search.search(factory(vdd, assist=assist))
     return search.search(lambda width: cell.write_testbench(vdd, width, assist=assist))

@@ -18,6 +18,7 @@ from repro.circuit.netlist import Circuit
 from repro.circuit.parser import parse_netlist
 from repro.circuit.report import format_netlist, format_operating_point
 from repro.circuit.results import OperatingPoint, TransientResult
+from repro.circuit.sparse import SparseMnaSystem, make_system
 from repro.circuit.sweep import dc_sweep
 from repro.circuit.transient import TransientOptions, simulate_transient
 from repro.circuit.waveforms import Constant, PiecewiseLinear, Pulse, Waveform
@@ -40,6 +41,8 @@ __all__ = [
     "Circuit",
     "OperatingPoint",
     "TransientResult",
+    "SparseMnaSystem",
+    "make_system",
     "dc_sweep",
     "TransientOptions",
     "simulate_transient",

@@ -1,0 +1,1080 @@
+"""Stacked-batch SPICE: K same-topology variants solved as one block.
+
+Monte-Carlo campaigns solve thousands of *variants of one topology* —
+same nodes, same stamps, different device tables — and the scalar path
+pays the full python/numpy dispatch overhead of every assembly once per
+variant.  This module removes that multiplier: the scalar control flow
+(Newton damping, line search, jacobian reuse, transient step control,
+DC fallback tiers, even the WL_crit bisection above it) is transcribed
+into *generator coroutines*, one per batch member, that suspend at
+every residual/Jacobian request.  A single-threaded driver collects the
+suspended requests each tick and serves them with one batched assembly
+over a ``(K, size)`` state block — one scatter-add per stamp kind for
+the whole batch instead of one per member.
+
+Bit-exactness is the design contract, not an aspiration: every batched
+kernel replicates the scalar assembly expression-for-expression (same
+operation order, same elementwise arithmetic, per-member ``matmul`` for
+the linear stamp because a fused dgemm is *not* bit-stable), so a batch
+of any size produces solution vectors bit-identical to the scalar path.
+``repro.verify`` leans on this — batch members can be audited by
+re-running them scalar and comparing exactly.
+
+What is deliberately different from the scalar path (documented, not
+accidental):
+
+* the Jacobian block is assembled every tick for every live member,
+  even for residual-only (line search) requests — per-member it would
+  be wasted work, batched it is almost free, and the residual is
+  computed independently so delivered values are unchanged;
+* ``tables.evals``/``tables.eval_points`` telemetry counters are not
+  incremented (the stacked kernel bypasses ``CubicTable2D.evaluate``);
+  ``batch.table_points`` counts the stacked evaluations instead;
+* telemetry spans and wall-clock timers measure a member's span of
+  life including time parked while other members advance — per-member
+  exclusive wall time has no meaning under cooperative scheduling, so
+  ``dcop``/``transient`` spans are skipped entirely;
+* ``verify`` in-loop audits still run against the member's own scalar
+  :class:`MnaSystem`, so enabling a verify session inside a batch is
+  supported (the engine instead audits whole members by scalar re-run).
+
+Members advance at their own pace — a member that converges early
+leaves the batch, shrinking the active block; a member that raises
+(e.g. :class:`ConvergenceError`) is recorded as failed and the rest
+continue.  The engine layer retries failed members on the scalar path.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.dcop import (
+    ConvergenceError,
+    SolverOptions,
+    _factorize,
+    _initial_vector,
+    _record_newton,
+    _seed_vector,
+    _tier_converged,
+    _worst_residual_nodes,
+)
+from repro.circuit.mna import MnaSystem, TransientState, VoltageClamp
+from repro.circuit.results import OperatingPoint, TransientResult
+from repro.circuit.sparse import make_system
+from repro.circuit.transient import _EPS, TransientOptions
+from repro.devices.tables import CurrentTable
+from repro.telemetry import core as telemetry
+from repro.verify import audits as verify_audits
+from repro.verify import core as verify
+
+__all__ = [
+    "BatchMember",
+    "MemberOutcome",
+    "run_generators",
+    "newton_gen",
+    "attempt_step_gen",
+    "transient_gen",
+    "solve_dc_gen",
+]
+
+
+class BatchMember:
+    """One variant's identity and current assembler binding in a batch.
+
+    Generators bind the member to the :class:`MnaSystem` they are about
+    to solve via :meth:`install_system`; the driver compiles a stamping
+    plan for that system lazily and rebuilds it whenever the binding
+    (or the system's own compiled stamps) changes.
+    """
+
+    __slots__ = ("label", "system", "_plan")
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self.system: MnaSystem | None = None
+        self._plan = None
+
+    def install_system(self, system: MnaSystem) -> None:
+        self.system = system
+
+
+@dataclass
+class MemberOutcome:
+    """Terminal state of one batch member."""
+
+    member: BatchMember
+    status: str  # "ok" | "error"
+    value: object = None
+    error: BaseException | None = field(default=None, repr=False)
+
+
+# An assembly request, yielded by the generators below:
+#   (x, t, gmin, transient, clamps, source_scale, want_jac)
+# The driver answers with (f, jac) — f a fresh array, jac a view into
+# the tick buffer (valid until the generator's next yield) or None.
+
+
+class _TableRegistry:
+    """Concatenated per-cell coefficients of every distinct device table.
+
+    Distinct :class:`CurrentTable` objects seen across the batch are
+    stacked (coefficient blocks concatenated, per-table grid parameters
+    gathered per point), so one kernel call evaluates devices from any
+    mix of Monte-Carlo variants.  The memory bound is the number of
+    distinct quantized oxide scales (±5 % at quantum 0.0025 → ≤ 41
+    tables), each of which already lives in the lru-cached models.
+    """
+
+    def __init__(self):
+        self._index: dict[int, int] = {}
+        self._currents: list[CurrentTable] = []
+        self._dirty = True
+
+    def slot_of(self, current_table: CurrentTable) -> int:
+        key = id(current_table)
+        slot = self._index.get(key)
+        if slot is None:
+            slot = len(self._currents)
+            self._index[key] = slot
+            self._currents.append(current_table)
+            self._dirty = True
+        return slot
+
+    def _rebuild(self) -> None:
+        tables = [ct._table for ct in self._currents]
+        self._coeffs = np.concatenate([t._coeffs for t in tables])
+        counts = [t._coeffs.shape[0] for t in tables]
+        self._base = np.concatenate(
+            [[0], np.cumsum(counts[:-1], dtype=np.intp)]
+        ).astype(np.intp)
+        self._x_start = np.array([t.x_grid.start for t in tables])
+        self._x_stop = np.array([t.x_grid.stop for t in tables])
+        self._x_inv = np.array([t.x_grid._inv_step for t in tables])
+        self._x_hi = np.array([t.x_grid.count - 2 for t in tables], dtype=np.intp)
+        self._y_start = np.array([t.y_grid.start for t in tables])
+        self._y_stop = np.array([t.y_grid.stop for t in tables])
+        self._y_inv = np.array([t.y_grid._inv_step for t in tables])
+        self._y_hi = np.array([t.y_grid.count - 2 for t in tables], dtype=np.intp)
+        self._nym1 = np.array([t.y_grid.count - 1 for t in tables], dtype=np.intp)
+        self._sv = np.array([ct.shape_voltage for ct in self._currents])
+        self._dirty = False
+
+    def evaluate(
+        self, tbl: np.ndarray, vgs: np.ndarray, vds: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stacked replica of :meth:`CurrentTable.evaluate`, bit-exact.
+
+        Each point evaluates against table ``tbl[k]``; the arithmetic
+        mirrors ``CubicTable2D.evaluate`` (clamp, cell lookup, baked
+        coefficient matmuls, tangent-plane extension) followed by the
+        shape-factored current reconstruction, expression for
+        expression.  The extension is applied unconditionally — at
+        ``dx = dy = 0`` it reproduces the inside values exactly, so no
+        per-call outside test is needed.
+        """
+        if self._dirty:
+            self._rebuild()
+        x, y = vgs, vds
+        xc = np.minimum(np.maximum(x, self._x_start[tbl]), self._x_stop[tbl])
+        yc = np.minimum(np.maximum(y, self._y_start[tbl]), self._y_stop[tbl])
+
+        pos = (xc - self._x_start[tbl]) * self._x_inv[tbl]
+        ix = np.minimum(pos.astype(np.intp), self._x_hi[tbl])
+        tx = pos - ix
+        pos = (yc - self._y_start[tbl]) * self._y_inv[tbl]
+        iy = np.minimum(pos.astype(np.intp), self._y_hi[tbl])
+        ty = pos - iy
+
+        cells = self._coeffs[self._base[tbl] + ix * self._nym1[tbl] + iy]
+        m = cells.shape[0]
+        u = np.empty((m, 2, 4))
+        v = np.empty((m, 4, 2))
+        tx2 = tx * tx
+        u[:, 0, 0] = 1.0
+        u[:, 0, 1] = tx
+        u[:, 0, 2] = tx2
+        u[:, 0, 3] = tx2 * tx
+        u[:, 1, 0] = 0.0
+        u[:, 1, 1] = 1.0
+        u[:, 1, 2] = 2.0 * tx
+        u[:, 1, 3] = 3.0 * tx2
+        ty2 = ty * ty
+        v[:, 0, 0] = 1.0
+        v[:, 1, 0] = ty
+        v[:, 2, 0] = ty2
+        v[:, 3, 0] = ty2 * ty
+        v[:, 0, 1] = 0.0
+        v[:, 1, 1] = 1.0
+        v[:, 2, 1] = 2.0 * ty
+        v[:, 3, 1] = 3.0 * ty2
+        out = u @ cells @ v
+
+        inv_hx = self._x_inv[tbl]
+        inv_hy = self._y_inv[tbl]
+        f = out[:, 0, 0]
+        fx = out[:, 1, 0] * inv_hx
+        fy = out[:, 0, 1] * inv_hy
+        fxy = out[:, 1, 1] * (inv_hx * inv_hy)
+
+        dx = x - xc
+        dy = y - yc
+        z = f + fx * dx + fy * dy + fxy * dx * dy
+        dz_dvgs = fx + fxy * dy
+        dz_dvds = fy + fxy * dx
+
+        sv = self._sv[tbl]
+        residue = np.exp(z)
+        shape = np.sign(y) * (1.0 - np.exp(-np.abs(y) / sv))
+        current = shape * residue
+        di_dvgs = current * dz_dvgs
+        di_dvds = (np.exp(-np.abs(y) / sv) / sv) * residue + current * dz_dvds
+        return current, di_dvgs, di_dvds
+
+
+class _MemberPlan:
+    """Per-(member, system) stamping plan in the system's own layout.
+
+    Group partition is by model *identity*, so two Monte-Carlo variants
+    of one topology can flatten their transistors in different orders
+    (shared quantized-scale models group differently).  The plan
+    therefore carries the member's own per-device arrays and the
+    member's own scatter index arrays — never another member's.
+    """
+
+    __slots__ = (
+        "system", "lin", "vs_waves", "t_tbl", "t_sign", "t_width",
+        "t_d", "t_g", "t_s", "t_fallback", "all_table",
+    )
+
+    def __init__(self, system: MnaSystem, registry: _TableRegistry):
+        self.system = system
+        self.lin = system._lin  # identity tracks invalidate_caches()
+        self.vs_waves = system._vs_waves
+        n_t = system._t_count
+        self.t_tbl = np.full(n_t, -1, dtype=np.intp)
+        self.t_sign = np.empty(n_t)
+        self.t_width = np.empty(n_t)
+        self.t_d = np.zeros(n_t, dtype=np.intp)
+        self.t_g = np.zeros(n_t, dtype=np.intp)
+        self.t_s = np.zeros(n_t, dtype=np.intp)
+        self.t_fallback: list[tuple] = []
+        for group in system._t_groups:
+            model, sl, sign, width, d, g, s = group
+            self.t_sign[sl] = sign
+            self.t_width[sl] = width
+            self.t_d[sl] = d
+            self.t_g[sl] = g
+            self.t_s[sl] = s
+            table = getattr(model, "table", None)
+            if isinstance(table, CurrentTable):
+                self.t_tbl[sl] = registry.slot_of(table)
+            else:
+                # Non-table models (e.g. the MOSFET baseline) evaluate
+                # through the scalar model call, member by member.
+                self.t_fallback.append(group)
+        self.all_table = not self.t_fallback
+
+
+class _Layout:
+    """Buffers and concatenated scatter arrays for one active set.
+
+    Valid while the active members, their order, and each member's plan
+    are unchanged; the driver rebuilds it on any change (bounded by the
+    number of simulations run, not by tick count).  Device-evaluation
+    caches live in the layout rows and reset on rebuild — a cache miss
+    only re-evaluates pure functions, so resets never change results.
+    """
+
+    def __init__(self, plans: list[_MemberPlan]):
+        self.plans = plans
+        first = plans[0].system
+        self.n = n = first.n_nodes
+        self.size = size = first.size
+        self.n_t = n_t = first._t_count
+        bank = first._caps
+        self.n_c = n_c = len(bank)
+        for plan in plans:
+            sys = plan.system
+            if (
+                sys.n_nodes != n
+                or sys.size != size
+                or sys._t_count != n_t
+                or len(sys._caps) != n_c
+            ):
+                raise ValueError("batch members must share one topology")
+
+        K = len(plans)
+        self.X = np.zeros((K, size))
+        self.XG = np.zeros((K, n + 1))
+        self.F = np.zeros((K, size))
+        self.Fr = self.F.reshape(-1)
+        self.JAC = np.zeros((K, size, size))
+        self.JACr = self.JAC.reshape(-1)
+        self.JAC2 = self.JAC.reshape(K, size * size)
+        self.LIN = np.empty((K, size, size))
+        for i, plan in enumerate(plans):
+            self.LIN[i] = plan.system._lin
+        self.diag_flat = first._diag_flat
+
+        if n_t:
+            self.S = np.vstack([p.t_s for p in plans])
+            self.G = np.vstack([p.t_g for p in plans])
+            self.D = np.vstack([p.t_d for p in plans])
+            self.SIGN = np.vstack([p.t_sign for p in plans])
+            self.WIDTH = np.vstack([p.t_width for p in plans])
+            self.TBL = np.vstack([p.t_tbl for p in plans])
+            self.all_table = all(p.all_table for p in plans)
+            # Residual/Jacobian scatters concatenate each member's OWN
+            # index arrays offset to its row; within-member ordering is
+            # preserved, so the single add.at matches the scalar adds.
+            self.tf_idx = np.concatenate(
+                [i * size + p.system._tf_idx for i, p in enumerate(plans)]
+            )
+            self.tf_sign = np.concatenate([p.system._tf_sign for p in plans])
+            self.tf_mem = np.concatenate(
+                [i * n_t + p.system._tf_member for i, p in enumerate(plans)]
+            )
+            self.tj_flat = np.concatenate(
+                [i * size * size + p.system._tj_flat for i, p in enumerate(plans)]
+            )
+            self.tj_sign = np.concatenate([p.system._tj_sign for p in plans])
+            self.tj_kind = np.concatenate([p.system._tj_kind for p in plans])
+            self.tj_mem = np.concatenate(
+                [i * n_t + p.system._tj_member for i, p in enumerate(plans)]
+            )
+            self.ID = np.zeros((K, n_t))
+            self.GM = np.zeros((K, n_t))
+            self.GDS = np.zeros((K, n_t))
+            self.COEF = np.zeros((3, K, n_t))
+            self.COEF2 = self.COEF.reshape(3, K * n_t)
+            self.T_X = np.full((K, n), np.nan)
+            self.T_VALID = np.zeros(K, dtype=bool)
+
+        if n_c:
+            # Capacitor wiring (nodes, signs, linear/step kinds, scale,
+            # mirror) is topology, identical across members; only the
+            # charge-model parameters vary with the device sample.
+            for plan in plans[1:]:
+                other = plan.system._caps
+                if not (
+                    np.array_equal(other.a, bank.a)
+                    and np.array_equal(other.b, bank.b)
+                    and np.array_equal(other.kind, bank.kind)
+                    and np.array_equal(other.scale, bank.scale)
+                    and np.array_equal(other.mirror, bank.mirror)
+                ):
+                    raise ValueError("batch members must share one topology")
+            self.cap_a = bank.a
+            self.cap_b = bank.b
+            self.cap_scale = bank.scale
+            self.cap_mirror = bank.mirror
+            self.cap_step = bank.kind == 1
+            self.cap_all_linear = all(p.system._caps._all_linear for p in plans)
+            self.cap_other = any(p.system._caps.other for p in plans)
+            self.C_SCLIN = np.vstack([p.system._caps._scaled_lin for p in plans])
+            self.C_LIN = np.vstack([p.system._caps.c_lin for p in plans])
+            self.C_LOW = np.vstack([p.system._caps.c_low for p in plans])
+            self.C_HIGH = np.vstack([p.system._caps.c_high for p in plans])
+            self.C_VSTEP = np.vstack([p.system._caps.v_step for p in plans])
+            self.C_WIDTH = np.vstack([p.system._caps.width for p in plans])
+            self.cf_idx = first._cf_idx
+            self.cf_sign = first._cf_sign
+            self.cf_member = first._cf_member
+            self.cj_flat = first._cj_flat
+            self.cj_sign = first._cj_sign
+            self.cj_member = first._cj_member
+
+
+def _stamp_devices_batch(layout: _Layout, registry: _TableRegistry, tel) -> None:
+    """Evaluate + scatter every member's transistors for this tick."""
+    n = layout.n
+    X = layout.X
+    fresh = [
+        i
+        for i in range(len(layout.plans))
+        if not (layout.T_VALID[i] and np.array_equal(X[i, :n], layout.T_X[i]))
+    ]
+    if fresh:
+        fr = np.array(fresh, dtype=np.intp)
+        base = fr * (n + 1)
+        xgr = layout.XG.reshape(-1)
+        VS = xgr[base[:, None] + layout.S[fr]]
+        VG = xgr[base[:, None] + layout.G[fr]]
+        VD = xgr[base[:, None] + layout.D[fr]]
+        SGN = layout.SIGN[fr]
+        W = layout.WIDTH[fr]
+        VGS = SGN * (VG - VS)
+        VDS = SGN * (VD - VS)
+        TBL = layout.TBL[fr]
+        J = np.empty_like(VGS)
+        GMv = np.empty_like(VGS)
+        GDSv = np.empty_like(VGS)
+        tb = TBL >= 0
+        if tb.any():
+            cur, dg, dd = registry.evaluate(TBL[tb], VGS[tb], VDS[tb])
+            J[tb] = cur
+            GMv[tb] = dg
+            GDSv[tb] = dd
+            if tel is not None:
+                tel.count("batch.table_points", int(cur.size))
+        for local, i in enumerate(fresh):
+            plan = layout.plans[i]
+            if not plan.t_fallback:
+                continue
+            xg = layout.XG[i]
+            for model, sl, sign, width, d, g, s in plan.t_fallback:
+                vs = xg[s]
+                vgs = sign * (xg[g] - vs)
+                vds = sign * (xg[d] - vs)
+                j, gm, gds = model.evaluate_density(vgs, vds)
+                J[local, sl] = np.asarray(j, dtype=float)
+                GMv[local, sl] = np.asarray(gm, dtype=float)
+                GDSv[local, sl] = np.asarray(gds, dtype=float)
+        layout.ID[fr] = SGN * W * J
+        layout.GM[fr] = W * GMv
+        layout.GDS[fr] = W * GDSv
+        layout.T_X[fr] = X[fr, :n]
+        layout.T_VALID[fr] = True
+
+    np.add.at(layout.Fr, layout.tf_idx, layout.tf_sign * layout.ID.reshape(-1)[layout.tf_mem])
+    layout.COEF[0] = layout.GDS
+    layout.COEF[1] = layout.GM
+    np.add(layout.GM, layout.GDS, out=layout.COEF[2])
+    np.add.at(
+        layout.JACr,
+        layout.tj_flat,
+        layout.tj_sign * layout.COEF2[layout.tj_kind, layout.tj_mem],
+    )
+
+
+def _stamp_capacitors_batch(layout: _Layout, reqs: list, tr: list[int]) -> None:
+    """Companion-model capacitor stamps for members in transient."""
+    trows = np.array(tr, dtype=np.intp)
+    size = layout.size
+    XGt = layout.XG[trows]
+    V = XGt[:, layout.cap_a] - XGt[:, layout.cap_b]
+    if layout.cap_all_linear:
+        Q = layout.C_SCLIN[trows] * V
+        C = np.broadcast_to(layout.C_SCLIN[trows], V.shape)
+    else:
+        VM = layout.cap_mirror * V
+        Xc = np.clip((VM - layout.C_VSTEP[trows]) / layout.C_WIDTH[trows], -200.0, 200.0)
+        softplus = layout.C_WIDTH[trows] * np.logaddexp(0.0, Xc)
+        sigmoid = 1.0 / (1.0 + np.exp(-Xc))
+        c_low = layout.C_LOW[trows]
+        c_high = layout.C_HIGH[trows]
+        q_step = layout.cap_mirror * (c_low * VM + (c_high - c_low) * softplus)
+        c_step = c_low + (c_high - c_low) * sigmoid
+        Q = np.where(layout.cap_step, q_step, layout.C_LIN[trows] * V)
+        C = np.where(layout.cap_step, c_step, layout.C_LIN[trows])
+        Q = layout.cap_scale * Q
+        C = layout.cap_scale * C
+
+    n_c = layout.n_c
+    QP = np.empty((len(tr), n_c))
+    H = np.empty(len(tr))
+    trapezoidal = False
+    for j, i in enumerate(tr):
+        state = reqs[i][3]
+        QP[j] = state.capacitor_charges
+        H[j] = state.timestep
+        if state.method == "trapezoidal":
+            trapezoidal = True
+    if not trapezoidal:
+        CUR = (Q - QP) / H[:, None]
+        CON = C / H[:, None]
+    else:
+        CUR = np.empty_like(Q)
+        CON = np.empty_like(Q)
+        for j, i in enumerate(tr):
+            state = reqs[i][3]
+            if state.method == "trapezoidal":
+                CUR[j] = 2.0 * (Q[j] - QP[j]) / H[j] - state.capacitor_currents
+                CON[j] = 2.0 * C[j] / H[j]
+            else:
+                CUR[j] = (Q[j] - QP[j]) / H[j]
+                CON[j] = C[j] / H[j]
+
+    f_idx = (trows * size)[:, None] + layout.cf_idx
+    np.add.at(layout.Fr, f_idx.reshape(-1), (layout.cf_sign * CUR[:, layout.cf_member]).reshape(-1))
+    j_idx = (trows * size * size)[:, None] + layout.cj_flat
+    np.add.at(layout.JACr, j_idx.reshape(-1), (layout.cj_sign * CON[:, layout.cj_member]).reshape(-1))
+
+
+def _assemble_tick(layout: _Layout, reqs: list, registry: _TableRegistry, tel) -> None:
+    """One batched assembly over the active set.
+
+    ``reqs[i]`` is member i's request tuple.  Stamp order per member
+    matches :meth:`MnaSystem._assemble` exactly: linear, gmin, clamps,
+    voltage sources, current sources, transistors, capacitors.
+    """
+    n = layout.n
+    K = len(reqs)
+    X = layout.X
+    F = layout.F
+    for i, r in enumerate(reqs):
+        X[i] = r[0]
+    layout.XG[:, :n] = X[:, :n]
+
+    # Linear elements: one per-member mat-vec (a fused (K,n)x(n,n) dgemm
+    # is NOT bit-identical to the scalar matmul — measured, not guessed).
+    for i in range(K):
+        np.matmul(layout.LIN[i], X[i], out=F[i])
+    np.copyto(layout.JAC, layout.LIN)
+
+    gv = np.array([r[2] for r in reqs])
+    idx = np.flatnonzero(gv > 0.0)
+    if idx.size:
+        F[idx, :n] += gv[idx, None] * X[idx, :n]
+        layout.JAC2[np.ix_(idx, layout.diag_flat)] += gv[idx, None]
+
+    for i, r in enumerate(reqs):
+        clamps = r[4]
+        if clamps:
+            sys = layout.plans[i].system
+            nodes, conductance, target = sys._clamp_arrays(clamps)
+            if nodes.size:
+                np.add.at(F[i], nodes, conductance * (r[0][nodes] - target))
+                np.add.at(
+                    layout.JAC2[i], nodes * (layout.size + 1), conductance
+                )
+
+    # Independent sources: per-member, reusing each system's (t,
+    # waveform) caches so the cache evolution matches the scalar path.
+    for i, r in enumerate(reqs):
+        sys = layout.plans[i].system
+        t = r[1]
+        source_scale = r[5]
+        if sys.n_branches:
+            vs = sys._vs_values
+            sources = sys.circuit.voltage_sources
+            waves = sys._vs_waves
+            if t != sys._vs_t or any(
+                s.waveform is not w for s, w in zip(sources, waves)
+            ):
+                for m, src in enumerate(sources):
+                    vs[m] = src.waveform.value(t)
+                    waves[m] = src.waveform
+                sys._vs_t = t
+            F[i, n:] -= source_scale * vs
+        if sys._is_idx.size:
+            iv = sys._is_values
+            sources = sys.circuit.current_sources
+            waves = sys._is_waves
+            if t != sys._is_t or any(
+                s.waveform is not w for s, w in zip(sources, waves)
+            ):
+                for m, src in enumerate(sources):
+                    iv[m] = src.waveform.value(t)
+                    waves[m] = src.waveform
+                sys._is_t = t
+            np.add.at(
+                F[i], sys._is_idx, sys._is_sign * (source_scale * iv[sys._is_member])
+            )
+
+    if layout.n_t:
+        _stamp_devices_batch(layout, registry, tel)
+
+    if layout.n_c:
+        tr = [i for i, r in enumerate(reqs) if r[3] is not None]
+        if tr:
+            if layout.cap_other:
+                # Exotic charge functions: the vectorized bank falls
+                # back per member, exactly like the scalar assembler.
+                for i in tr:
+                    sys = layout.plans[i].system
+                    sys._stamp_capacitors(
+                        X[i], F[i], layout.JAC2[i], reqs[i][3], True
+                    )
+            else:
+                _stamp_capacitors_batch(layout, reqs, tr)
+
+
+def _plan_for(member: BatchMember, registry: _TableRegistry) -> _MemberPlan:
+    plan = member._plan
+    system = member.system
+    if (
+        plan is None
+        or plan.system is not system
+        or plan.lin is not system._lin  # invalidate_caches() recompiled
+        or plan.vs_waves is not system._vs_waves
+    ):
+        plan = _MemberPlan(system, registry)
+        member._plan = plan
+    return plan
+
+
+def run_generators(
+    pairs: list[tuple[BatchMember, object]]
+) -> list[MemberOutcome]:
+    """Drive (member, generator) pairs to completion, batching assembly.
+
+    Each generator yields assembly requests and receives ``(f, jac)``
+    answers; the driver advances every live member once per tick and
+    serves all parked requests with one stacked assembly.  A generator's
+    return value becomes its member's ``value``; an uncaught exception
+    (most commonly :class:`ConvergenceError`) becomes an ``"error"``
+    outcome without disturbing the other members.  Outcomes are
+    returned in input order.
+    """
+    tel = telemetry.active()
+    registry = _TableRegistry()
+    results: list[MemberOutcome | None] = [None] * len(pairs)
+    active: list[list] = []
+    for pos, (member, gen) in enumerate(pairs):
+        try:
+            req = gen.send(None)
+        except StopIteration as stop:
+            results[pos] = MemberOutcome(member, "ok", stop.value)
+        except Exception as exc:
+            results[pos] = MemberOutcome(member, "error", error=exc)
+        else:
+            active.append([pos, member, gen, req])
+    if tel is not None:
+        tel.count("batch.runs")
+        tel.count("batch.members", len(pairs))
+
+    layout = None
+    layout_key = None
+    while active:
+        plans = [_plan_for(entry[1], registry) for entry in active]
+        key = tuple(id(p) for p in plans)
+        if key != layout_key:
+            layout = _Layout(plans)
+            layout_key = key
+        reqs = [entry[3] for entry in active]
+        _assemble_tick(layout, reqs, registry, tel)
+        if tel is not None:
+            tel.count("batch.ticks")
+            tel.count("batch.member_assemblies", len(active))
+
+        still = []
+        for i, entry in enumerate(active):
+            pos, member, gen, req = entry
+            answer = (layout.F[i].copy(), layout.JAC[i] if req[6] else None)
+            try:
+                nxt = gen.send(answer)
+            except StopIteration as stop:
+                results[pos] = MemberOutcome(member, "ok", stop.value)
+            except Exception as exc:
+                results[pos] = MemberOutcome(member, "error", error=exc)
+            else:
+                entry[3] = nxt
+                still.append(entry)
+        active = still
+    return results
+
+
+# -- generator transcriptions of the scalar control flow ----------------------
+#
+# Each generator below is a line-for-line transcription of its scalar
+# counterpart (newton_solve, _attempt_step, simulate_transient/_simulate,
+# solve_dc/_solve_dc_tiers) with every MnaSystem assembly replaced by a
+# yield.  Control flow, damping constants, cache seeding, telemetry
+# counters, and exception behaviour are preserved so a batch member's
+# iteration history is identical to a scalar run of the same problem.
+
+
+def newton_gen(
+    member: BatchMember,
+    x0: np.ndarray,
+    t: float,
+    options: SolverOptions,
+    transient: TransientState | None = None,
+    clamps: tuple[VoltageClamp, ...] = (),
+    extra_gmin: float = 0.0,
+    source_scale: float = 1.0,
+):
+    """Generator transcription of :func:`repro.circuit.dcop.newton_solve`."""
+    if options.max_iterations < 1:
+        raise ValueError(
+            f"SolverOptions.max_iterations must be >= 1, got {options.max_iterations}"
+        )
+    tel = telemetry.active()
+    wall_start = time.perf_counter() if tel is not None else 0.0
+    system = member.system
+
+    x = x0.copy()
+    n = system.n_nodes
+    gmin = options.gmin + extra_gmin
+
+    f, _ = yield (x, t, gmin, transient, clamps, source_scale, False)
+    factor = None
+    age = 0
+    stamps = 0
+    reuses = 0
+    residual_ok_streak = 0
+    trust = options.step_limit
+    backtracks = 0
+    trust_shrinks = 0
+    step = float("nan")
+    iteration = 0
+    while iteration < options.max_iterations:
+        iteration += 1
+
+        refresh = (
+            factor is None
+            or not options.jacobian_reuse
+            or age >= options.max_jacobian_age
+        )
+        if refresh:
+            _, jac = yield (x, t, gmin, transient, clamps, source_scale, True)
+            try:
+                factor = _factorize(jac)
+            except np.linalg.LinAlgError as exc:
+                if tel is not None:
+                    tel.count("newton.singular_jacobians")
+                    _record_newton(tel, wall_start, iteration, backtracks,
+                                   trust_shrinks, stamps, reuses, converged=False)
+                raise ConvergenceError(
+                    f"singular Jacobian at iteration {iteration}",
+                    forensics={"worst_residual_nodes": _worst_residual_nodes(system, f)},
+                ) from exc
+            age = 0
+            stamps += 1
+        else:
+            age += 1
+            reuses += 1
+
+        try:
+            delta = factor.solve(-f)
+        except np.linalg.LinAlgError as exc:
+            if tel is not None:
+                tel.count("newton.singular_jacobians")
+                _record_newton(tel, wall_start, iteration, backtracks,
+                               trust_shrinks, stamps, reuses, converged=False)
+            raise ConvergenceError(
+                f"singular Jacobian at iteration {iteration}",
+                forensics={"worst_residual_nodes": _worst_residual_nodes(system, f)},
+            ) from exc
+        if not np.all(np.isfinite(delta)):
+            if age > 0:
+                factor = None
+                iteration -= 1
+                continue
+            if tel is not None:
+                _record_newton(tel, wall_start, iteration, backtracks,
+                               trust_shrinks, stamps, reuses, converged=False)
+            raise ConvergenceError(
+                f"non-finite Newton step at iteration {iteration}",
+                forensics={"worst_residual_nodes": _worst_residual_nodes(system, f)},
+            )
+
+        max_dv = float(np.max(np.abs(delta[:n]))) if n else 0.0
+        if max_dv > trust:
+            delta = delta * (trust / max_dv)
+            max_dv = trust
+
+        norm_old = float(np.linalg.norm(f))
+        scale = 1.0
+        descended = False
+        for _ in range(options.line_search_backtracks + 1):
+            x_try = x + scale * delta
+            f_try, _ = yield (x_try, t, gmin, transient, clamps, source_scale, False)
+            if float(np.linalg.norm(f_try)) <= norm_old or norm_old == 0.0:
+                descended = True
+                break
+            scale *= 0.5
+            backtracks += 1
+        if not descended and age > 0:
+            factor = None
+            iteration -= 1
+            continue
+        x, f = x_try, f_try
+        step = scale * max_dv
+
+        if scale < 1.0:
+            trust = max(0.25 * trust, 1e-7)
+            trust_shrinks += 1
+            factor = None
+        else:
+            trust = min(2.0 * trust, options.step_limit)
+            norm_new = float(np.linalg.norm(f))
+            if age > 0 and norm_new > options.reuse_descent_factor * norm_old:
+                factor = None
+
+        max_f = float(np.max(np.abs(f)))
+        if max_f < options.residual_tolerance:
+            if age == 0:
+                residual_ok_streak += 1
+                if step < options.voltage_tolerance or residual_ok_streak >= 3:
+                    ver = verify.active()
+                    if ver is not None:
+                        verify_audits.audit_newton_solution(
+                            ver, system, x, t, gmin=gmin,
+                            transient=transient, clamps=clamps,
+                            source_scale=source_scale,
+                            residual_tolerance=options.residual_tolerance,
+                        )
+                    if tel is not None:
+                        _record_newton(tel, wall_start, iteration, backtracks,
+                                       trust_shrinks, stamps, reuses,
+                                       converged=True)
+                    return x, iteration
+            else:
+                factor = None
+        else:
+            residual_ok_streak = 0
+
+    if tel is not None:
+        _record_newton(tel, wall_start, options.max_iterations, backtracks,
+                       trust_shrinks, stamps, reuses, converged=False)
+    raise ConvergenceError(
+        f"Newton did not converge in {options.max_iterations} iterations",
+        forensics={
+            "last_dv": step,
+            "max_residual": float(np.max(np.abs(f))),
+            "worst_residual_nodes": _worst_residual_nodes(system, f),
+            "extra_gmin": extra_gmin,
+            "source_scale": source_scale,
+        },
+    )
+
+
+def attempt_step_gen(
+    member: BatchMember,
+    x: np.ndarray,
+    x_prev: np.ndarray | None,
+    h_prev: float,
+    t: float,
+    h_try: float,
+    charges: np.ndarray,
+    currents: np.ndarray,
+    options: TransientOptions,
+    tel,
+):
+    """Generator transcription of :func:`repro.circuit.transient._attempt_step`."""
+    extrapolate = (
+        options.predictor == "linear" and x_prev is not None and h_prev > 0.0
+    )
+    while True:
+        state = TransientState(
+            timestep=h_try,
+            capacitor_charges=charges,
+            capacitor_currents=currents,
+            method=options.method,
+        )
+        reason = "newton"
+        dv = float("nan")
+        seeds = [x + (x - x_prev) * (h_try / h_prev)] if extrapolate else []
+        seeds.append(x)
+        try:
+            for attempt, x_seed in enumerate(seeds):
+                try:
+                    x_new, iterations = yield from newton_gen(
+                        member, x_seed, t + h_try, options.solver, transient=state
+                    )
+                    break
+                except ConvergenceError:
+                    if attempt == len(seeds) - 1:
+                        raise
+                    if tel is not None:
+                        tel.count("transient.predictor_fallbacks")
+            system = member.system
+            dv = float(np.max(np.abs(x_new[: system.n_nodes] - x[: system.n_nodes])))
+            if dv <= options.max_voltage_step or h_try <= options.min_step:
+                return x_new, iterations, state, h_try
+            reason = "dv_limit"
+        except ConvergenceError:
+            pass
+
+        if tel is not None:
+            tel.count("transient.steps_rejected")
+            tel.count(f"transient.rejected_{reason}")
+        h_try *= options.shrink
+        if h_try < options.min_step:
+            if tel is not None:
+                tel.count("transient.step_underflows")
+            raise ConvergenceError(
+                f"transient step underflow at t = {t:.3e} s",
+                forensics={
+                    "time_s": t,
+                    "step_s": h_try,
+                    "last_rejection": reason,
+                    "last_dv": dv,
+                },
+            ) from None
+
+
+def solve_dc_gen(
+    member: BatchMember,
+    circuit,
+    initial_guess: dict[str, float] | None = None,
+    clamp_nodes: dict[str, float] | None = None,
+    options: SolverOptions | None = None,
+    t: float = 0.0,
+    system: MnaSystem | None = None,
+    x0=None,
+):
+    """Generator transcription of :func:`repro.circuit.dcop.solve_dc`."""
+    options = options or SolverOptions()
+    if system is None:
+        system = make_system(
+            circuit,
+            matrix_format=options.matrix_format,
+            sparse_threshold=options.sparse_threshold,
+            dense_cls=MnaSystem,
+        )
+    member.install_system(system)
+    clamps = tuple(
+        VoltageClamp(circuit.index_of(name), target)
+        for name, target in (clamp_nodes or {}).items()
+        if circuit.index_of(name) >= 0
+    )
+    if x0 is None:
+        x0 = _initial_vector(system, initial_guess)
+    else:
+        x0 = _seed_vector(system, x0)
+
+    tel = telemetry.active()
+    if tel is not None:
+        tel.count("dcop.solves")
+
+    warm = bool(np.any(x0 != 0.0))
+    first_tier = "warm_start" if warm else "cold_start"
+    try:
+        x, _ = yield from newton_gen(member, x0, t, options, clamps=clamps)
+        _tier_converged(tel, first_tier, t)
+        return OperatingPoint(circuit, x, options.gmin)
+    except ConvergenceError:
+        pass
+
+    if warm:
+        try:
+            x, _ = yield from newton_gen(
+                member, np.zeros(system.size), t, options, clamps=clamps
+            )
+            _tier_converged(tel, "cold_start", t)
+            return OperatingPoint(circuit, x, options.gmin)
+        except ConvergenceError:
+            pass
+
+    x = x0.copy()
+    try:
+        for extra in np.geomspace(1e-2, 1e-12, 11):
+            x, _ = yield from newton_gen(
+                member, x, t, options, clamps=clamps, extra_gmin=extra
+            )
+        x, _ = yield from newton_gen(member, x, t, options, clamps=clamps)
+        _tier_converged(tel, "gmin_stepping", t)
+        return OperatingPoint(circuit, x, options.gmin)
+    except ConvergenceError:
+        pass
+
+    x = np.zeros(system.size)
+    try:
+        for scale in np.linspace(0.1, 1.0, 10):
+            x, _ = yield from newton_gen(
+                member, x, t, options, clamps=clamps, source_scale=scale
+            )
+    except ConvergenceError as exc:
+        if tel is not None:
+            tel.count("dcop.failures")
+            tel.event("dcop.failure", level="error", sim_time=t, **{
+                k: v for k, v in exc.forensics.items() if k != "worst_residual_nodes"
+            })
+        raise ConvergenceError(
+            "DC operating point failed after every fallback tier",
+            forensics={"fallback_tier": "source_stepping", **exc.forensics},
+        ) from exc
+    _tier_converged(tel, "source_stepping", t)
+    return OperatingPoint(circuit, x, options.gmin)
+
+
+def transient_gen(
+    member: BatchMember,
+    circuit,
+    t_stop: float,
+    initial_conditions: dict[str, float] | None = None,
+    options: TransientOptions | None = None,
+    operating_point_guess: dict[str, float] | None = None,
+):
+    """Generator transcription of :func:`repro.circuit.transient.simulate_transient`."""
+    if t_stop <= 0.0:
+        raise ValueError("t_stop must be positive")
+    options = options or TransientOptions()
+    tel = telemetry.active()
+
+    guess = dict(operating_point_guess or {})
+    guess.update(initial_conditions or {})
+    system = make_system(
+        circuit,
+        matrix_format=options.solver.matrix_format,
+        sparse_threshold=options.solver.sparse_threshold,
+        dense_cls=MnaSystem,
+    )
+    member.install_system(system)
+    op = yield from solve_dc_gen(
+        member,
+        circuit,
+        initial_guess=guess or None,
+        clamp_nodes=initial_conditions,
+        options=options.solver,
+        system=system,
+    )
+    x = op.x.copy()
+    # Charge/current queries run on the member's own scalar assembler:
+    # the batched stamps are bit-identical to it, so mixing the two is
+    # exact, and the per-step cost is a handful of vector ops.
+    charges = system.capacitor_charges(x)
+    currents = np.zeros_like(charges)
+
+    breakpoints = [b for b in circuit.breakpoints() if 0.0 < b < t_stop]
+    breakpoints.append(t_stop)
+
+    times = [0.0]
+    states = [x.copy()]
+
+    t = 0.0
+    h = options.initial_step
+    x_prev: np.ndarray | None = None
+    h_prev = 0.0
+    while t < t_stop - 1e-21:
+        k = bisect.bisect_right(breakpoints, t)
+        next_break = breakpoints[k] if k < len(breakpoints) else t_stop
+        h_cap = min(h, options.max_step, next_break - t)
+
+        x_new, iterations, state, h_try = yield from attempt_step_gen(
+            member, x, x_prev, h_prev, t, h_cap, charges, currents, options, tel
+        )
+
+        t += h_try
+        if t != next_break and abs(next_break - t) <= 64.0 * _EPS * next_break:
+            t = next_break
+        x_prev, h_prev = x, h_try
+        x = x_new
+        currents = system.capacitor_currents(x, state)
+        charges = system.capacitor_charges(x)
+        times.append(t)
+        states.append(x.copy())
+
+        ver = verify.active()
+        if ver is not None:
+            verify_audits.audit_transient_step(
+                ver, system, x_prev, x, state, charges, currents
+            )
+
+        if tel is not None:
+            tel.count("transient.steps_accepted")
+            tel.observe("transient.step_seconds", h_try)
+            if t >= next_break - 1e-21:
+                tel.count("transient.breakpoint_landings")
+
+        if h_try < h_cap:
+            h = h_try
+        elif iterations <= options.easy_iterations:
+            h = min(max(h, h_try) * options.growth, options.max_step)
+
+    if tel is not None:
+        tel.count("transient.simulations")
+        tel.event(
+            "transient.complete",
+            level="debug",
+            t_stop=t_stop,
+            points=len(times),
+        )
+    return TransientResult(circuit, np.array(times), np.array(states))

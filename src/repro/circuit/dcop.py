@@ -38,6 +38,7 @@ import numpy as np
 from repro.circuit.mna import MnaSystem, TransientState, VoltageClamp
 from repro.circuit.netlist import Circuit
 from repro.circuit.results import OperatingPoint
+from repro.circuit.sparse import DEFAULT_SPARSE_THRESHOLD, SparseFactorization, make_system
 from repro.telemetry import core as telemetry
 from repro.verify import audits as verify_audits
 from repro.verify import core as verify
@@ -112,6 +113,15 @@ class SolverOptions:
     factorization — a stale direction that stops making fast progress
     is refreshed rather than ridden into a stall."""
 
+    matrix_format: str = "auto"
+    """MNA assembly backend: ``"auto"`` (sparse CSC once the system
+    reaches ``sparse_threshold`` unknowns, dense below), ``"dense"``,
+    or ``"sparse"``.  See :func:`repro.circuit.sparse.make_system`."""
+
+    sparse_threshold: int = DEFAULT_SPARSE_THRESHOLD
+    """System size (nodes + source branches) at which ``"auto"``
+    switches to sparse assembly."""
+
 
 class _Factorization:
     """LU of one stamped Jacobian (scipy when present, numpy fallback).
@@ -144,6 +154,13 @@ class _Factorization:
             x, _ = _getrs(self._lu, self._piv, rhs)
             return x
         return np.linalg.solve(self._matrix, rhs)
+
+
+def _factorize(jac):
+    """Factorize a stamped Jacobian — dense LU or sparse splu by type."""
+    if isinstance(jac, np.ndarray):
+        return _Factorization(jac)
+    return SparseFactorization(jac)
 
 
 def _worst_residual_nodes(
@@ -199,7 +216,7 @@ def newton_solve(
         )
 
     f = residual(x)
-    factor: _Factorization | None = None
+    factor = None
     age = 0
     stamps = 0
     reuses = 0
@@ -223,7 +240,7 @@ def newton_solve(
                 source_scale=source_scale, copy=False,
             )
             try:
-                factor = _Factorization(jac)
+                factor = _factorize(jac)
             except np.linalg.LinAlgError as exc:
                 if tel is not None:
                     tel.count("newton.singular_jacobians")
@@ -460,7 +477,16 @@ def solve_dc(
     ``source_stepping``.
     """
     options = options or SolverOptions()
-    system = system or MnaSystem(circuit)
+    if system is None:
+        # The dense class is passed through the module global so tests
+        # and benchmarks that monkeypatch ``dcop.MnaSystem`` (e.g. to
+        # ReferenceMnaSystem) keep controlling the assembler.
+        system = make_system(
+            circuit,
+            matrix_format=options.matrix_format,
+            sparse_threshold=options.sparse_threshold,
+            dense_cls=MnaSystem,
+        )
     clamps = tuple(
         VoltageClamp(circuit.index_of(name), target)
         for name, target in (clamp_nodes or {}).items()

@@ -20,6 +20,7 @@ from repro.circuit.dcop import SolverOptions, solve_dc
 from repro.circuit.mna import MnaSystem
 from repro.circuit.netlist import Circuit
 from repro.circuit.results import OperatingPoint
+from repro.circuit.sparse import make_system
 from repro.circuit.waveforms import Constant
 
 __all__ = ["dc_sweep"]
@@ -40,7 +41,13 @@ def dc_sweep(
     """
     m = circuit.source_index(source_name)
     original = circuit.voltage_sources[m]
-    system = MnaSystem(circuit)
+    solver = options or SolverOptions()
+    system = make_system(
+        circuit,
+        matrix_format=solver.matrix_format,
+        sparse_threshold=solver.sparse_threshold,
+        dense_cls=MnaSystem,
+    )
     results: list[OperatingPoint] = []
     guess = initial_guess
     warm: OperatingPoint | None = None

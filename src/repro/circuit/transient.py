@@ -42,6 +42,7 @@ from repro.circuit.dcop import (
 from repro.circuit.mna import MnaSystem, TransientState
 from repro.circuit.netlist import Circuit
 from repro.circuit.results import TransientResult
+from repro.circuit.sparse import make_system
 from repro.telemetry import core as telemetry
 from repro.verify import audits as verify_audits
 from repro.verify import core as verify
@@ -204,7 +205,14 @@ def _simulate(
 
     guess = dict(operating_point_guess or {})
     guess.update(initial_conditions or {})
-    system = MnaSystem(circuit)
+    # Dense class through the module global so monkeypatched assemblers
+    # (ReferenceMnaSystem in benchmarks) keep flowing through the factory.
+    system = make_system(
+        circuit,
+        matrix_format=options.solver.matrix_format,
+        sparse_threshold=options.solver.sparse_threshold,
+        dense_cls=MnaSystem,
+    )
     op = solve_dc(
         circuit,
         initial_guess=guess or None,

@@ -15,9 +15,9 @@ combination bit-identical to a serial run.
 
 from __future__ import annotations
 
-from repro.engine.mc import McMetricSpec, MonteCarloBatch
+from repro.engine.mc import McMetricSpec
 from repro.experiments.common import ExperimentResult
-from repro.experiments.mc_common import engine_config_for
+from repro.experiments.mc_common import run_study
 
 DEFAULT_BETA = 2.0
 DEFAULT_SAMPLES = 40
@@ -42,6 +42,7 @@ def run(
     timeout_s: float | None = None,
     trace_dir: str | None = None,
     trace_id: str | None = None,
+    batch_size: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         "fig09",
@@ -72,10 +73,12 @@ def run(
 
     task_failures = 0
     for spec in specs:
-        engine = engine_config_for(
+        mc = run_study(
             "fig09",
             spec,
+            samples,
             seed,
+            batch_size=batch_size,
             jobs=jobs,
             resume=resume,
             checkpoint_dir=checkpoint_dir,
@@ -85,7 +88,6 @@ def run(
             trace_dir=trace_dir,
             trace_id=trace_id,
         )
-        mc = MonteCarloBatch(spec).run(samples, seed=seed, engine=engine)
         task_failures += mc.report.failed_count
         if spec.metric == "wlcrit":
             result.add_row(

@@ -12,9 +12,9 @@ for the parallel/checkpoint/resume semantics shared by both figures.
 
 from __future__ import annotations
 
-from repro.engine.mc import McMetricSpec, MonteCarloBatch
+from repro.engine.mc import McMetricSpec
 from repro.experiments.common import ExperimentResult
-from repro.experiments.mc_common import engine_config_for
+from repro.experiments.mc_common import run_study
 from repro.sram import READ_ASSISTS
 
 DEFAULT_BETA = 0.6
@@ -36,6 +36,7 @@ def run(
     timeout_s: float | None = None,
     trace_dir: str | None = None,
     trace_id: str | None = None,
+    batch_size: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         "fig10",
@@ -64,10 +65,12 @@ def run(
 
     task_failures = 0
     for spec in specs:
-        engine = engine_config_for(
+        mc = run_study(
             "fig10",
             spec,
+            samples,
             seed,
+            batch_size=batch_size,
             jobs=jobs,
             resume=resume,
             checkpoint_dir=checkpoint_dir,
@@ -77,7 +80,6 @@ def run(
             trace_dir=trace_dir,
             trace_id=trace_id,
         )
-        mc = MonteCarloBatch(spec).run(samples, seed=seed, engine=engine)
         task_failures += mc.report.failed_count
         if spec.metric == "drnm":
             result.add_row(

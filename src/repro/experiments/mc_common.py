@@ -13,10 +13,15 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
-from repro.engine.mc import McMetricSpec
+from repro.engine.mc import McMetricSpec, MonteCarloBatch
 from repro.engine.scheduler import EngineConfig
 
-__all__ = ["engine_config_for", "DEFAULT_CHECKPOINT_DIR", "DEFAULT_CACHE_DIR"]
+__all__ = [
+    "engine_config_for",
+    "run_study",
+    "DEFAULT_CHECKPOINT_DIR",
+    "DEFAULT_CACHE_DIR",
+]
 
 DEFAULT_CHECKPOINT_DIR = "results/checkpoints"
 DEFAULT_CACHE_DIR = "results/table_cache"
@@ -81,4 +86,27 @@ def engine_config_for(
         cache_dir=cache_dir,
         trace_dir=trace_dir,
         trace_id=trace_id,
+    )
+
+
+def run_study(
+    experiment_id: str,
+    spec: McMetricSpec,
+    samples: int,
+    seed: int,
+    *,
+    batch_size: int = 1,
+    **engine_kwargs,
+):
+    """One Monte-Carlo study end to end: config, run, per-sample result.
+
+    The shared loop body of ``fig09``/``fig10`` (and the yield
+    example).  ``batch_size > 1`` solves that many samples per task as
+    one stacked Newton batch — bit-identical values at any
+    ``jobs``/``batch_size`` combination, so the figures' golden
+    statistics are independent of how the work was scheduled.
+    """
+    engine = engine_config_for(experiment_id, spec, seed, **engine_kwargs)
+    return MonteCarloBatch(spec).run(
+        samples, seed=seed, engine=engine, batch_size=batch_size
     )

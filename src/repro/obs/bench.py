@@ -7,8 +7,9 @@ appends them to ``results/bench_history.jsonl`` so the performance
 trajectory of the repo survives across runs and machines:
 
 * ``repro.bench.engine/v1`` / ``repro.bench.char/v1`` /
-  ``repro.bench.spice_core/v1`` — ``speedup`` (higher is better),
-  gated by the file's own ``min_speedup``/``gate``;
+  ``repro.bench.spice_core/v1`` / ``repro.bench.spice_batch/v1`` —
+  ``speedup`` (higher is better), gated by the file's own
+  ``min_speedup``/``gate``;
 * ``repro.bench.telemetry/v1`` / ``repro.bench.verify/v1`` —
   ``disabled_overhead_guard.overhead_fraction`` (lower is better),
   gated by the file's ``budget_fraction``.
@@ -51,6 +52,7 @@ HEADLINES: dict[str, tuple[str, str, str | None]] = {
     "repro.bench.engine": ("speedup", "higher", "min_speedup"),
     "repro.bench.char": ("speedup", "higher", "min_speedup"),
     "repro.bench.spice_core": ("speedup", "higher", "gate"),
+    "repro.bench.spice_batch": ("speedup", "higher", "gate"),
     "repro.bench.serve": ("p99_warm_s", "lower", "gate_p99_s"),
     "repro.bench.telemetry": (
         "disabled_overhead_guard.overhead_fraction",

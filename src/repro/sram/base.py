@@ -160,6 +160,57 @@ class SixTCellBase:
         ic["wl"] = self.wl_inactive(vdd)
         return Testbench(circuit, ic, window)
 
+    def write_bench_factory(
+        self,
+        vdd: float,
+        assist: Assist | None = None,
+        t_on: float = DEFAULT_ACCESS_START,
+    ):
+        """A ``pulse_width -> Testbench`` factory sharing one built circuit.
+
+        The WL_crit bisection simulates the same cell a dozen-plus
+        times with only the pulse widths changed; rebuilding the
+        netlist per width is pure overhead in the Monte-Carlo hot loop.
+        This builds :meth:`write_testbench` once and swaps the
+        wordline (and, when the assist moves it, the blb) pulse per
+        call — the waveform-swap idiom the MNA source caches key on —
+        so each returned bench is value-identical to a fresh
+        ``write_testbench(vdd, width, assist)``.
+        """
+        base = self.write_testbench(vdd, 1.0, assist=assist, t_on=t_on)
+        circuit = base.circuit
+        wl_m = circuit.source_index("wl")
+        wl_src = circuit.voltage_sources[wl_m]
+        wl_off = self.wl_inactive(vdd)
+        wl_on = self.wl_active(vdd)
+        high_level = vdd
+        if assist is not None:
+            wl_on = assist.wl_active_level(wl_on, vdd)
+            high_level = assist.bitline_level(vdd, vdd)
+        blb_m = blb_src = None
+        if high_level != vdd:
+            blb_m = circuit.source_index("blb")
+            blb_src = circuit.voltage_sources[blb_m]
+
+        def factory(pulse_width: float) -> Testbench:
+            circuit.voltage_sources[wl_m] = type(wl_src)(
+                wl_src.a,
+                wl_src.b,
+                Pulse(wl_off, wl_on, t_start=t_on, width=pulse_width),
+                wl_src.name,
+            )
+            if blb_m is not None:
+                circuit.voltage_sources[blb_m] = type(blb_src)(
+                    blb_src.a,
+                    blb_src.b,
+                    Pulse(vdd, high_level, t_start=t_on, width=pulse_width),
+                    blb_src.name,
+                )
+            window = AccessWindow(t_on, t_on + pulse_width)
+            return Testbench(circuit, base.initial_conditions, window)
+
+        return factory
+
     # -- helpers ----------------------------------------------------------------
 
     def _add_rails(

@@ -7,11 +7,14 @@ fallback tiers fired, and the transient accept/reject balance.  The
 point is trend-spotting — a run that suddenly needs gmin stepping or
 rejects 30 % of its steps shows up here without rerunning anything.
 
-Two follow-up sections appear when the manifests carry the relevant
+Follow-up sections appear when the manifests carry the relevant
 counters: an *engine* table (Jacobian stamp/reuse split, retries,
-timeouts, task success) for runs that went through the batch engine,
-and a *char* table (store and serve hit/miss, points computed/failed)
-for characterization-store activity.
+timeouts, task success) for runs that went through the batch engine, a
+*batch solver* table (stacked-Newton runs/members, member
+retry/failure split, tick and assembly counts, sparse-vs-dense system
+selection) for runs using the batched SPICE tier, and a *char* table
+(store and serve hit/miss, points computed/failed) for
+characterization-store activity.
 """
 
 from __future__ import annotations
@@ -113,6 +116,38 @@ def _engine_rows(manifests: list[dict]) -> list[list[str]]:
     return rows
 
 
+_BATCH_KEYS = (
+    "batch.runs",
+    "batch.members",
+    "mna.sparse_selected",
+    "mna.dense_selected",
+)
+
+
+def _batch_rows(manifests: list[dict]) -> list[list[str]]:
+    rows = []
+    for manifest in manifests:
+        counters = manifest.get("telemetry", {}).get("counters", {})
+        if not any(counters.get(key) for key in _BATCH_KEYS):
+            continue
+        members = counters.get("batch.members", 0)
+        retried = counters.get("batch.member_retries", 0)
+        failed = counters.get("batch.member_failures", 0)
+        rows.append(
+            [
+                str(manifest.get("experiment_id", "?")),
+                str(counters.get("batch.runs", 0)),
+                str(members),
+                f"{members - failed}/{retried}/{failed}" if members else "-",
+                str(counters.get("batch.ticks", 0)),
+                str(counters.get("batch.member_assemblies", 0)),
+                f"{counters.get('mna.sparse_selected', 0)}/"
+                f"{counters.get('mna.dense_selected', 0)}",
+            ]
+        )
+    return rows
+
+
 _CHAR_KEYS = (
     "char.store.hits",
     "char.store.misses",
@@ -197,6 +232,25 @@ def format_diag_report(manifests: list[dict]) -> str:
                     "tasks ok",
                 ],
                 engine_rows,
+            )
+        )
+
+    batch_rows = _batch_rows(manifests)
+    if batch_rows:
+        lines.append("")
+        lines.extend(
+            _render_table(
+                "== batch solver diagnostics ==",
+                [
+                    "experiment",
+                    "runs",
+                    "members",
+                    "ok/retried/failed",
+                    "ticks",
+                    "assemblies",
+                    "sparse/dense",
+                ],
+                batch_rows,
             )
         )
 
