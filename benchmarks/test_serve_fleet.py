@@ -1,0 +1,239 @@
+"""Fleet scaling benchmark: 4 shard workers behind one front vs one.
+
+The sharded serving layer's reason to exist is aggregate throughput:
+four daemon event loops own disjoint keyspace slices, so four queries
+for four different ``(design, corner, beta)`` keys occupy four loops
+at once, where a single daemon serializes them on one loop.
+
+Like ``test_engine_speedup.py``, a core-starved container (CI runners
+here expose 1 core) cannot demonstrate real CPU scaling, so the
+benchmark runs in **calibrated-service** mode: every query blocks its
+daemon's event loop for ``SERVICE_S`` (the ``synthetic_service_s``
+knob, emulating heavier per-request work at a known size), and the
+measured quantity is how well independent worker loops overlap
+loop-occupying service time — the exact mechanism sharding buys.  A
+blocked loop sleeps outside the GIL, so overlap is measurable on any
+core count and the run stays deterministic; the mode is recorded in
+the emitted JSON.  True multi-process scaling is exercised end to end
+by ``scripts/serve_smoke.py``'s fleet phase.
+
+The four warm keys are chosen one-per-shard through the real
+:class:`ShardMap` (betas 0.50/0.51/0.52/0.53 land on shards
+3/1/2/0 of a 4-ring — pinned in ``tests/serve/test_shard.py``), so the
+load is perfectly balanced by construction.
+
+Gates (``BENCH_serve_fleet.json``, schema ``repro.bench.serve_fleet/v1``):
+
+* ``throughput_scale`` = fleet rps / single-worker rps ≥ ``GATE_SCALE``
+  (3.0 for a 4-shard fleet);
+* fleet warm p99 ≤ ``GATE_P99_RATIO`` × the single worker's p99.
+
+Run with ``PYTHONPATH=src python -m pytest -q -s benchmarks/test_serve_fleet.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.char import CharSpec, CharStore, build_grid
+from repro.serve import ServeConfig, ServeDaemon
+from repro.serve.client import ServeClient
+from repro.serve.front import Front, FrontConfig, ShardAddress
+from repro.serve.shard import ShardMap
+
+WORKERS = 4
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 25
+SERVICE_S = 0.006
+GATE_SCALE = 3.0
+GATE_P99_RATIO = 2.0
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve_fleet.json"
+
+#: One beta per shard of a 4-ring (see module docstring).
+BETAS = (0.5, 0.51, 0.52, 0.53)
+
+SPEC = CharSpec(
+    name="fleetbench",
+    designs=("cmos",),
+    vdds=(0.6, 0.8),
+    metrics=("hold_power",),
+    betas=BETAS,
+)
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class _Loop:
+    """A daemon or front on its own thread (same shape as the tests)."""
+
+    def __init__(self, runner, socket_path: Path):
+        self.socket_path = socket_path
+        self.runner = runner
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    async def _main(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        await self.runner.run()
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    def start(self) -> "_Loop":
+        self.thread.start()
+        deadline = time.monotonic() + 30.0
+        while not self.socket_path.exists():
+            assert time.monotonic() < deadline, "loop never came up"
+            assert self.thread.is_alive(), "loop thread died during startup"
+            time.sleep(0.01)
+        return self
+
+    def stop(self) -> None:
+        if self.thread.is_alive() and self.loop is not None:
+            try:
+                self.loop.call_soon_threadsafe(self.runner.request_shutdown)
+            except RuntimeError:
+                pass
+        self.thread.join(30)
+        assert not self.thread.is_alive(), "loop failed to drain"
+
+
+def _drive(socket_path: Path) -> tuple[float, list[float]]:
+    """N_CLIENTS × REQUESTS_PER_CLIENT warm queries; (rps, latencies)."""
+
+    def client_load(worker: int) -> list[float]:
+        latencies = []
+        with ServeClient(socket_path=socket_path) as client:
+            for i in range(REQUESTS_PER_CLIENT):
+                beta = BETAS[(worker + i) % len(BETAS)]
+                start = time.perf_counter()
+                response = client.query(
+                    "hold_power", design="cmos", vdd=0.6, beta=beta
+                )
+                latencies.append(time.perf_counter() - start)
+                assert response["served"] == "memory", response
+        return latencies
+
+    wall_start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+        chunks = list(pool.map(client_load, range(N_CLIENTS)))
+    wall = time.perf_counter() - wall_start
+    latencies = [lat for chunk in chunks for lat in chunk]
+    return len(latencies) / wall, latencies
+
+
+def test_fleet_throughput_scaling(tmp_path):
+    shard_map = ShardMap(WORKERS)
+    owners = sorted(shard_map.owner("cmos", "tt", beta) for beta in BETAS)
+    assert owners == list(range(WORKERS)), (
+        f"BETAS no longer land one per shard: {owners}"
+    )
+
+    store_dir = tmp_path / "char"
+    report = build_grid(SPEC, CharStore(store_dir))
+    assert report.failed == 0, report.failures
+
+    def daemon_config(socket_path: Path, index: int | None = None) -> ServeConfig:
+        return ServeConfig(
+            store_dir=store_dir,
+            specs=[SPEC],
+            socket_path=socket_path,
+            synthetic_service_s=SERVICE_S,
+            shard_index=index,
+            shard_count=None if index is None else WORKERS,
+        )
+
+    # -- baseline: one worker, one loop ------------------------------------
+    single = _Loop(
+        ServeDaemon(daemon_config(tmp_path / "single.sock")),
+        tmp_path / "single.sock",
+    ).start()
+    try:
+        with ServeClient(socket_path=single.socket_path) as client:
+            for beta in BETAS:  # warm-up: first-touch costs off the clock
+                client.query("hold_power", design="cmos", vdd=0.6, beta=beta)
+        single_rps, single_lat = _drive(single.socket_path)
+    finally:
+        single.stop()
+
+    # -- fleet: WORKERS shards behind one front ----------------------------
+    shards, addresses = [], []
+    for index in range(WORKERS):
+        socket_path = tmp_path / f"shard{index}.sock"
+        shards.append(
+            _Loop(ServeDaemon(daemon_config(socket_path, index)), socket_path).start()
+        )
+        addresses.append(ShardAddress(socket_path=socket_path))
+    front = _Loop(
+        Front(FrontConfig(shards=addresses, socket_path=tmp_path / "front.sock")),
+        tmp_path / "front.sock",
+    ).start()
+    try:
+        with ServeClient(socket_path=front.socket_path) as client:
+            for beta in BETAS:
+                client.query("hold_power", design="cmos", vdd=0.6, beta=beta)
+        fleet_rps, fleet_lat = _drive(front.socket_path)
+    finally:
+        front.stop()
+        for shard in shards:
+            shard.stop()
+
+    scale = fleet_rps / single_rps
+    single_p99 = _percentile(single_lat, 0.99)
+    fleet_p99 = _percentile(fleet_lat, 0.99)
+    p99_ratio = fleet_p99 / single_p99
+    print(
+        f"\n[{WORKERS} shards, {N_CLIENTS} clients x {REQUESTS_PER_CLIENT}, "
+        f"service {SERVICE_S * 1e3:.0f} ms] single {single_rps:.0f} rps "
+        f"(p99 {single_p99 * 1e3:.1f} ms), fleet {fleet_rps:.0f} rps "
+        f"(p99 {fleet_p99 * 1e3:.1f} ms) — x{scale:.2f}"
+    )
+
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "schema": "repro.bench.serve_fleet/v1",
+                "created_unix": time.time(),
+                "mode": "calibrated-service",
+                "usable_cores": os.cpu_count() or 1,
+                "workers": WORKERS,
+                "clients": N_CLIENTS,
+                "requests_total": N_CLIENTS * REQUESTS_PER_CLIENT,
+                "service_s": SERVICE_S,
+                "single_rps": single_rps,
+                "fleet_rps": fleet_rps,
+                "throughput_scale": scale,
+                "single_p99_s": single_p99,
+                "fleet_p99_s": fleet_p99,
+                "p99_ratio": p99_ratio,
+                "gate_scale": GATE_SCALE,
+                "gate_p99_ratio": GATE_P99_RATIO,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert scale >= GATE_SCALE, (
+        f"fleet throughput scale x{scale:.2f} below the x{GATE_SCALE:.1f} gate"
+    )
+    assert p99_ratio <= GATE_P99_RATIO, (
+        f"fleet p99 is {p99_ratio:.2f}x the single worker's "
+        f"(gate {GATE_P99_RATIO:.1f}x)"
+    )
+
+
+if __name__ == "__main__":
+    import pytest
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q", "-s"]))

@@ -80,6 +80,21 @@ class ServeConfig:
     metrics_out: str | Path | None = None
     trace_dir: str | Path | None = None
 
+    shard_index: int | None = None
+    """This worker's position in a fleet (``None`` outside one); echoed
+    in ``status`` so a front can label aggregated payloads."""
+    shard_count: int | None = None
+    """Fleet size this worker belongs to (``None`` outside one)."""
+
+    synthetic_service_s: float = 0.0
+    """Benchmark calibration: block the event loop for this long per
+    query, emulating heavier per-request work.  Core-starved hosts
+    (1–2 visible cores) cannot demonstrate real CPU scaling across a
+    fleet, so ``benchmarks/test_serve_fleet.py`` uses this the same way
+    ``test_engine_speedup.py`` uses calibrated sleeps: the overlap of
+    independent worker loops is what gets measured, and the mode is
+    recorded in the emitted JSON.  Keep 0.0 in production."""
+
     def __post_init__(self) -> None:
         if self.socket_path is None and self.tcp_port is None:
             raise ValueError("serve needs a unix socket path or a TCP port")
@@ -262,6 +277,8 @@ class ServeDaemon:
             return protocol.ok_response(request, status=self._status())
         if op == "metrics":
             return protocol.ok_response(request, metrics=self._metrics())
+        if op == "map":
+            return protocol.ok_response(request, map=self._map())
         if op == "shutdown":
             already = self._draining
             self.request_shutdown()
@@ -307,6 +324,11 @@ class ServeDaemon:
     async def _query(self, request: dict) -> dict:
         t0 = time.perf_counter()
         coords = {k: request[k] for k in ("metric", "design", "vdd", "beta", "corner")}
+        if self.config.synthetic_service_s > 0.0:
+            # Deliberately blocking (see ServeConfig): the calibrated
+            # fleet benchmark measures how independent worker loops
+            # overlap loop-occupying work.
+            time.sleep(self.config.synthetic_service_s)
         self.registry.maybe_reload()
         try:
             with self.session.span("serve.query", **{
@@ -347,7 +369,21 @@ class ServeDaemon:
         except RuntimeError as exc:
             return protocol.error_response("shutting_down", str(exc), request)
         self.registry.maybe_reload()
-        answer = self.registry.answer(method=request["method"], **coords)
+        try:
+            answer = self.registry.answer(method=request["method"], **coords)
+        except CharQueryError as exc:
+            # The point landed but is no longer servable — a concurrent
+            # `repro char build` can recalibrate the store between the
+            # backfill landing and this reload.  That is a retryable
+            # race, not an internal error.
+            self.session.count("serve.backfill.lost")
+            return protocol.error_response(
+                "backfill_failed",
+                f"backfill landed but the point is no longer servable "
+                f"({exc.reason}): {exc}; a concurrent build may have "
+                "recalibrated the store — retry",
+                request,
+            )
         return self._answer_response(request, answer, "backfill", t0)
 
     def _answer_response(self, request, answer, served: str, t0) -> dict:
@@ -362,8 +398,16 @@ class ServeDaemon:
 
     # -- introspection payloads --------------------------------------------
 
+    def _map(self) -> dict:
+        """Single-worker shard map: a fleet front overrides this with
+        the real consistent-hash ring (``repro.serve.shard``)."""
+        payload: dict = {"fleet": False, "workers": self.config.shard_count or 1}
+        if self.config.shard_index is not None:
+            payload["shard"] = self.config.shard_index
+        return payload
+
     def _status(self) -> dict:
-        return {
+        status = {
             "schema": protocol.PROTOCOL_SCHEMA,
             "pid": os.getpid(),
             "uptime_s": round(time.time() - self._started_unix, 3),
@@ -377,6 +421,12 @@ class ServeDaemon:
             "backfill": self.backfill.status(),
             "counters": dict(sorted(self.session.counters.items())),
         }
+        if self.config.shard_index is not None:
+            status["shard"] = {
+                "index": self.config.shard_index,
+                "count": self.config.shard_count,
+            }
+        return status
 
     def _metrics(self) -> dict:
         from repro.obs.export import metrics_payload, to_prometheus

@@ -1,0 +1,518 @@
+"""The fleet front: one accept point routing queries to shard daemons.
+
+A :class:`Front` accepts client connections (unix socket and/or
+localhost TCP, same JSON-lines protocol as a single daemon, plus an
+optional HTTP/1.1 adapter from :mod:`repro.serve.http`) and speaks the
+*existing* protocol upstream to N shard daemons:
+
+* ``query`` — routed to the one shard that owns the request's
+  ``(design, corner, beta)`` routing key (:class:`ShardMap`), so a
+  spec's grid and every backfill it triggers live on exactly one
+  worker and two shards never build the same spec;
+* ``status`` / ``metrics`` — fanned out to every shard concurrently
+  and aggregated (per-shard payloads plus summed counters);
+* ``map`` — answered locally with the consistent-hash ring and the
+  shard addresses, so shard-aware tooling can route directly;
+* ``ping`` — answered locally (the front's own liveness);
+* ``shutdown`` — fanned out to every reachable shard, then the front
+  drains itself.
+
+Shard connections are pooled per shard: a request checks out an idle
+connection (dialing a new one when the pool is empty — the upstream
+daemon serves one request at a time per connection, so concurrency
+needs as many connections as in-flight requests) and returns it after
+the response line.  A connection that timed out mid-request is closed,
+not returned — its late response would desynchronize the next request.
+
+Failure containment is per shard: a dead shard (connect refused,
+connect/request timeout, EOF mid-request) answers that key's queries
+with a structured ``shard_down`` error while every other shard's
+keyspace keeps serving.  The front never restarts shards — a restarted
+shard is simply dialed again on the next request for its keyspace and
+resumes its backfills from the engine checkpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.serve import protocol
+from repro.serve.shard import ShardMap
+from repro.telemetry import core as telemetry
+
+__all__ = ["ShardAddress", "FrontConfig", "Front", "serve_front"]
+
+
+@dataclass(frozen=True)
+class ShardAddress:
+    """Where one shard daemon listens (unix socket or localhost TCP)."""
+
+    socket_path: str | Path | None = None
+    tcp_port: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.socket_path is None and self.tcp_port is None:
+            raise ValueError("a shard address needs a socket path or a TCP port")
+
+    def describe(self) -> str:
+        if self.socket_path is not None:
+            return str(self.socket_path)
+        return f"127.0.0.1:{self.tcp_port}"
+
+
+@dataclass
+class FrontConfig:
+    """Everything one front run needs."""
+
+    shards: list[ShardAddress] = field(default_factory=list)
+    socket_path: str | Path | None = None
+    tcp_port: int | None = None
+    http_port: int | None = None
+    """Optional localhost HTTP/1.1 adapter (``repro.serve.http``)."""
+
+    replicas: int | None = None
+    """Virtual nodes per shard on the hash ring (``None`` = default)."""
+
+    request_timeout_s: float = 150.0
+    """Per shard round trip; a shade over the shard's own request
+    budget so the shard's structured ``timeout`` answer wins."""
+    connect_timeout_s: float = 5.0
+    max_line_bytes: int = protocol.MAX_LINE_BYTES
+    metrics_out: str | Path | None = None
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("a front needs at least one shard address")
+        if (
+            self.socket_path is None
+            and self.tcp_port is None
+            and self.http_port is None
+        ):
+            raise ValueError("front needs a socket path, TCP port, or HTTP port")
+
+
+class ShardDown(ConnectionError):
+    """The owning shard is unreachable; the error code clients see."""
+
+
+class Front:
+    """One long-running routing loop over a fleet of shard daemons."""
+
+    def __init__(self, config: FrontConfig):
+        self.config = config
+        replicas = config.replicas
+        self.shard_map = (
+            ShardMap(len(config.shards))
+            if replicas is None
+            else ShardMap(len(config.shards), replicas)
+        )
+        existing = telemetry.active()
+        self._owns_session = existing is None
+        self.session = existing or telemetry.enable()
+        self._pools: list[list[tuple[asyncio.StreamReader, asyncio.StreamWriter]]] = [
+            [] for _ in config.shards
+        ]
+        self._servers: list[asyncio.base_events.Server] = []
+        self._shutdown = asyncio.Event()
+        self._draining = False
+        self._active_requests = 0
+        self._started_unix = time.time()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def run(self) -> None:
+        """Listen, route until shutdown is requested, then drain."""
+        if self.config.socket_path is not None:
+            path = Path(self.config.socket_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.unlink(missing_ok=True)
+            self._servers.append(
+                await asyncio.start_unix_server(
+                    self._on_client, path=str(path),
+                    limit=self.config.max_line_bytes,
+                )
+            )
+        if self.config.tcp_port is not None:
+            self._servers.append(
+                await asyncio.start_server(
+                    self._on_client, host="127.0.0.1",
+                    port=self.config.tcp_port,
+                    limit=self.config.max_line_bytes,
+                )
+            )
+        if self.config.http_port is not None:
+            from repro.serve.http import HttpAdapter
+
+            adapter = HttpAdapter(self)
+            self._servers.append(
+                await asyncio.start_server(
+                    adapter.on_client, host="127.0.0.1",
+                    port=self.config.http_port,
+                    limit=self.config.max_line_bytes,
+                )
+            )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main-thread loops (tests) poll the event instead
+
+        try:
+            await self._shutdown.wait()
+            await self._drain()
+        finally:
+            if self._owns_session and telemetry.active() is self.session:
+                telemetry.disable()
+
+    def request_shutdown(self) -> None:
+        """Idempotent: the first call wins, later ones are no-ops."""
+        self._draining = True
+        self._shutdown.set()
+
+    async def _drain(self) -> None:
+        for server in self._servers:
+            server.close()
+        deadline = time.monotonic() + 10.0
+        while self._active_requests and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        for server in self._servers:
+            await server.wait_closed()
+        for pool in self._pools:
+            while pool:
+                _, writer = pool.pop()
+                writer.close()
+        if self.config.socket_path is not None:
+            Path(self.config.socket_path).unlink(missing_ok=True)
+        self._write_metrics()
+
+    def _write_metrics(self) -> None:
+        if self.config.metrics_out is None:
+            return
+        from repro.obs.export import write_metrics
+
+        json_path = Path(self.config.metrics_out)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        write_metrics(
+            self.session,
+            json_path,
+            json_path.with_suffix(".prom"),
+            run="serve-front",
+            duration_s=time.time() - self._started_unix,
+        )
+
+    # -- connection handling (same framing contract as the daemon) ---------
+
+    async def _on_client(self, reader, writer) -> None:
+        self.session.count("serve.front.connections")
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self.session.count("serve.front.rejected.oversized")
+                    await self._send(
+                        writer,
+                        protocol.error_response(
+                            "oversized",
+                            f"request line exceeds "
+                            f"{self.config.max_line_bytes} bytes",
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._dispatch(line)
+                close_after = response.pop("_close", False)
+                if not await self._send(writer, response):
+                    break
+                if close_after:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _send(self, writer, response: dict) -> bool:
+        try:
+            writer.write(protocol.encode_line(response))
+            await writer.drain()
+            return True
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            self.session.count("serve.front.disconnects")
+            return False
+
+    # -- request dispatch --------------------------------------------------
+
+    async def _dispatch(self, line: bytes) -> dict:
+        try:
+            request = protocol.parse_request(line, self.config.max_line_bytes)
+        except protocol.ProtocolError as exc:
+            self.session.count(f"serve.front.rejected.{exc.code}")
+            response = protocol.error_response(exc.code, exc.message)
+            if exc.code == "oversized":
+                response["_close"] = True
+            return response
+        return await self.handle_request(request)
+
+    async def handle_request(self, request: dict) -> dict:
+        """One validated request through the fleet (shared with the
+        HTTP adapter, which builds the request dict itself)."""
+        self.session.count("serve.front.requests")
+        t0 = time.perf_counter()
+        op = request["op"]
+        if op == "ping":
+            return protocol.ok_response(request, pong=True)
+        if op == "map":
+            return protocol.ok_response(request, map=self.describe_map())
+        if op == "status":
+            return protocol.ok_response(request, status=await self._status())
+        if op == "metrics":
+            return protocol.ok_response(request, metrics=await self._metrics())
+        if op == "shutdown":
+            return await self._shutdown_fleet(request)
+
+        # op == "query"
+        if self._draining:
+            self.session.count("serve.front.rejected.shutting_down")
+            return protocol.error_response(
+                "shutting_down", "front is draining", request
+            )
+        owner = self.shard_map.owner(
+            request["design"], request["corner"], request["beta"]
+        )
+        self._active_requests += 1
+        try:
+            response = await self._shard_request(owner, request)
+        except ShardDown as exc:
+            self.session.count("serve.front.shard_down")
+            response = protocol.error_response("shard_down", str(exc), request)
+        except Exception as exc:  # noqa: BLE001 — the front must survive
+            self.session.count("serve.front.errors.internal")
+            response = protocol.error_response(
+                "internal", f"{type(exc).__name__}: {exc}", request
+            )
+        finally:
+            self._active_requests -= 1
+        self.session.count(f"serve.front.routed.shard{owner}")
+        self.session.add_time("serve.front.request_s", time.perf_counter() - t0)
+        return response
+
+    # -- shard links -------------------------------------------------------
+
+    async def _connect(self, index: int):
+        address = self.config.shards[index]
+        try:
+            if address.socket_path is not None:
+                dial = asyncio.open_unix_connection(
+                    str(address.socket_path), limit=self.config.max_line_bytes
+                )
+            else:
+                dial = asyncio.open_connection(
+                    "127.0.0.1", address.tcp_port,
+                    limit=self.config.max_line_bytes,
+                )
+            return await asyncio.wait_for(dial, self.config.connect_timeout_s)
+        except asyncio.TimeoutError:
+            raise ShardDown(
+                f"shard {index} ({address.describe()}) did not accept within "
+                f"{self.config.connect_timeout_s:g} s"
+            )
+        except (ConnectionError, FileNotFoundError, OSError) as exc:
+            raise ShardDown(
+                f"shard {index} ({address.describe()}) is unreachable: {exc}"
+            )
+
+    async def _shard_request(
+        self, index: int, request: dict, timeout_s: float | None = None
+    ) -> dict:
+        """One request/response round trip to shard ``index``.
+
+        Raises :class:`ShardDown` when the shard cannot be reached or
+        hangs up/times out mid-request.
+        """
+        budget = timeout_s if timeout_s is not None else self.config.request_timeout_s
+        pool = self._pools[index]
+        pooled = bool(pool)
+        link = pool.pop() if pool else await self._connect(index)
+        reader, writer = link
+        try:
+            writer.write(protocol.encode_line(request))
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), budget)
+        except asyncio.TimeoutError:
+            writer.close()
+            raise ShardDown(
+                f"shard {index} did not answer within {budget:g} s"
+            )
+        except (ConnectionError, OSError) as exc:
+            writer.close()
+            if pooled:
+                # A pooled connection can be stale (shard restarted
+                # since checkout); one fresh dial distinguishes
+                # "restarted" from "down".
+                fresh = await self._connect(index)
+                return await self._finish_request(index, fresh, request, budget)
+            raise ShardDown(f"shard {index} hung up: {exc}")
+        if not line:
+            writer.close()
+            if pooled:
+                fresh = await self._connect(index)
+                return await self._finish_request(index, fresh, request, budget)
+            raise ShardDown(f"shard {index} closed the connection mid-request")
+        pool.append(link)
+        return protocol.decode_line(line)
+
+    async def _finish_request(self, index, link, request, budget) -> dict:
+        reader, writer = link
+        try:
+            writer.write(protocol.encode_line(request))
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), budget)
+        except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+            writer.close()
+            raise ShardDown(f"shard {index} hung up: {exc}")
+        if not line:
+            writer.close()
+            raise ShardDown(f"shard {index} closed the connection mid-request")
+        self._pools[index].append(link)
+        return protocol.decode_line(line)
+
+    async def _fan_out(self, op: str) -> list[dict | ShardDown]:
+        """One ``op`` to every shard concurrently; per-shard outcome."""
+        results = await asyncio.gather(
+            *(
+                self._shard_request(index, {"op": op}, timeout_s=10.0)
+                for index in range(len(self.config.shards))
+            ),
+            return_exceptions=True,
+        )
+        normalized: list[dict | ShardDown] = []
+        for result in results:
+            if isinstance(result, ShardDown):
+                normalized.append(result)
+            elif isinstance(result, BaseException):
+                normalized.append(ShardDown(str(result)))
+            else:
+                normalized.append(result)
+        return normalized
+
+    # -- aggregated ops ----------------------------------------------------
+
+    def describe_map(self) -> dict:
+        payload = self.shard_map.to_json()
+        payload["fleet"] = True
+        payload["shards"] = [
+            {"shard": index, "address": address.describe()}
+            for index, address in enumerate(self.config.shards)
+        ]
+        return payload
+
+    async def _status(self) -> dict:
+        shards = []
+        aggregate: dict[str, float] = {}
+        up = 0
+        for index, result in enumerate(await self._fan_out("status")):
+            if isinstance(result, ShardDown):
+                shards.append(
+                    {
+                        "shard": index,
+                        "ok": False,
+                        "error": "shard_down",
+                        "message": str(result),
+                        "address": self.config.shards[index].describe(),
+                    }
+                )
+                continue
+            up += 1
+            status = result.get("status") or {}
+            for name, value in (status.get("counters") or {}).items():
+                aggregate[name] = aggregate.get(name, 0) + value
+            shards.append(
+                {
+                    "shard": index,
+                    "ok": True,
+                    "address": self.config.shards[index].describe(),
+                    "status": status,
+                }
+            )
+        return {
+            "schema": protocol.PROTOCOL_SCHEMA,
+            "fleet": True,
+            "pid": os.getpid(),
+            "uptime_s": round(time.time() - self._started_unix, 3),
+            "workers": len(self.config.shards),
+            "shards_up": up,
+            "shard_map": self.shard_map.to_json(),
+            "draining": self._draining,
+            "shards": shards,
+            "aggregate": dict(sorted(aggregate.items())),
+            "counters": dict(sorted(self.session.counters.items())),
+        }
+
+    async def _metrics(self) -> dict:
+        """Fleet metrics: per-shard payloads plus one merged snapshot
+        (counters summed, distributions merged as count/total) rendered
+        to Prometheus text for scraping."""
+        from repro.obs.export import metrics_payload, to_prometheus
+
+        shard_payloads: list[dict | None] = []
+        counters: dict[str, float] = dict(self.session.counters)
+        merged_dists: dict[str, dict[str, dict[str, float]]] = {
+            "histograms": {},
+            "timers": {},
+        }
+        for result in await self._fan_out("metrics"):
+            if isinstance(result, ShardDown):
+                shard_payloads.append(None)
+                continue
+            payload = (result.get("metrics") or {}).get("json") or {}
+            shard_payloads.append(payload)
+            snapshot = payload.get("metrics") or {}
+            for name, value in (snapshot.get("counters") or {}).items():
+                counters[name] = counters.get(name, 0) + value
+            for family in ("histograms", "timers"):
+                for name, snap in (snapshot.get(family) or {}).items():
+                    merged = merged_dists[family].setdefault(
+                        name, {"count": 0, "total": 0.0}
+                    )
+                    merged["count"] += snap.get("count", 0)
+                    merged["total"] += snap.get("total", 0.0)
+        merged_payload = metrics_payload(
+            {
+                "counters": dict(sorted(counters.items())),
+                "histograms": merged_dists["histograms"],
+                "timers": merged_dists["timers"],
+            },
+            run="serve-fleet",
+            duration_s=time.time() - self._started_unix,
+        )
+        return {
+            "json": merged_payload,
+            "prom": to_prometheus(merged_payload),
+            "shards": shard_payloads,
+        }
+
+    async def _shutdown_fleet(self, request: dict) -> dict:
+        already = self._draining
+        results = await self._fan_out("shutdown")
+        stopped = sum(1 for r in results if isinstance(r, dict))
+        self.request_shutdown()
+        return protocol.ok_response(
+            request, stopping=True, already=already,
+            shards_stopping=stopped, workers=len(self.config.shards),
+        )
+
+
+async def serve_front(config: FrontConfig) -> None:
+    """Build a front from ``config`` and run it to completion."""
+    await Front(config).run()

@@ -1,0 +1,233 @@
+"""Minimal HTTP/1.1 adapter over the fleet front.
+
+Dashboards, load balancers, and ``curl`` get the serving layer without
+speaking JSON lines.  The adapter is a thin translation layer: every
+request becomes a normal protocol request dict and goes through
+``Front.handle_request`` — same validation, same routing, same
+structured error codes — and the JSON-lines error code maps onto an
+HTTP status.
+
+Endpoints (GET only):
+
+* ``/v1/query?metric=M&design=D&vdd=V[&beta=B][&corner=C][&method=m]``
+  — one metric query; the response body is exactly the JSON-lines
+  ``ok``/``error`` object;
+* ``/v1/status`` — the aggregated fleet status document;
+* ``/v1/map`` — the consistent-hash shard map;
+* ``/v1/ping`` — front liveness;
+* ``/metrics`` — fleet-merged metrics in the Prometheus text
+  exposition format (counters summed across shards).
+
+Status mapping: ``bad_request`` 400, ``oversized`` 413, ``overloaded``
+/ ``shutting_down`` / ``shard_down`` 503, ``timeout`` 504, everything
+else 500.  Keep-alive is honored (HTTP/1.1 default; ``Connection:
+close`` respected); request bodies are not read — queries are pure
+GETs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.serve import protocol
+
+__all__ = ["HttpAdapter", "STATUS_BY_CODE"]
+
+STATUS_BY_CODE = {
+    "bad_request": 400,
+    "oversized": 413,
+    "overloaded": 503,
+    "shutting_down": 503,
+    "shard_down": 503,
+    "timeout": 504,
+    "backfill_failed": 500,
+    "internal": 500,
+}
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_MAX_HEADER_BYTES = 16 * 1024
+
+#: URL path -> protocol op for the parameterless endpoints.
+_SIMPLE_OPS = {"/v1/status": "status", "/v1/map": "map", "/v1/ping": "ping"}
+
+
+class HttpAdapter:
+    """Serves HTTP connections by translating onto a ``Front``."""
+
+    def __init__(self, front):
+        self.front = front
+
+    async def on_client(self, reader, writer) -> None:
+        self.front.session.count("serve.http.connections")
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except asyncio.IncompleteReadError as exc:
+                    if exc.partial:
+                        await self._respond(
+                            writer, 400,
+                            self._error_body("bad_request", "truncated request"),
+                        )
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._respond(
+                        writer, 413,
+                        self._error_body(
+                            "oversized",
+                            f"request head exceeds {_MAX_HEADER_BYTES} bytes",
+                        ),
+                    )
+                    break
+                if len(head) > _MAX_HEADER_BYTES:
+                    await self._respond(
+                        writer, 413,
+                        self._error_body(
+                            "oversized",
+                            f"request head exceeds {_MAX_HEADER_BYTES} bytes",
+                        ),
+                    )
+                    break
+                keep_alive = await self._one_request(writer, head)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            self.front.session.count("serve.http.disconnects")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _one_request(self, writer, head: bytes) -> bool:
+        """Answer one parsed request head; returns keep-alive."""
+        self.front.session.count("serve.http.requests")
+        try:
+            request_line, headers = self._parse_head(head)
+            method, target, version = request_line
+        except ValueError as exc:
+            await self._respond(
+                writer, 400, self._error_body("bad_request", str(exc)),
+                keep_alive=False,
+            )
+            return False
+        keep_alive = version != "HTTP/1.0"
+        if headers.get("connection", "").lower() == "close":
+            keep_alive = False
+        if method != "GET":
+            await self._respond(
+                writer, 405,
+                self._error_body("bad_request", f"method {method} not allowed"),
+                keep_alive=keep_alive, extra_headers=("Allow: GET",),
+            )
+            return keep_alive
+        status, body, content_type = await self._route(target)
+        await self._respond(
+            writer, status, body, content_type=content_type,
+            keep_alive=keep_alive,
+        )
+        return keep_alive
+
+    @staticmethod
+    def _parse_head(head: bytes):
+        try:
+            text = head.decode("latin-1")
+        except UnicodeDecodeError:
+            raise ValueError("undecodable request head")
+        lines = text.split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ValueError(f"malformed request line {lines[0]!r}")
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return (parts[0], parts[1], parts[2]), headers
+
+    async def _route(self, target: str) -> tuple[int, bytes, str]:
+        split = urlsplit(target)
+        path = split.path
+        if path == "/metrics":
+            response = await self.front.handle_request({"op": "metrics"})
+            prom = (response.get("metrics") or {}).get("prom", "")
+            return 200, prom.encode(), "text/plain; version=0.0.4"
+        if path in _SIMPLE_OPS:
+            response = await self.front.handle_request(
+                {"op": _SIMPLE_OPS[path]}
+            )
+            return self._json_response(response)
+        if path == "/v1/query":
+            params = dict(parse_qsl(split.query, keep_blank_values=False))
+            payload: dict = {"op": "query"}
+            for name in ("metric", "design", "vdd", "beta", "corner",
+                         "method", "id"):
+                if params.get(name, "") != "":
+                    payload[name] = params[name]
+            try:
+                request = protocol.normalize_request(payload)
+            except protocol.ProtocolError as exc:
+                self.front.session.count(f"serve.http.rejected.{exc.code}")
+                return (
+                    STATUS_BY_CODE.get(exc.code, 500),
+                    self._error_body(exc.code, exc.message),
+                    "application/json",
+                )
+            response = await self.front.handle_request(request)
+            return self._json_response(response)
+        return (
+            404,
+            self._error_body(
+                "bad_request",
+                f"unknown path {path!r}; try /v1/query, /v1/status, "
+                "/v1/map, /v1/ping, or /metrics",
+            ),
+            "application/json",
+        )
+
+    def _json_response(self, response: dict) -> tuple[int, bytes, str]:
+        status = 200
+        if not response.get("ok", False):
+            code = (response.get("error") or {}).get("code", "internal")
+            status = STATUS_BY_CODE.get(code, 500)
+        body = protocol.encode_line(response)
+        return status, body, "application/json"
+
+    @staticmethod
+    def _error_body(code: str, message: str) -> bytes:
+        return protocol.encode_line(protocol.error_response(code, message))
+
+    async def _respond(
+        self, writer, status: int, body: bytes,
+        content_type: str = "application/json",
+        keep_alive: bool = True, extra_headers: tuple[str, ...] = (),
+    ) -> None:
+        reason = _REASONS.get(status, "")
+        head = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+            *extra_headers,
+        ]
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+
+def _self_check() -> None:  # pragma: no cover — import-time sanity only
+    assert set(STATUS_BY_CODE) == set(protocol.ERROR_CODES), (
+        "HTTP status mapping out of sync with protocol.ERROR_CODES"
+    )
+    assert all(status in _REASONS for status in STATUS_BY_CODE.values())
+
+
+_self_check()

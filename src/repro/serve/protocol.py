@@ -11,6 +11,7 @@ Requests are JSON objects with an ``op`` field::
      "beta": null, "corner": "tt", "method": "auto", "id": "q1"}
     {"op": "status"}
     {"op": "metrics"}
+    {"op": "map"}
     {"op": "shutdown"}
 
 Responses echo the request ``id`` (when given) and carry either a
@@ -33,18 +34,26 @@ Error codes (``ERROR_CODES``) are part of the protocol contract:
 * ``timeout`` — the per-request budget elapsed (a triggered backfill
   keeps running; retry once it lands);
 * ``backfill_failed`` — the point was simulated and failed (the
-  failure is recorded in the store index);
+  failure is recorded in the store index), or it landed but became
+  unservable before the answer could be read (a concurrent
+  recalibration); retry after the store settles;
+* ``shard_down`` — a fleet front could not reach the shard that owns
+  the queried key (connect refused / timeout); the rest of the
+  keyspace keeps serving, retry once the shard is back;
 * ``internal`` — an unexpected server-side error.
 
 Values ride the same strict-JSON convention as the experiment
 artifacts: non-finite floats (an unwritable cell's infinite
 ``wl_crit`` is data) are encoded as ``{"__float__": "Infinity"}``
-objects (:mod:`repro.experiments.io`).
+objects (:mod:`repro.experiments.io`) — the bare ``NaN``/``Infinity``
+literals are rejected on ingress exactly as ``encode_line`` refuses to
+emit them (``allow_nan=False``).
 """
 
 from __future__ import annotations
 
 import json
+import math
 
 __all__ = [
     "PROTOCOL_SCHEMA",
@@ -53,6 +62,7 @@ __all__ = [
     "OPS",
     "ProtocolError",
     "parse_request",
+    "normalize_request",
     "encode_line",
     "decode_line",
     "ok_response",
@@ -65,7 +75,7 @@ MAX_LINE_BYTES = 64 * 1024
 """Default request-line byte budget; the daemon closes connections
 that exceed it (after sending an ``oversized`` error)."""
 
-OPS = ("ping", "query", "status", "metrics", "shutdown")
+OPS = ("ping", "query", "status", "metrics", "map", "shutdown")
 
 ERROR_CODES = (
     "bad_request",
@@ -74,6 +84,7 @@ ERROR_CODES = (
     "shutting_down",
     "timeout",
     "backfill_failed",
+    "shard_down",
     "internal",
 )
 
@@ -91,6 +102,33 @@ class ProtocolError(ValueError):
         self.message = message
 
 
+def _reject_constant(literal: str):
+    """``parse_constant`` hook: the non-standard ``NaN``/``Infinity``
+    JSON literals are rejected on ingress — egress enforces
+    ``allow_nan=False``, so accepting them here would admit values the
+    protocol can never echo back."""
+    raise ProtocolError(
+        "bad_request",
+        f"non-standard JSON literal {literal} is not allowed; "
+        'non-finite values ride {"__float__": ...} objects',
+    )
+
+
+def _finite(name: str, value) -> float:
+    """``value`` as a finite float, rejecting booleans (which are
+    ``int`` to ``isinstance``) and non-finite results either from the
+    HTTP adapter's string params (``"nan"``) or arithmetic."""
+    if isinstance(value, bool):
+        raise ProtocolError("bad_request", f"{name} {value!r} is not a number")
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        raise ProtocolError("bad_request", f"{name} {value!r} is not a number")
+    if not math.isfinite(number):
+        raise ProtocolError("bad_request", f"{name} must be finite, got {number!r}")
+    return number
+
+
 def parse_request(line: bytes | str, max_bytes: int = MAX_LINE_BYTES) -> dict:
     """Validate one request line into a normalized request dict.
 
@@ -103,9 +141,18 @@ def parse_request(line: bytes | str, max_bytes: int = MAX_LINE_BYTES) -> dict:
             "oversized", f"request line is {len(raw)} bytes (limit {max_bytes})"
         )
     try:
-        payload = json.loads(raw)
+        payload = json.loads(raw, parse_constant=_reject_constant)
+    except ProtocolError:
+        raise
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise ProtocolError("bad_request", f"request is not valid JSON: {exc}")
+    return normalize_request(payload)
+
+
+def normalize_request(payload) -> dict:
+    """Validate one already-decoded request payload (the JSON-lines
+    path after :func:`parse_request`'s framing checks, and the HTTP
+    adapter's query-string params, which arrive as strings)."""
     if not isinstance(payload, dict):
         raise ProtocolError("bad_request", "request must be a JSON object")
     op = payload.get("op")
@@ -116,7 +163,7 @@ def parse_request(line: bytes | str, max_bytes: int = MAX_LINE_BYTES) -> dict:
     request: dict = {"op": op}
     request_id = payload.get("id")
     if request_id is not None:
-        if not isinstance(request_id, (str, int)):
+        if isinstance(request_id, bool) or not isinstance(request_id, (str, int)):
             raise ProtocolError("bad_request", "id must be a string or integer")
         request["id"] = request_id
     if op != "query":
@@ -128,16 +175,10 @@ def parse_request(line: bytes | str, max_bytes: int = MAX_LINE_BYTES) -> dict:
     metric, design = payload["metric"], payload["design"]
     if not isinstance(metric, str) or not isinstance(design, str):
         raise ProtocolError("bad_request", "metric and design must be strings")
-    try:
-        vdd = float(payload["vdd"])
-    except (TypeError, ValueError):
-        raise ProtocolError("bad_request", f"vdd {payload['vdd']!r} is not a number")
+    vdd = _finite("vdd", payload["vdd"])
     beta = payload.get("beta", _QUERY_OPTIONAL["beta"])
     if beta is not None:
-        try:
-            beta = float(beta)
-        except (TypeError, ValueError):
-            raise ProtocolError("bad_request", f"beta {beta!r} is not a number")
+        beta = _finite("beta", beta)
     corner = payload.get("corner", _QUERY_OPTIONAL["corner"])
     if not isinstance(corner, str):
         raise ProtocolError("bad_request", "corner must be a string")

@@ -156,8 +156,13 @@ class GridRegistry:
         how previously backfilled ad-hoc points stay warm."""
         point = CharPoint(design=design, corner=corner, vdd=float(vdd), beta=beta)
         value = self.store.value(point, metric)
-        if value is None:
-            # The writer may have appended since our cached index read.
+        if value is None and self.store.index_token() != self._token:
+            # A writer appended since the serving grids loaded.  The
+            # retry is gated on the index token: a storm of misses for
+            # an unrealizable point must not drop the store's cache
+            # (and force a full index re-read) on every request — that
+            # synchronous disk work sits inside the event loop and
+            # stalls every connected client.
             self.store.refresh()
             value = self.store.value(point, metric)
         if value is None:

@@ -1,0 +1,121 @@
+"""Shard ownership for the serve fleet: consistent hashing over keys.
+
+A fleet of N daemon workers partitions the characterization keyspace
+by **routing key** ``(design, corner, beta)`` — deliberately *not* by
+V_DD or metric, because the backfill queue coalesces misses into one
+ad-hoc spec per ``(corner, beta)`` group and a grid's V_DD axis must
+stay on one worker to interpolate.  Everything about one key — its
+serving grid slices, its exact index entries, and every backfill it
+ever triggers — therefore lives on exactly one shard, so two shards
+never build the same spec.
+
+The map is a classic consistent-hash ring (``replicas`` virtual nodes
+per shard, SHA-256 positions, successor lookup by bisection):
+
+* **deterministic** — pure function of ``(workers, replicas)``; every
+  front, client, script, and test computes identical ownership with no
+  coordination, across processes and machines (no ``PYTHONHASHSEED``
+  dependence);
+* **stable under resize** — growing the fleet from N to N+1 workers
+  remaps only the keys the new worker's virtual nodes capture
+  (~1/(N+1) of the space), so a warm store stays mostly owned by the
+  shards that built it.
+
+``shard_socket_path``/``shard_tcp_port`` derive the per-shard
+addresses from the front's base address — ``results/serve.sock`` owns
+``results/serve.shard0.sock`` …, a TCP front on port P owns shards on
+P+1 … P+N.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from pathlib import Path
+
+__all__ = [
+    "SHARD_SCHEME",
+    "routing_key",
+    "ShardMap",
+    "shard_socket_path",
+    "shard_tcp_port",
+]
+
+SHARD_SCHEME = "repro.serve.shard/v1"
+
+DEFAULT_REPLICAS = 64
+
+
+def routing_key(design: str, corner: str = "tt", beta: float | None = None) -> str:
+    """Canonical routing key text for one query's ownership lookup.
+
+    Beta is formatted through ``%.12g`` so ``1.5`` and ``1.50`` (and a
+    float that took a JSON round trip) hash identically; ``None`` (the
+    design's canonical sizing) gets its own token.
+    """
+    beta_part = "-" if beta is None else format(float(beta), ".12g")
+    return f"{design}|{corner}|{beta_part}"
+
+
+def _position(text: str) -> int:
+    """Ring position of ``text``: the first 8 bytes of its SHA-256."""
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+class ShardMap:
+    """Consistent-hash ring mapping routing keys to shard indices."""
+
+    def __init__(self, workers: int, replicas: int = DEFAULT_REPLICAS):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.workers = workers
+        self.replicas = replicas
+        ring = sorted(
+            (_position(f"{SHARD_SCHEME}|worker={shard}|replica={replica}"), shard)
+            for shard in range(workers)
+            for replica in range(replicas)
+        )
+        self._positions = [position for position, _ in ring]
+        self._owners = [shard for _, shard in ring]
+
+    def owner(self, design: str, corner: str = "tt", beta: float | None = None) -> int:
+        """The shard index owning one ``(design, corner, beta)`` key."""
+        return self.owner_of(routing_key(design, corner, beta))
+
+    def owner_of(self, key: str) -> int:
+        """The shard index owning an already-formatted routing key."""
+        index = bisect.bisect_right(self._positions, _position(key))
+        return self._owners[index % len(self._owners)]
+
+    def to_json(self) -> dict:
+        """Machine-readable description (``status``/``map`` payloads)."""
+        return {
+            "scheme": SHARD_SCHEME,
+            "workers": self.workers,
+            "replicas": self.replicas,
+            "key": "(design, corner, beta)",
+        }
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ShardMap)
+            and self.workers == other.workers
+            and self.replicas == other.replicas
+        )
+
+    def __repr__(self) -> str:
+        return f"ShardMap(workers={self.workers}, replicas={self.replicas})"
+
+
+def shard_socket_path(base: str | Path, index: int) -> Path:
+    """Shard ``index``'s unix socket derived from the front's socket:
+    ``results/serve.sock`` -> ``results/serve.shard0.sock``."""
+    base = Path(base)
+    return base.with_name(f"{base.stem}.shard{index}{base.suffix}")
+
+
+def shard_tcp_port(base_port: int, index: int) -> int:
+    """Shard ``index``'s TCP port derived from the front's port."""
+    return base_port + 1 + index

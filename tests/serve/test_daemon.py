@@ -206,6 +206,38 @@ class TestBackfill:
             status = client.status()
         assert status["counters"]["serve.timeouts"] == 1
 
+    def test_backfill_landing_race_answers_backfill_failed(self, daemon_factory):
+        """A backfill can land and *still* not be servable — a
+        concurrent ``char build`` with a newer solver fingerprint can
+        recalibrate the store between the batch landing and the
+        post-backfill lookup.  That race must come back as a structured
+        ``backfill_failed``, not a daemon-side traceback."""
+        from repro.char.query import CharQueryError
+
+        daemon = daemon_factory(coalesce_s=0.05)
+
+        def always_missing(**_kwargs):
+            raise CharQueryError(
+                "entry recalibrated away", reason="missing-entry"
+            )
+
+        daemon.daemon.registry.answer = always_missing
+        with daemon.client() as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.query(**COLD)
+            assert excinfo.value.code == "backfill_failed"
+            assert "retry" in excinfo.value.message
+            # The daemon survives the race and keeps serving.
+            assert client.ping()
+            status = client.status()
+        assert status["counters"]["serve.backfill.lost"] == 1
+        assert status["backfill"]["batches_completed"] == 1
+
+    def test_map_op_outside_a_fleet(self, daemon_factory):
+        daemon = daemon_factory()
+        with daemon.client() as client:
+            assert client.map() == {"fleet": False, "workers": 1}
+
 
 class TestShutdown:
     def test_double_shutdown_is_idempotent(self, daemon_factory, tmp_path):

@@ -1,0 +1,204 @@
+"""Fleet front behavior over live sockets: ownership routing, fleet
+aggregation, per-shard failure containment (``shard_down``), and the
+HTTP/1.1 adapter."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.client import ServeError
+from repro.serve.shard import ShardMap
+
+# With 2 shards: (cmos, tt, None) lives on shard 0, (cmos, tt, 0.9)
+# on shard 1 (pinned hash — see test_shard.py golden assignments).
+SHARD0_KEY = {"metric": "hold_power", "design": "cmos", "vdd": 0.6}
+SHARD1_KEY = {"metric": "hold_power", "design": "cmos", "vdd": 0.6, "beta": 0.9}
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def test_key_split_assumption():
+    m = ShardMap(2)
+    assert m.owner("cmos", "tt", None) == 0
+    assert m.owner("cmos", "tt", 0.9) == 1
+
+
+class TestRouting:
+    def test_queries_route_to_the_owning_shard(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        with fleet.client() as client:
+            assert client.ping()
+            warm = client.query(**SHARD0_KEY)
+            assert warm["ok"] and warm["served"] == "memory"
+            # The beta point is cold on the seed store: shard 1 owns
+            # the miss end to end (coalesce, build, answer).
+            built = client.query(**SHARD1_KEY, request_id="fleet-1")
+            assert built["ok"] and built["id"] == "fleet-1"
+            assert built["served"] == "backfill"
+            status = client.status()
+        counters = status["counters"]
+        assert counters.get("serve.front.routed.shard0", 0) >= 1
+        assert counters.get("serve.front.routed.shard1", 0) >= 1
+
+    def test_map_op_describes_the_ring(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        with fleet.client() as client:
+            topology = client.map()
+        assert topology["fleet"] is True
+        assert topology["workers"] == 2
+        assert topology["scheme"] == "repro.serve.shard/v1"
+        assert [shard["shard"] for shard in topology["shards"]] == [0, 1]
+
+    def test_repeat_queries_reuse_pooled_connections(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        with fleet.client() as client:
+            for _ in range(5):
+                assert client.query(**SHARD0_KEY)["ok"]
+        # One link dialed, five requests through it.
+        assert len(fleet.front.front._pools[0]) == 1
+
+
+class TestAggregation:
+    def test_status_aggregates_all_shards(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        with fleet.client() as client:
+            client.query(**SHARD0_KEY)
+            status = client.status()
+        assert status["fleet"] is True
+        assert status["schema"] == protocol.PROTOCOL_SCHEMA
+        assert status["workers"] == 2 and status["shards_up"] == 2
+        # Fan-out reached two *distinct* daemons, each knowing its slot.
+        identities = [
+            shard["status"]["shard"]["index"] for shard in status["shards"]
+        ]
+        assert identities == [0, 1]
+        assert status["aggregate"].get("serve.requests", 0) >= 1
+
+    def test_metrics_merge_renders_prometheus(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        with fleet.client() as client:
+            client.query(**SHARD0_KEY)
+            metrics = client.metrics()
+        assert metrics["json"]["run"] == "serve-fleet"
+        assert len(metrics["shards"]) == 2
+        assert "repro_serve_requests_total" in metrics["prom"]
+        assert "repro_serve_front_requests_total" in metrics["prom"]
+
+
+class TestFailureContainment:
+    def test_dead_shard_degrades_to_shard_down(self, fleet_factory):
+        fleet = fleet_factory(workers=2)
+        with fleet.client() as client:
+            assert client.query(**SHARD0_KEY)["ok"]
+            fleet.shards[1].stop()
+            # Shard 1's keyspace answers with the structured code...
+            with pytest.raises(ServeError) as excinfo:
+                client.query(**SHARD1_KEY)
+            assert excinfo.value.code == "shard_down"
+            # ...while shard 0's keyspace keeps serving,
+            assert client.query(**SHARD0_KEY)["ok"]
+            # and status reports the partial fleet instead of failing.
+            status = client.status()
+        assert status["shards_up"] == 1
+        assert status["shards"][1]["ok"] is False
+        assert status["shards"][1]["error"] == "shard_down"
+
+    def test_stale_pooled_link_does_not_misreport_restart(self, fleet_factory):
+        """A link pooled before a shard restart is stale; the front
+        must retry once on a fresh dial instead of answering
+        ``shard_down`` for a healthy shard."""
+        fleet = fleet_factory(workers=2)
+        with fleet.client() as client:
+            assert client.query(**SHARD0_KEY)["ok"]  # pools a link to shard 0
+            harness = fleet.shards[0]
+            harness.stop()
+            restarted = type(harness)(harness.config).start()
+            fleet.shards[0] = restarted
+            assert client.query(**SHARD0_KEY)["ok"]
+
+
+class TestHttpAdapter:
+    def test_endpoints(self, fleet_factory):
+        port = _free_port()
+        fleet_factory(workers=2, http_port=port)
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            conn.request("GET", "/v1/ping")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["pong"] is True
+
+            # Keep-alive: same connection serves the query.
+            conn.request(
+                "GET", "/v1/query?metric=hold_power&design=cmos&vdd=0.6"
+            )
+            response = conn.getresponse()
+            assert response.status == 200
+            body = json.loads(response.read())
+            assert body["ok"] is True
+            assert body["result"]["metric"] == "hold_power"
+
+            conn.request("GET", "/v1/status")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["status"]["fleet"] is True
+
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type").startswith("text/plain")
+            assert b"repro_serve_front_requests_total" in response.read()
+        finally:
+            conn.close()
+
+    def test_error_mapping(self, fleet_factory):
+        port = _free_port()
+        fleet_factory(workers=2, http_port=port)
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            conn.request("GET", "/v1/query?metric=hold_power&design=cmos")
+            response = conn.getresponse()  # missing vdd
+            assert response.status == 400
+            assert json.loads(response.read())["error"]["code"] == "bad_request"
+
+            conn.request("GET", "/v1/query?metric=hold_power&design=cmos&vdd=NaN")
+            response = conn.getresponse()
+            assert response.status == 400
+            response.read()
+
+            conn.request("GET", "/nope")
+            response = conn.getresponse()
+            assert response.status == 404
+            response.read()
+
+            conn.request("POST", "/v1/query", body=b"{}")
+            response = conn.getresponse()
+            assert response.status == 405
+            assert response.getheader("Allow") == "GET"
+            response.read()
+        finally:
+            conn.close()
+
+    def test_shard_down_maps_to_503(self, fleet_factory):
+        port = _free_port()
+        fleet = fleet_factory(workers=2, http_port=port)
+        fleet.shards[1].stop()
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            conn.request(
+                "GET", "/v1/query?metric=hold_power&design=cmos&vdd=0.6&beta=0.9"
+            )
+            response = conn.getresponse()
+            assert response.status == 503
+            assert json.loads(response.read())["error"]["code"] == "shard_down"
+        finally:
+            conn.close()

@@ -95,6 +95,60 @@ class TestParseRequest:
         assert request["vdd"] == 0.65
         assert request["beta"] == 1.5
 
+    @pytest.mark.parametrize("literal", ["NaN", "Infinity", "-Infinity"])
+    def test_rejects_nonstandard_json_literals(self, literal):
+        """Python's json module happily *parses* NaN/Infinity, but the
+        protocol's egress is strict JSON (``allow_nan=False``) — an
+        accepted non-finite vdd would make the daemon's own response
+        unencodable.  Reject at the door instead."""
+        raw = (f'{{"op": "query", "metric": "drnm", "design": "proposed",'
+               f' "vdd": {literal}}}').encode()
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(raw)
+        assert _code(excinfo) == "bad_request"
+        assert "__float__" in excinfo.value.message
+
+    def test_rejects_nonstandard_literal_anywhere_in_the_payload(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(b'{"op": "ping", "id": NaN}')
+        assert _code(excinfo) == "bad_request"
+
+    def test_rejects_non_finite_numeric_strings(self):
+        payload = {"op": "query", "metric": "drnm", "design": "proposed",
+                   "vdd": "nan"}
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(json.dumps(payload).encode())
+        assert _code(excinfo) == "bad_request"
+        assert "finite" in excinfo.value.message
+
+    def test_rejects_bool_request_id(self):
+        """``True`` is an ``int`` in Python — the isinstance id check
+        must exclude bools explicitly or a ``true`` id round-trips as a
+        number the client never sent."""
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(b'{"op": "ping", "id": true}')
+        assert _code(excinfo) == "bad_request"
+
+    @pytest.mark.parametrize("field", ["vdd", "beta"])
+    def test_rejects_bool_numerics(self, field):
+        payload = {"op": "query", "metric": "drnm", "design": "proposed",
+                   "vdd": 0.65, field: True}
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(json.dumps(payload).encode())
+        assert _code(excinfo) == "bad_request"
+
+    def test_normalize_request_shared_with_http(self):
+        """The HTTP adapter feeds query params (all strings) through
+        ``normalize_request`` directly — same validation as the wire."""
+        request = protocol.normalize_request(
+            {"op": "query", "metric": "drnm", "design": "proposed",
+             "vdd": "0.65"}
+        )
+        assert request["vdd"] == 0.65 and request["corner"] == "tt"
+        with pytest.raises(ProtocolError):
+            protocol.normalize_request({"op": "query", "metric": "drnm",
+                                        "design": "proposed", "vdd": "inf"})
+
 
 class TestFraming:
     def test_round_trip(self):

@@ -121,3 +121,42 @@ class TestGridRegistry:
         assert registry.reloads == loads + 1
         assert registry.answer("hold_power", "cmos", 0.9).value is not None
         assert registry.maybe_reload() is False
+
+    def test_miss_storm_never_drops_the_index_cache(self, registry_store,
+                                                    serve_spec, monkeypatch):
+        """A storm of misses for an unrealizable point must not call
+        ``store.refresh()`` (which drops the cache and forces a full
+        synchronous index re-read *inside the event loop*) when the
+        index has not changed."""
+        registry = GridRegistry(registry_store, [serve_spec])
+        refreshes = [0]
+        real_refresh = registry.store.refresh
+
+        def counting_refresh():
+            refreshes[0] += 1
+            real_refresh()
+
+        monkeypatch.setattr(registry.store, "refresh", counting_refresh)
+        with pytest.raises(CharQueryError):
+            registry.answer("hold_power", "cmos", 0.55)
+        cache = registry.store._index_cache
+        assert cache is not None
+        for _ in range(50):
+            with pytest.raises(CharQueryError):
+                registry.answer("hold_power", "cmos", 0.55)
+        assert refreshes[0] == 0
+        assert registry.store._index_cache is cache
+
+    def test_exact_fallback_still_sees_fresh_appends(self, registry_store,
+                                                     serve_spec):
+        """The gated refresh must not cost append pickup: an entry a
+        concurrent writer landed after the grids loaded is served from
+        the exact index path without an explicit ``maybe_reload``."""
+        registry = GridRegistry(registry_store, [serve_spec])
+        extra = CharSpec(
+            name="extra", designs=("cmos",), vdds=(0.9,),
+            metrics=("hold_power",),
+        )
+        build_grid(extra, CharStore(registry_store.directory))
+        answer = registry.answer("hold_power", "cmos", 0.9)
+        assert answer.method == "exact"
