@@ -127,9 +127,32 @@ def selftest(tolerance: float) -> int:
     if not fleet_breach:
         print("selftest FAILED: serve_fleet gate breach (2.1x < 3x) not flagged")
         return 1
+
+    # The compiled-array family: sparse-vs-dense speedup on the array
+    # critical path, floored by the payload's min_speedup.
+    array_record = bench.bench_record(
+        {"schema": "repro.bench.array/v1", "created_unix": 1.0,
+         "speedup": 6.2, "min_speedup": 2.0},
+        "selftest",
+    )
+    if (
+        array_record is None
+        or array_record["metric"] != "speedup"
+        or array_record["direction"] != "higher"
+        or array_record["limit"] != 2.0
+    ):
+        print("selftest FAILED: array payload did not normalize")
+        return 1
+    array_breach = bench.check_history(
+        [{**array_record, "value": 1.4}], tolerance
+    )
+    if not array_breach:
+        print("selftest FAILED: array gate breach (1.4x < 2x) not flagged")
+        return 1
     print(
         "selftest ok: healthy history passes, planted regressions flagged "
-        f"({bad_problems[0]}; {breach[0]}; {fleet_breach[0]})"
+        f"({bad_problems[0]}; {breach[0]}; {fleet_breach[0]}; "
+        f"{array_breach[0]})"
     )
     return 0
 

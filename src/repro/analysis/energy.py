@@ -21,13 +21,23 @@ from repro.sram.testbench import Testbench
 __all__ = ["delivered_energy", "operation_energy", "write_energy", "read_energy"]
 
 
-def delivered_energy(result: TransientResult, t0: float, t1: float) -> float:
-    """Energy (J) delivered by all sources over [t0, t1].
+def delivered_energy(
+    result: TransientResult,
+    t0: float,
+    t1: float,
+    source_names: set[str] | None = None,
+) -> float:
+    """Energy (J) delivered by sources over [t0, t1].
 
     Trapezoidal integration of the instantaneous source power computed
     from the solved branch currents; the MNA branch current flows from
     node ``a`` through the source, so delivered power is ``-(v_a -
     v_b) * i_branch`` summed over sources.
+
+    ``source_names`` restricts the sum to the named sources — how the
+    array compiler separates the accessed cell's rail energy from the
+    periphery (decoder, precharge, replica, sense amp) sharing the
+    same compiled netlist.
     """
     mask = result.window(t0, t1)
     times = result.times[mask]
@@ -36,6 +46,8 @@ def delivered_energy(result: TransientResult, t0: float, t1: float) -> float:
 
     total_power = np.zeros(times.size)
     for source in result.circuit.voltage_sources:
+        if source_names is not None and source.name not in source_names:
+            continue
         va = (
             np.zeros(times.size)
             if source.a < 0
@@ -55,12 +67,14 @@ def operation_energy(
     bench: Testbench,
     settle: float = 1.0e-9,
     options: TransientOptions | None = None,
+    source_names: set[str] | None = None,
 ) -> float:
     """Energy of one access: from just before the assist lead-in until
     the cell has settled after the access window.
 
     The hold-state leakage baseline is subtracted so the result is the
-    *incremental* energy of the operation.
+    *incremental* energy of the operation.  ``source_names`` restricts
+    both the gross and the baseline integration to the named sources.
     """
     t_stop = bench.window.t_off + settle
     result = simulate_transient(
@@ -69,10 +83,10 @@ def operation_energy(
         initial_conditions=bench.initial_conditions,
         options=options,
     )
-    gross = delivered_energy(result, 0.0, t_stop)
+    gross = delivered_energy(result, 0.0, t_stop, source_names=source_names)
     # Leakage baseline measured on the pre-access quiet segment.
     quiet_end = min(bench.window.t_on * 0.2, 5e-11)
-    leak = delivered_energy(result, 0.0, quiet_end) / quiet_end
+    leak = delivered_energy(result, 0.0, quiet_end, source_names=source_names) / quiet_end
     return gross - leak * t_stop
 
 

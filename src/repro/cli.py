@@ -14,6 +14,13 @@ Commands:
   store (``repro.char``): build a metric grid (resumable, only missing
   points are simulated), inspect coverage, answer interpolated point
   queries with provenance, and export grids as CSV/JSON;
+* ``array build|measure|compare|sweep`` — the hierarchical array
+  compiler (:mod:`repro.sram.compiler`): compose a bitcell into a
+  simulatable critical path (distributed bitline/wordline RC, decode
+  chain, precharge, replica-timed sense amp), measure the read / write
+  / half-select scenarios through the transient solver, validate the
+  simulated path against the analytic array model, and run
+  engine-backed geometry sweeps (``--jobs``, ``--resume``);
 * ``netlist <deck.sp> [--op | --tran T]`` — parse a SPICE-subset deck
   and print its DC operating point or run a transient;
 * ``diag [paths...]`` — solver-health summary of saved run manifests
@@ -691,6 +698,249 @@ def _cmd_diag(args) -> int:
     return 0 if manifests else 1
 
 
+def _cmd_array(args) -> int:
+    from repro.sram.array import ArrayGeometry
+
+    if args.array_command == "sweep":
+        return _array_sweep(args)
+
+    from repro.sram.compiler import CompileOptions, compile_array
+
+    try:
+        cell, assist = _build_cell(args.design, corner=args.corner)
+        if args.scenario != "read" or args.no_assist:
+            assist = None
+        geometry = ArrayGeometry(rows=args.rows, columns=args.columns)
+        options = CompileOptions(sense=args.sense)
+        compiled = compile_array(
+            cell, geometry, args.vdd,
+            scenario=args.scenario, assist=assist, options=options,
+        )
+    except (KeyError, ValueError, TypeError, NotImplementedError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    if args.array_command == "build":
+        return _array_build(compiled)
+    if args.array_command == "measure":
+        return _array_measure(compiled, args)
+    if args.array_command == "compare":
+        return _array_compare(cell, geometry, assist, compiled, args)
+    raise AssertionError(f"unhandled array command {args.array_command!r}")
+
+
+def _array_build(compiled) -> int:
+    """Print the compiled path's structure without simulating it."""
+    from repro.circuit.sparse import DEFAULT_SPARSE_THRESHOLD
+    from repro.sram.compiler.census import census_macro_area
+
+    geometry = compiled.geometry
+    ladder = compiled.ladder
+    size = compiled.unknown_count
+    sparse = "sparse" if size >= DEFAULT_SPARSE_THRESHOLD else "dense"
+    print(f"{compiled.circuit.title}")
+    print(f"  unknowns : {size} -> {sparse} MNA "
+          f"(auto threshold {DEFAULT_SPARSE_THRESHOLD})")
+    print(f"  bitline  : C_total {ladder.total_capacitance:.3e} F, "
+          f"R_total {ladder.total_resistance:.1f} ohm, "
+          f"Elmore {ladder.elmore_delay * 1e12:.1f} ps")
+    print(f"  explicit : {compiled.bench.notes['n_explicit']:.0f} neighbour(s)"
+          + (", 1 half-selected victim" if "hs_q" in compiled.probes else ""))
+    print(f"  decoder  : {compiled.decoder.stages} buffer stage(s) after the "
+          f"address NAND")
+    if compiled.replica is not None:
+        print(f"  replica  : {compiled.replica.n_replica} timing cell(s)")
+    areas = census_macro_area(compiled.cell, geometry, compiled.census)
+    print(f"  census   : cells {areas['cell_array_um2']:.1f} um2, "
+          f"rows {areas['row_periphery_um2']:.1f}, "
+          f"columns {areas['column_periphery_um2']:.1f}, "
+          f"shared {areas['shared_um2']:.2f}, "
+          f"control/IO {areas['control_io_um2']:.1f} "
+          f"-> total {areas['total_um2']:.1f} um2")
+    return 0
+
+
+def _array_result_table(rows_spec, command: str):
+    """One-row ExperimentResult so --profile manifests work for `repro diag`."""
+    from repro.experiments.common import ExperimentResult
+
+    header, row = zip(*rows_spec)
+    result = ExperimentResult(
+        f"array_{command}", f"repro array {command}", list(header)
+    )
+    result.add_row(*row)
+    return result
+
+
+def _array_profiled(args, command: str, work):
+    """Run ``work()`` under a telemetry session when --profile is set,
+    writing a run manifest ``repro diag`` can summarize."""
+    import time as time_module
+
+    if not args.profile:
+        value, _ = work()
+        return value
+    from repro.telemetry import core as telemetry
+    from repro.telemetry.manifest import build_manifest, manifest_path, write_manifest
+
+    out_dir = args.output_dir or "results"
+    with telemetry.enabled() as session:
+        start = time_module.perf_counter()
+        with session.span(f"array.{command}"):
+            value, rows_spec = work()
+        wall = time_module.perf_counter() - start
+        result = _array_result_table(rows_spec, command)
+        manifest = build_manifest(
+            result.experiment_id, result.title, result, session, wall
+        )
+        write_manifest(manifest, out_dir)
+    print(f"manifest: {manifest_path(out_dir, result.experiment_id)}")
+    return value
+
+
+def _array_measure(compiled, args) -> int:
+    from repro.sram.compiler import measure_array
+
+    def work():
+        m = measure_array(compiled)
+        rows_spec = [
+            ("scenario", m.scenario),
+            ("rows", m.rows),
+            ("columns", m.columns),
+            ("unknowns", m.unknowns),
+            ("sparse", "yes" if m.sparse_engaged else "no"),
+            ("wordline_delay_ps", 1e12 * m.wordline_delay),
+            ("access_delay_ps", 1e12 * m.access_delay),
+            ("resolved_delay_ps", 1e12 * m.resolved_delay),
+            ("energy_fJ", 1e15 * m.energy),
+            ("cell_energy_fJ", 1e15 * m.cell_energy),
+            ("disturb_margin_mV", 1e3 * m.disturb_margin),
+            ("victim_flipped", str(m.victim_flipped)),
+        ]
+        return m, rows_spec
+
+    m = _array_profiled(args, "measure", work)
+    print(f"{compiled.circuit.title}: {m.unknowns} unknowns "
+          f"({'sparse' if m.sparse_engaged else 'dense'} MNA)")
+    print(f"  wordline delay : {1e12 * m.wordline_delay:.1f} ps (far cell)")
+    print(f"  access delay   : {_fmt_ps(m.access_delay)}")
+    if m.scenario == "read":
+        print(f"  sense resolved : {_fmt_ps(m.resolved_delay)}")
+    print(f"  path energy    : {1e15 * m.energy:.2f} fJ "
+          f"(cell rails: {1e15 * m.cell_energy:.3f} fJ)")
+    if not math.isnan(m.disturb_margin):
+        print(f"  disturb margin : {1e3 * m.disturb_margin:.1f} mV "
+              f"({'victim FLIPPED' if m.victim_flipped else 'victim held'})")
+    if not m.completed:
+        print("  access did not complete within the window", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _array_compare(cell, geometry, assist, compiled, args) -> int:
+    from repro.experiments.ext_array_area import AREA_TOLERANCE
+    from repro.experiments.ext_array_read import DELAY_TOLERANCE, ENERGY_RATIO_BAND
+    from repro.sram.compiler import compare_array
+
+    def work():
+        comp = compare_array(
+            cell, geometry, args.vdd, assist=assist, options=compiled.options
+        )
+        rows_spec = [
+            ("rows", geometry.rows),
+            ("columns", geometry.columns),
+            ("analytic_ps", 1e12 * comp.analytic_access_time),
+            ("simulated_ps", 1e12 * comp.simulated_access_time),
+            ("delay_ratio", comp.delay_ratio),
+            ("energy_ratio", comp.energy_ratio),
+            ("analytic_area_um2", comp.analytic_area_um2),
+            ("census_area_um2", comp.census_area_um2),
+            ("area_ratio", comp.area_ratio),
+        ]
+        return comp, rows_spec
+
+    comp = _array_profiled(args, "compare", work)
+    delay_ok = abs(comp.delay_ratio - 1.0) <= DELAY_TOLERANCE
+    energy_ok = ENERGY_RATIO_BAND[0] <= comp.energy_ratio <= ENERGY_RATIO_BAND[1]
+    area_gated = geometry.rows >= 64
+    area_ok = (not area_gated) or abs(comp.area_ratio - 1.0) <= AREA_TOLERANCE
+    print(f"{compiled.circuit.title} vs analytic plan")
+    print(f"  read delay : {1e12 * comp.simulated_access_time:.1f} ps simulated / "
+          f"{1e12 * comp.analytic_access_time:.1f} ps analytic "
+          f"(ratio {comp.delay_ratio:.3f}, tolerance +/-{DELAY_TOLERANCE:.0%}) "
+          f"[{'ok' if delay_ok else 'OUT OF TOLERANCE'}]")
+    print(f"  energy     : {1e15 * comp.simulated_energy:.2f} fJ path / "
+          f"{1e15 * comp.analytic_energy:.3f} fJ analytic cell "
+          f"(ratio {comp.energy_ratio:.1f}, band "
+          f"[{ENERGY_RATIO_BAND[0]:g}x, {ENERGY_RATIO_BAND[1]:g}x]) "
+          f"[{'ok' if energy_ok else 'OUT OF BAND'}]")
+    print(f"  cell rails : {1e15 * comp.simulated_cell_energy:.3f} fJ simulated / "
+          f"{1e15 * comp.analytic_cell_energy:.3f} fJ analytic (not gated)")
+    area_note = (
+        f"tolerance +/-{AREA_TOLERANCE:.0%}" if area_gated
+        else "not gated below 64 rows"
+    )
+    print(f"  macro area : {comp.census_area_um2:.1f} um2 census / "
+          f"{comp.analytic_area_um2:.1f} um2 analytic "
+          f"(ratio {comp.area_ratio:.3f}, {area_note}) "
+          f"[{'ok' if area_ok else 'OUT OF TOLERANCE'}]")
+    return 0 if (delay_ok and energy_ok and area_ok) else 1
+
+
+def _array_sweep(args) -> int:
+    from pathlib import Path
+
+    from repro.engine import EngineConfig
+    from repro.sram.compiler import run_array_sweep
+
+    try:
+        rows_list = [int(r) for r in args.rows_list.split(",") if r.strip()]
+        if not rows_list:
+            raise ValueError("--rows-list is empty")
+    except ValueError as exc:
+        print(f"error: bad --rows-list: {exc}", file=sys.stderr)
+        return 2
+    base = Path(args.output_dir or "results")
+    run_key = f"array_{args.design}_{args.scenario}_{args.columns}x@{args.vdd}"
+    engine = EngineConfig(
+        jobs=args.jobs,
+        resume=args.resume,
+        checkpoint_path=base / "checkpoints" / "array_sweep.jsonl",
+        run_key=run_key,
+        root_seed=args.seed,
+        cache_dir=base / "table_cache",
+    )
+    try:
+        results, report = run_array_sweep(
+            rows_list, columns=args.columns, vdd=args.vdd,
+            design=args.design, scenario=args.scenario, engine=engine,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    print(f"{args.design} {args.scenario} sweep, {args.columns} columns, "
+          f"V_DD {args.vdd} V ({report.jobs} job(s), "
+          f"{report.resumed_count} resumed, {report.wall_s:.1f} s)")
+    print("  rows  unknowns  sparse  access (ps)  energy (fJ)")
+    failed = False
+    for rows, m in zip(rows_list, results):
+        if m is None:
+            print(f"  {rows:<5} FAILED (see checkpoint log)")
+            failed = True
+            continue
+        print(f"  {rows:<5} {m['unknowns']:<9} "
+              f"{'yes' if m['sparse_engaged'] else 'no':<7} "
+              f"{_fmt_ps(m['access_delay']):<12} {1e15 * m['energy']:.2f}")
+    return 1 if failed else 0
+
+
+def _fmt_ps(value: float) -> str:
+    if value is None or (isinstance(value, float) and not math.isfinite(value)):
+        return "inf"
+    return f"{value * 1e12:.1f} ps"
+
+
 def _cmd_netlist(args) -> int:
     from pathlib import Path
 
@@ -807,6 +1057,62 @@ def main(argv: list[str] | None = None) -> int:
     char_export.add_argument("--format", default="csv", choices=("csv", "json"))
     char_export.add_argument("--out", default=None, metavar="PATH",
                              help="output file (default: stdout)")
+
+    array = sub.add_parser(
+        "array", help="hierarchical array compiler (repro.sram.compiler)")
+    array_sub = array.add_subparsers(dest="array_command", required=True)
+
+    def _array_common(p):
+        p.add_argument("--design", default="proposed",
+                       choices=("proposed", "cmos", "asym", "inward_n",
+                                "outward_n"),
+                       help="bitcell composed into the array (7T's decoupled "
+                       "read port is outside the column topology)")
+        p.add_argument("--rows", type=int, default=16)
+        p.add_argument("--columns", type=int, default=4)
+        p.add_argument("--vdd", type=float, default=0.8)
+        p.add_argument("--corner", default="tt", metavar="NAME",
+                       help="process-corner device cards (TFET designs only)")
+        p.add_argument("--scenario", default="read",
+                       choices=("read", "write", "half_select"))
+        p.add_argument("--sense", default="replica",
+                       choices=("replica", "fixed", "none"),
+                       help="read sense-enable source (replica-bitline "
+                       "timed, ideal pulse, or no sense amp)")
+        p.add_argument("--no-assist", action="store_true",
+                       help="drop the design's default read assist")
+
+    array_build = array_sub.add_parser(
+        "build", help="compile the critical path and print its structure")
+    _array_common(array_build)
+
+    for verb, verb_help in (
+        ("measure", "simulate the compiled path and print its metrics"),
+        ("compare", "validate the simulated path against the analytic model"),
+    ):
+        verb_p = array_sub.add_parser(verb, help=verb_help)
+        _array_common(verb_p)
+        verb_p.add_argument("--profile", action="store_true",
+                            help="collect solver telemetry and write a run "
+                            "manifest (`repro diag` summarizes it)")
+        verb_p.add_argument("--output-dir", metavar="DIR", default=None,
+                            help="manifest directory (default: results/)")
+
+    array_sweep = array_sub.add_parser(
+        "sweep", help="engine-backed geometry sweep (checkpointed, resumable)")
+    _array_common(array_sweep)
+    array_sweep.add_argument("--rows-list", default="8,16,32", metavar="R1,R2",
+                             help="comma-separated row counts to sweep")
+    array_sweep.add_argument("--jobs", type=int, default=1, metavar="J",
+                             help="worker processes")
+    array_sweep.add_argument("--resume", action="store_true",
+                             help="resume from the sweep's JSONL checkpoint")
+    array_sweep.add_argument("--seed", type=int, default=0, metavar="S",
+                             help="engine root seed (sweep tasks are "
+                             "deterministic; the seed keys the checkpoint)")
+    array_sweep.add_argument("--output-dir", metavar="DIR", default=None,
+                             help="checkpoint/cache directory "
+                             "(default: results/)")
 
     net = sub.add_parser("netlist", help="parse and solve a SPICE-subset deck")
     net.add_argument("deck")
@@ -931,6 +1237,7 @@ def main(argv: list[str] | None = None) -> int:
         "cell": _cmd_cell,
         "experiment": _cmd_experiment,
         "char": _cmd_char,
+        "array": _cmd_array,
         "netlist": _cmd_netlist,
         "diag": _cmd_diag,
         "trace": _cmd_trace,

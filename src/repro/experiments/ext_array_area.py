@@ -1,0 +1,87 @@
+"""Extension: macro area from the compiled device census vs tab_area.
+
+``tab_area`` compares bare cell areas; the macro estimate of
+:func:`repro.sram.array.plan_array` scales them by a flat
+``periphery_area_overhead`` fraction.  The array compiler knows the
+actual periphery devices a row and a column carry (decoder chain,
+precharge, sense amp, replica column), so this experiment extrapolates
+the macro area from the compiled census through the same lambda-rule
+area model and validates the flat-fraction shortcut against it.
+
+Documented tolerance: at the reference geometry (>= 64 rows) the two
+macro areas agree within ``AREA_TOLERANCE`` (measured ratio 0.94 at
+64x32 for the proposed cell).  Tiny arrays are excluded by design —
+with a handful of rows the fixed periphery dominates and the flat
+fraction undershoots (ratio 1.7 at 8x4); the note records the measured
+behaviour instead of gating it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.area import cell_area_um2
+from repro.experiments.common import ExperimentResult
+from repro.experiments.designs import cmos_cell, proposed_cell
+from repro.sram.array import ArrayGeometry, plan_array
+
+DEFAULT_ROWS = 64
+DEFAULT_COLUMNS = 32
+
+AREA_TOLERANCE = 0.15
+"""Census/analytic macro-area ratio within [1 - tol, 1 + tol] at >= 64 rows."""
+
+
+def run(rows=DEFAULT_ROWS, columns=DEFAULT_COLUMNS, vdd=0.8) -> ExperimentResult:
+    from repro.sram.compiler import compile_array
+    from repro.sram.compiler.census import census_macro_area
+
+    result = ExperimentResult(
+        "ext_array_area",
+        "Macro area: compiled device census vs flat overhead fraction",
+        [
+            "design",
+            "rows",
+            "cols",
+            "cell (um2)",
+            "analytic macro (um2)",
+            "census macro (um2)",
+            "ratio",
+            "periphery (um2)",
+        ],
+    )
+    geometry = ArrayGeometry(rows=rows, columns=columns)
+    gated = rows >= 64
+    all_ok = True
+    for name, cell in (("proposed", proposed_cell()), ("cmos", cmos_cell())):
+        estimate = plan_array(cell, geometry, vdd)
+        compiled = compile_array(cell, geometry, vdd, scenario="read")
+        areas = census_macro_area(cell, geometry, compiled.census)
+        ratio = areas["total_um2"] / estimate.area_um2
+        if gated:
+            all_ok &= abs(ratio - 1.0) <= AREA_TOLERANCE
+        periphery = (
+            areas["row_periphery_um2"]
+            + areas["column_periphery_um2"]
+            + areas["shared_um2"]
+            + areas["control_io_um2"]
+        )
+        result.add_row(
+            name, rows, columns, cell_area_um2(cell),
+            estimate.area_um2, areas["total_um2"], ratio, periphery,
+        )
+    if gated:
+        result.notes.append(
+            f"census within +/-{AREA_TOLERANCE:.0%} of the flat-fraction "
+            f"macro estimate ({'pass' if all_ok else 'FAIL'})"
+        )
+    else:
+        result.notes.append(
+            f"{rows} rows < 64: fixed periphery dominates tiny arrays "
+            "(measured ratio 1.7 at 8x4), so the tolerance gate applies "
+            "only at the reference geometry"
+        )
+    result.notes.append(
+        "census counts compiled devices per row/column; control/IO enters "
+        "as a documented fraction of the cell array "
+        "(repro.sram.compiler.census.CONTROL_IO_AREA_FRACTION)"
+    )
+    return result

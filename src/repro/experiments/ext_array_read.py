@@ -1,0 +1,119 @@
+"""Extension: compiled-array read path vs the analytic fig11 model.
+
+Fig. 11 reports single-cell delays; the array compiler
+(:mod:`repro.sram.compiler`) re-derives the read access time from a
+*composed* critical path — distributed bitline RC, real decode chain,
+explicit neighbours, replica-timed sense amp — and this experiment
+validates the two sources against each other on the proposed cell.
+
+Documented tolerances (gated by ``scripts/array_smoke.py`` and the
+compiler tests):
+
+* **delay** — the simulated read access (address edge to the
+  ``SENSE_THRESHOLD`` bitline split, same event as the analytic
+  ``decode_time + read_delay``) stays within ``DELAY_TOLERANCE`` of
+  the analytic number.  Measured: ratio 0.88 at the 64x32 reference
+  geometry, 0.75 at tiny smoke arrays — the analytic lumped bitline
+  charges the whole capacitance before any split shows, while the
+  distributed ladder lets the near end split earlier, so simulation
+  sits systematically *below* the analytic bound.
+* **energy** — the whole-path energy (decoder, precharge, replica,
+  sense amp, cell) lands within ``ENERGY_RATIO_BAND`` of the analytic
+  *cell-only* number: the analytic model never claimed to cover the
+  periphery, so this is an order-of-magnitude plausibility band, not
+  an agreement test.  The per-cell pair (``cell E`` column, dedicated
+  rail sources vs the rails-only lumped bench) is reported for
+  diagnosis but not gated: both are sub-femtojoule *net* integrals of
+  cancelling charge flows, and the lumped-vs-distributed topology
+  change legitimately moves them by an order of magnitude.
+
+The write and half-select scenarios ride along so every compiled
+scenario is exercised from the experiments runner; the half-select row
+reports the victim's disturb margin.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.designs import proposed_cell, proposed_read_assist
+from repro.sram.array import ArrayGeometry
+
+DEFAULT_ROWS = (16, 64)
+DEFAULT_COLUMNS = 32
+
+DELAY_TOLERANCE = 0.40
+"""Simulated/analytic read-delay ratio must be within [1 - tol, 1 + tol]."""
+
+ENERGY_RATIO_BAND = (1.0, 120.0)
+"""Whole-path simulated energy over analytic cell-only energy."""
+
+
+def run(rows_list=DEFAULT_ROWS, columns=DEFAULT_COLUMNS, vdd=0.8) -> ExperimentResult:
+    from repro.sram.compiler import compare_array, compile_array, measure_array
+
+    cell = proposed_cell()
+    assist = proposed_read_assist()
+    result = ExperimentResult(
+        "ext_array_read",
+        "Compiled-array access path vs analytic model (proposed cell)",
+        [
+            "rows",
+            "scenario",
+            "unknowns",
+            "sparse",
+            "analytic (ps)",
+            "simulated (ps)",
+            "ratio",
+            "path E (fJ)",
+            "cell E (fJ)",
+            "disturb (mV)",
+        ],
+    )
+    delays_ok = True
+    energies_ok = True
+    for rows in rows_list:
+        geometry = ArrayGeometry(rows=rows, columns=columns)
+        comp = compare_array(cell, geometry, vdd, assist=assist)
+        m = comp.measurement
+        delays_ok &= abs(comp.delay_ratio - 1.0) <= DELAY_TOLERANCE
+        energies_ok &= ENERGY_RATIO_BAND[0] <= comp.energy_ratio <= ENERGY_RATIO_BAND[1]
+        result.add_row(
+            rows, "read", m.unknowns, "yes" if m.sparse_engaged else "no",
+            1e12 * comp.analytic_access_time,
+            1e12 * comp.simulated_access_time,
+            comp.delay_ratio,
+            1e15 * comp.simulated_energy,
+            1e15 * comp.simulated_cell_energy,
+            None,
+        )
+        for scenario in ("write", "half_select"):
+            m = measure_array(compile_array(cell, geometry, vdd, scenario=scenario))
+            result.add_row(
+                rows, scenario, m.unknowns, "yes" if m.sparse_engaged else "no",
+                None,
+                1e12 * m.access_delay if math.isfinite(m.access_delay) else math.inf,
+                None,
+                1e15 * m.energy,
+                1e15 * m.cell_energy,
+                1e3 * m.disturb_margin if math.isfinite(m.disturb_margin) else None,
+            )
+    result.notes.append(
+        f"read delay: simulated within +/-{DELAY_TOLERANCE:.0%} of analytic "
+        f"({'pass' if delays_ok else 'FAIL'}); simulation sits below the "
+        "analytic bound (distributed bitline splits before the lumped one)"
+    )
+    result.notes.append(
+        "path energy within the documented "
+        f"[{ENERGY_RATIO_BAND[0]:g}x, {ENERGY_RATIO_BAND[1]:g}x] band of the "
+        f"cell-only analytic energy ({'pass' if energies_ok else 'FAIL'}): "
+        "the compiled path includes decoder/precharge/replica/sense-amp "
+        "energy the analytic model omits by design"
+    )
+    result.notes.append(
+        "cell E is the accessed cell's dedicated-rail energy — reported for "
+        "diagnosis, not gated (sub-fJ net of cancelling flows; "
+        "topology-sensitive)"
+    )
+    return result

@@ -46,6 +46,8 @@ from typing import Callable
 from repro.experiments import (
     abl_assist_fraction,
     abl_static_vs_dynamic,
+    ext_array_area,
+    ext_array_read,
     ext_energy_scaling,
     ext_half_select,
     ext_miller_coupling,
@@ -115,6 +117,14 @@ REGISTRY: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
     "ext_read_path": (
         ext_read_path.run,
         "extension: minimum sense delay with an offset latch",
+    ),
+    "ext_array_read": (
+        ext_array_read.run,
+        "extension: compiled-array access path vs the analytic fig11 model",
+    ),
+    "ext_array_area": (
+        ext_array_area.run,
+        "extension: macro area from the compiled census vs tab_area's model",
     ),
 }
 

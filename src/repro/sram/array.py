@@ -27,6 +27,7 @@ from repro.analysis.energy import read_energy
 from repro.analysis.power import hold_power
 from repro.analysis.timing import read_delay
 from repro.sram.assist import Assist
+from repro.sram.compiler.bitline import BITLINE_RES_PER_CELL, bitline_ladder
 from repro.sram.testbench import BITLINE_CAPACITANCE
 
 __all__ = ["ArrayGeometry", "ArrayEstimate", "plan_array"]
@@ -64,6 +65,7 @@ class ArrayGeometry:
     fixed_bitline_cap: float = FIXED_BITLINE_CAP
     periphery_area_overhead: float = PERIPHERY_AREA_OVERHEAD
     decode_time: float = DECODE_TIME
+    bitline_res_per_cell: float = BITLINE_RES_PER_CELL
 
     def __post_init__(self) -> None:
         if self.rows < 1 or self.columns < 1:
@@ -74,14 +76,30 @@ class ArrayGeometry:
             raise ValueError("periphery area overhead cannot be negative")
         if self.decode_time < 0.0:
             raise ValueError("decode time cannot be negative")
+        if self.bitline_res_per_cell < 0.0:
+            raise ValueError("bitline resistance cannot be negative")
 
     @property
     def bits(self) -> int:
         return self.rows * self.columns
 
+    def bitline_ladder(self, explicit_rows=(), explicit_cell_cap: float = 0.0):
+        """The per-row RC ladder this geometry compiles to — also the
+        source of truth for :attr:`bitline_capacitance`."""
+        return bitline_ladder(
+            self.rows,
+            self.cell_bitline_cap,
+            self.fixed_bitline_cap,
+            self.bitline_res_per_cell,
+            explicit_rows=tuple(explicit_rows),
+            explicit_cell_cap=explicit_cell_cap,
+        )
+
     @property
     def bitline_capacitance(self) -> float:
-        return self.fixed_bitline_cap + self.rows * self.cell_bitline_cap
+        # Derived from the compiler's RC ladder so the lumped analytic
+        # value and the compiled per-segment values cannot drift apart.
+        return self.bitline_ladder().total_capacitance
 
 
 @dataclass(frozen=True)

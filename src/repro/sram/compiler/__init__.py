@@ -1,0 +1,87 @@
+"""Hierarchical SRAM array netlist compiler.
+
+``repro.sram.array`` plans a macro with closed-form estimates (lumped
+bitline capacitance, fixed periphery overheads, a constant decode
+time).  This package *compiles* the same organization into a
+simulatable netlist, in the style of OpenNVRAM's ``modules/``
+hierarchy:
+
+* :mod:`~repro.sram.compiler.bitline` — the distributed bitline RC
+  ladder.  Its per-segment values are the **single source of truth**
+  for the analytic lumped capacitance:
+  :attr:`repro.sram.array.ArrayGeometry.bitline_capacitance` is derived
+  from :func:`~repro.sram.compiler.bitline.bitline_ladder`, so the
+  closed-form model and the compiled netlist agree by construction.
+* :mod:`~repro.sram.compiler.instance` — node-renaming cell
+  instantiation, so the existing single-cell builders compose into a
+  shared array circuit unchanged.
+* :mod:`~repro.sram.compiler.decoder` — the row-decode chain
+  (predecode NAND + buffer stages + wordline driver) that replaces the
+  analytic ``decode_time`` constant with a simulated delay.
+* :mod:`~repro.sram.compiler.periphery` — precharge devices, write
+  drivers, the replica-bitline timing path, and the sense-amplifier
+  hookup.
+* :mod:`~repro.sram.compiler.column` — the composed critical-path
+  netlist: accessed cell at the far row, explicit half-selected
+  neighbours, folded background rows, loaded wordline.
+* :mod:`~repro.sram.compiler.measure` — transient measurement of the
+  compiled path (read delay decomposition, read/write energy,
+  half-select disturb) plus the analytic-vs-simulated comparison.
+* :mod:`~repro.sram.compiler.sweep` — parameterized array sweeps
+  through the batch engine (checkpoint/resume, parallel workers).
+
+Submodules are imported lazily (PEP 562): ``bitline`` is a leaf that
+:mod:`repro.sram.array` imports at module load, while the composition
+modules import ``ArrayGeometry`` back from ``repro.sram.array`` — the
+lazy exports keep that cycle unwound regardless of which side loads
+first.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BitlineLadder",
+    "bitline_ladder",
+    "CompiledArray",
+    "CompileOptions",
+    "compile_array",
+    "ArrayMeasurement",
+    "ArrayComparison",
+    "measure_array",
+    "compare_array",
+    "instantiate_cell",
+    "PeripheryCensus",
+    "run_array_sweep",
+    "sweep_points",
+]
+
+_EXPORTS = {
+    "BitlineLadder": "repro.sram.compiler.bitline",
+    "bitline_ladder": "repro.sram.compiler.bitline",
+    "CompiledArray": "repro.sram.compiler.column",
+    "CompileOptions": "repro.sram.compiler.column",
+    "compile_array": "repro.sram.compiler.column",
+    "PeripheryCensus": "repro.sram.compiler.census",
+    "ArrayMeasurement": "repro.sram.compiler.measure",
+    "ArrayComparison": "repro.sram.compiler.measure",
+    "measure_array": "repro.sram.compiler.measure",
+    "compare_array": "repro.sram.compiler.measure",
+    "instantiate_cell": "repro.sram.compiler.instance",
+    "run_array_sweep": "repro.sram.compiler.sweep",
+    "sweep_points": "repro.sram.compiler.sweep",
+}
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,136 @@
+"""Distributed bitline RC ladder — the single source of truth for
+bitline loading.
+
+The analytic array model (:mod:`repro.sram.array`) historically lumped
+the bitline into ``fixed_bitline_cap + rows * cell_bitline_cap``.  The
+compiler replaces that with a per-row RC ladder: each row contributes
+one series wire-resistance segment and one capacitance tap (cell drain
+junction + wire).  To keep the two views from drifting apart, the
+analytic lumped value is *derived* from this ladder —
+``ArrayGeometry.bitline_capacitance`` calls :func:`bitline_ladder` and
+reads :attr:`BitlineLadder.total_capacitance`, so any change to how the
+ladder accounts capacitance shows up identically in both the
+closed-form estimates and the compiled netlists.
+
+Rows that the column compiler instantiates as *explicit* bitcells
+already stamp their own drain junction capacitance through
+:meth:`repro.sram.cell.CellBuilder.add_device`; for those rows the
+ladder tap carries only the remainder (wire portion) and records the
+amount delegated to the explicit cell in :attr:`BitlineLadder.explicit_caps`,
+keeping ``total_capacitance`` invariant by construction.
+
+This module is a dependency leaf: it must not import anything from
+``repro.sram`` (``repro.sram.array`` imports it at module load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "BITLINE_RES_PER_CELL",
+    "WORDLINE_CAP_PER_CELL",
+    "WORDLINE_RES_PER_CELL",
+    "BitlineLadder",
+    "bitline_ladder",
+]
+
+#: Bitline wire resistance per cell pitch (ohm).  M2-class local
+#: interconnect at a ~0.5 um cell pitch; small enough that the ladder
+#: is capacitance-dominated, large enough to be visible at 256+ rows.
+BITLINE_RES_PER_CELL = 2.0
+
+#: Wordline polysilicon/metal loading per cell pitch along a row.  The
+#: gate capacitance of the access devices themselves is stamped by the
+#: explicit cells; this is the wire component (F).
+WORDLINE_CAP_PER_CELL = 2.0e-17
+
+#: Wordline wire resistance per cell pitch (ohm) — strapped poly.
+WORDLINE_RES_PER_CELL = 10.0
+
+
+@dataclass(frozen=True)
+class BitlineLadder:
+    """Per-row RC decomposition of one bitline.
+
+    ``segment_caps[i]`` is the capacitance tapped at the ladder node of
+    row ``i`` (row 0 nearest the periphery), ``segment_res[i]`` the
+    series resistance between row ``i``'s node and the previous one.
+    ``fixed_cap`` sits at the periphery end (sense/precharge/column-mux
+    diffusion).  ``explicit_caps`` records, per explicitly
+    instantiated row, the capacitance delegated to that row's own cell
+    netlist instead of being stamped on the ladder.
+    """
+
+    rows: int
+    segment_caps: tuple[float, ...]
+    segment_res: tuple[float, ...]
+    fixed_cap: float
+    explicit_caps: tuple[float, ...] = ()
+
+    @property
+    def total_capacitance(self) -> float:
+        """Lumped single-bitline capacitance (F), invariant under
+        explicit-row delegation: fixed + taps + delegated amounts."""
+        return self.fixed_cap + sum(self.segment_caps) + sum(self.explicit_caps)
+
+    @property
+    def total_resistance(self) -> float:
+        """End-to-end bitline wire resistance (ohm)."""
+        return sum(self.segment_res)
+
+    @property
+    def elmore_delay(self) -> float:
+        """First-order Elmore RC delay from periphery to the far row
+        (s) — the distributed-vs-lumped correction the analytic model
+        cannot see."""
+        delay = 0.0
+        upstream_r = 0.0
+        for res, cap in zip(self.segment_res, self.segment_caps):
+            upstream_r += res
+            delay += upstream_r * cap
+        return delay
+
+
+def bitline_ladder(
+    rows: int,
+    cell_cap: float,
+    fixed_cap: float,
+    res_per_cell: float = BITLINE_RES_PER_CELL,
+    explicit_rows: tuple[int, ...] = (),
+    explicit_cell_cap: float = 0.0,
+) -> BitlineLadder:
+    """Build the per-row RC ladder for one bitline.
+
+    ``explicit_rows`` are row indices the compiler instantiates as full
+    bitcells; ``explicit_cell_cap`` is the drain-side capacitance each
+    such cell stamps by itself (junction caps from ``CellBuilder``).
+    Those rows' ladder taps are reduced by that amount (floored at
+    zero) and the delegated value recorded so ``total_capacitance``
+    equals ``fixed_cap + rows * cell_cap`` regardless of how many rows
+    are explicit.
+    """
+    if rows <= 0:
+        raise ValueError(f"rows must be positive, got {rows}")
+    if cell_cap < 0.0 or fixed_cap < 0.0 or res_per_cell < 0.0:
+        raise ValueError("bitline ladder values must be non-negative")
+    explicit = set(explicit_rows)
+    unknown = explicit - set(range(rows))
+    if unknown:
+        raise ValueError(f"explicit rows {sorted(unknown)} outside 0..{rows - 1}")
+    segment_caps = []
+    explicit_caps = []
+    for row in range(rows):
+        if row in explicit:
+            delegated = min(max(explicit_cell_cap, 0.0), cell_cap)
+            segment_caps.append(cell_cap - delegated)
+            explicit_caps.append(delegated)
+        else:
+            segment_caps.append(cell_cap)
+    return BitlineLadder(
+        rows=rows,
+        segment_caps=tuple(segment_caps),
+        segment_res=tuple(res_per_cell for _ in range(rows)),
+        fixed_cap=fixed_cap,
+        explicit_caps=tuple(explicit_caps),
+    )

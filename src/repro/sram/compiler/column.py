@@ -1,0 +1,375 @@
+"""Critical-path column compiler: the composed, simulatable array.
+
+:func:`compile_array` assembles the worst-case access path of an
+``ArrayGeometry`` into one netlist:
+
+* the **accessed cell** at the far end of both the bitline ladder
+  (last row) and the wordline ladder (last column) — the longest RC
+  path the decoder and the sense amp ever see;
+* ``explicit_neighbours`` unselected cells on the same column (their
+  wordline held inactive) — real leakage/charge-sharing loads at the
+  far end; the remaining rows fold into the bitline ladder's per-row
+  taps, with the explicit rows' junction capacitance delegated to the
+  instantiated cells so the total stays exactly the analytic lumped
+  value (see :mod:`repro.sram.compiler.bitline`);
+* one **half-selected cell** on the same row at the near wordline tap
+  (columns > 1): shared wordline, its own precharged-then-floating
+  bitline pair — the disturb victim in the ``half_select`` scenario
+  and a realistic wordline load otherwise;
+* the **row-decode chain** driving a coarsened wordline RC ladder;
+* **precharge** devices released just before the address edge;
+* scenario periphery: the sense amplifier timed by a **replica
+  bitline** (or an ideal pulse) for reads, **write drivers** for
+  writes and half-select disturbs.
+
+The compiled :class:`CompiledArray` carries a standard
+:class:`~repro.sram.testbench.Testbench`, so the existing analysis
+layer (energy integration, verify audits, telemetry) applies
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.netlist import Circuit
+from repro.sram.array import ArrayGeometry
+from repro.sram.assist import AccessWindow, Assist
+from repro.sram.cell import JUNCTION_CAP_PER_UM
+from repro.sram.compiler.bitline import (
+    WORDLINE_CAP_PER_CELL,
+    WORDLINE_RES_PER_CELL,
+    BitlineLadder,
+)
+from repro.sram.compiler.census import PeripheryCensus
+from repro.sram.compiler.decoder import DecoderPath, DecoderSizing, attach_row_decoder
+from repro.sram.compiler.instance import instantiate_cell
+from repro.sram.compiler.periphery import (
+    ReplicaPath,
+    attach_precharge,
+    attach_replica_bitline,
+    attach_write_drivers,
+)
+from repro.sram.senseamp import SenseAmpSizing, attach_sense_amplifier
+from repro.sram.testbench import DEFAULT_ACCESS_START, Testbench
+
+__all__ = ["SCENARIOS", "CompileOptions", "CompiledArray", "compile_array"]
+
+SCENARIOS = ("read", "write", "half_select")
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Knobs of the critical-path compilation."""
+
+    explicit_neighbours: int = 2
+    """Unselected same-column cells instantiated as real bitcells."""
+
+    sense: str = "replica"
+    """Read sense-enable source: "replica" (replica-bitline timed),
+    "fixed" (ideal pulse at ``sense_fire_delay``), or "none" (bitline
+    split only, no sense amp)."""
+
+    t_addr: float = DEFAULT_ACCESS_START
+    """Address-edge time; also the access window start."""
+
+    duration: float = 4.0e-9
+    """Access window length (wordline stays decoded this long)."""
+
+    precharge_lead: float = 1.0e-10
+    """Precharge releases this long before the address edge."""
+
+    wordline_segments: int = 8
+    """Wordline RC ladder coarsening (at most one segment per column)."""
+
+    sense_fire_delay: float = 1.5e-9
+    """Sense-enable delay after the address edge in "fixed" mode."""
+
+    decoder: DecoderSizing = field(default_factory=DecoderSizing)
+    senseamp: SenseAmpSizing = field(default_factory=SenseAmpSizing)
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("replica", "fixed", "none"):
+            raise ValueError(f"unknown sense mode {self.sense!r}")
+        if self.explicit_neighbours < 0:
+            raise ValueError("explicit_neighbours cannot be negative")
+        if self.t_addr <= 0.0 or self.duration <= 0.0:
+            raise ValueError("t_addr and duration must be positive")
+
+
+@dataclass(frozen=True)
+class CompiledArray:
+    """A compiled critical path, ready to simulate."""
+
+    cell: object
+    geometry: ArrayGeometry
+    vdd: float
+    scenario: str
+    bench: Testbench
+    ladder: BitlineLadder
+    decoder: DecoderPath
+    replica: ReplicaPath | None
+    census: PeripheryCensus
+    probes: dict[str, str]
+    options: CompileOptions
+    assist: Assist | None = None
+
+    @property
+    def circuit(self) -> Circuit:
+        return self.bench.circuit
+
+    @property
+    def unknown_count(self) -> int:
+        return self.circuit.unknown_count
+
+
+def compile_array(
+    cell,
+    geometry: ArrayGeometry,
+    vdd: float,
+    scenario: str = "read",
+    assist: Assist | None = None,
+    options: CompileOptions | None = None,
+) -> CompiledArray:
+    """Compile the worst-case access path of ``cell`` in ``geometry``."""
+    if scenario not in SCENARIOS:
+        raise ValueError(f"unknown scenario {scenario!r}; expected one of {SCENARIOS}")
+    options = options or CompileOptions()
+    _check_cell(cell)
+    _check_assist(assist, scenario)
+    rows, columns = geometry.rows, geometry.columns
+
+    circuit = Circuit(f"{cell.name} {rows}x{columns} array {scenario} path")
+    ics: dict[str, float] = {}
+    probes: dict[str, str] = {}
+
+    # -- supplies ------------------------------------------------------------
+    circuit.add_voltage_source("vp", "vp", "0", vdd)  # periphery supply
+    circuit.add_voltage_source("vddc", "vddc", "0", vdd)  # unselected cell rails
+    circuit.add_voltage_source("vgnd", "vgnd", "0", 0.0)
+    window = AccessWindow(options.t_addr, options.t_addr + options.duration)
+    # The accessed cell always gets dedicated rail sources: rail-based
+    # assists are column-gated (they reach only the accessed cell — the
+    # half-selected victim staying on the plain rails is exactly the
+    # hazard the half_select scenario measures), and dedicated sources
+    # let the measurement separate the cell's rail energy from the
+    # periphery's.
+    if assist is not None and assist.target in ("vdd", "vgnd"):
+        circuit.add_voltage_source("sel_vddc", "sel_vddc", "0", assist.vdd_rail(vdd, window))
+        circuit.add_voltage_source("sel_vgnd", "sel_vgnd", "0", assist.gnd_rail(vdd, window))
+    else:
+        circuit.add_voltage_source("sel_vddc", "sel_vddc", "0", vdd)
+        circuit.add_voltage_source("sel_vgnd", "sel_vgnd", "0", 0.0)
+    sel_rails = {"vddc": "sel_vddc", "vgnd": "sel_vgnd"}
+    ics["sel_vddc"], ics["sel_vgnd"] = vdd, 0.0
+    ics["vp"], ics["vddc"], ics["vgnd"] = vdd, vdd, 0.0
+
+    # -- row decoder + wordline RC ladder ------------------------------------
+    wl_off_level = cell.wl_inactive(vdd)
+    active_low = cell.wl_active(vdd) < wl_off_level
+    decoder = attach_row_decoder(
+        circuit, "vp", vdd, options.t_addr, active_low,
+        out_node="wl_0", sizing=options.decoder,
+    )
+    ics.update(decoder.initial_conditions)
+    segments = max(1, min(options.wordline_segments, columns))
+    cells_per_segment = columns / segments
+    wl_far = "wl_0"
+    for s in range(segments):
+        node = f"wl_{s + 1}"
+        circuit.add_resistor(wl_far, node, WORDLINE_RES_PER_CELL * cells_per_segment)
+        circuit.add_capacitor(
+            node, "0", WORDLINE_CAP_PER_CELL * cells_per_segment, name=f"wl.c{s}"
+        )
+        ics[node] = wl_off_level
+        wl_far = node
+    circuit.add_voltage_source("wl_off", "wl_off", "0", wl_off_level)
+    ics["wl_off"] = wl_off_level
+    probes["wl_near"], probes["wl_far"] = "wl_0", wl_far
+
+    # -- bitline ladders with explicit far-end rows ---------------------------
+    n_explicit = min(options.explicit_neighbours, rows - 1)
+    explicit_rows = tuple(range(rows - 1 - n_explicit, rows))
+    junction = JUNCTION_CAP_PER_UM * cell.sizing.access_width
+    ladder = geometry.bitline_ladder(
+        explicit_rows=explicit_rows, explicit_cell_cap=junction
+    )
+    precharge_level = vdd
+    if assist is not None:
+        precharge_level = assist.bitline_level(vdd, vdd)
+    for name in ("bl", "blb"):
+        prev = f"{name}_0"
+        circuit.add_capacitor(prev, "0", ladder.fixed_cap, name=f"{name}.fixed")
+        ics[prev] = precharge_level
+        for row in range(rows):
+            node = f"{name}_{row + 1}"
+            circuit.add_resistor(prev, node, ladder.segment_res[row])
+            if ladder.segment_caps[row] > 0.0:
+                circuit.add_capacitor(
+                    node, "0", ladder.segment_caps[row], name=f"{name}.c{row}"
+                )
+            ics[node] = precharge_level
+            prev = node
+    probes["bl_near"], probes["blb_near"] = "bl_0", "blb_0"
+    probes["bl_far"], probes["blb_far"] = f"bl_{rows}", f"blb_{rows}"
+
+    # -- cells ---------------------------------------------------------------
+    storage = cell._storage_ic(vdd)
+    sel = instantiate_cell(
+        circuit, cell, prefix="sel_",
+        node_map={
+            "bl": f"bl_{rows}", "blb": f"blb_{rows}", "wl": wl_far, **sel_rails,
+        },
+    )
+    ics[sel["q"]], ics[sel["qb"]] = storage["q"], storage["qb"]
+    probes["q"], probes["qb"] = sel["q"], sel["qb"]
+
+    for k, row in enumerate(r for r in explicit_rows if r != rows - 1):
+        nodes = instantiate_cell(
+            circuit, cell, prefix=f"n{k}_",
+            node_map={
+                "bl": f"bl_{row + 1}", "blb": f"blb_{row + 1}",
+                "wl": "wl_off", "vddc": "vddc", "vgnd": "vgnd",
+            },
+        )
+        ics[nodes["q"]], ics[nodes["qb"]] = storage["q"], storage["qb"]
+
+    half_selected = columns > 1
+    if half_selected:
+        # Same row, near wordline tap, own (floating) precharged bitlines.
+        for name in ("hs_bl", "hs_blb"):
+            circuit.add_capacitor(
+                name, "0", geometry.bitline_capacitance, name=f"{name}.lump"
+            )
+            ics[name] = precharge_level
+        hs = instantiate_cell(
+            circuit, cell, prefix="hs_",
+            node_map={
+                "bl": "hs_bl", "blb": "hs_blb", "wl": "wl_1",
+                "vddc": "vddc", "vgnd": "vgnd",
+            },
+        )
+        ics[hs["q"]], ics[hs["qb"]] = storage["q"], storage["qb"]
+        probes["hs_q"], probes["hs_qb"] = hs["q"], hs["qb"]
+
+    # -- periphery -----------------------------------------------------------
+    release = options.t_addr - options.precharge_lead
+    precharged = ["bl_0", "blb_0"]
+    if half_selected:
+        precharged += ["hs_bl", "hs_blb"]
+    replica: ReplicaPath | None = None
+    sa_widths: list[float] = []
+    shared_widths: list[float] = []
+
+    if scenario == "read" and options.sense == "replica":
+        replica = attach_replica_bitline(
+            circuit, cell, geometry, vdd,
+            wordline_node="wl_0", precharge_level=precharge_level, vdd_node="vp",
+        )
+        ics.update(replica.initial_conditions)
+        precharged.append(replica.rbl_near)
+        shared_widths = list(replica.device_widths)
+        probes["enable"] = replica.enable_node
+        probes["rbl"] = replica.rbl_near
+
+    pc_widths = attach_precharge(
+        circuit, tuple(precharged), vdd, precharge_level, release,
+    )
+    ics["prech"] = 0.0
+
+    if scenario == "read":
+        if options.sense != "none":
+            sz = options.senseamp
+            attach_sense_amplifier(
+                circuit, "bl_0", "blb_0", vdd,
+                fire_time=options.t_addr + options.sense_fire_delay,
+                sizing=sz,
+                enable_node=replica.enable_node if replica else None,
+                sample_node=replica.sample_node if replica else None,
+            )
+            ics["sa_out"] = ics["sa_outb"] = precharge_level
+            ics["sa_tail"] = vdd
+            ics["sa_vdd"] = vdd
+            if replica is None:
+                ics["sa_en"], ics["sa_smp"] = 0.0, vdd
+            probes["sa_out"], probes["sa_outb"] = "sa_out", "sa_outb"
+            sa_widths = [
+                sz.pass_gate, sz.pass_gate,
+                sz.latch_pmos, sz.latch_pmos,
+                sz.latch_nmos * (1.0 + sz.mismatch), sz.latch_nmos,
+                sz.footer,
+            ]
+    else:
+        high = None
+        if assist is not None and assist.target == "bl":
+            high = assist.bitline_level(vdd, vdd)
+        attach_write_drivers(
+            circuit, "bl_0", "blb_0", vdd,
+            t_on=options.t_addr, pulse_width=options.duration, high_level=high,
+        )
+        ics["wd_bl"] = ics["wd_blb"] = vdd
+
+    census = PeripheryCensus(
+        row_device_widths=decoder.device_widths,
+        column_device_widths=tuple(pc_widths) + tuple(sa_widths),
+        shared_device_widths=tuple(shared_widths),
+    )
+
+    bench = Testbench(
+        circuit=circuit,
+        initial_conditions=ics,
+        window=window,
+        one_node=sel["q"],
+        zero_node=sel["qb"],
+        read_bitline="blb_0",
+        read_reference="bl_0",
+        precharge_level=precharge_level,
+        notes={
+            "t_addr": options.t_addr,
+            "n_explicit": float(n_explicit),
+            "unknowns": float(circuit.unknown_count),
+        },
+    )
+    return CompiledArray(
+        cell=cell,
+        geometry=geometry,
+        vdd=vdd,
+        scenario=scenario,
+        bench=bench,
+        ladder=ladder,
+        decoder=decoder,
+        replica=replica,
+        census=census,
+        probes=probes,
+        options=options,
+        assist=assist,
+    )
+
+
+def _check_cell(cell) -> None:
+    if hasattr(cell, "read_buffer_width") or "7T" in getattr(cell, "name", ""):
+        raise NotImplementedError(
+            "the 7T cell's decoupled read port needs its own column "
+            "topology; compile_array supports two-bitline 6T cells"
+        )
+    if not hasattr(cell, "_build_core"):
+        raise TypeError(
+            f"{type(cell).__name__} has no _build_core hook; the compiler "
+            "composes 6T-style two-bitline cells"
+        )
+
+
+def _check_assist(assist: Assist | None, scenario: str) -> None:
+    if assist is None:
+        return
+    expected = "read" if scenario == "read" else "write"
+    if assist.kind != expected:
+        raise ValueError(
+            f"{assist.name} is a {assist.kind} assist; the {scenario} "
+            f"scenario needs a {expected} assist"
+        )
+    if assist.target == "wl":
+        raise NotImplementedError(
+            "wordline-level assists move the decoder's driver rail; the "
+            "compiled decode chain does not model a boosted rail yet"
+        )

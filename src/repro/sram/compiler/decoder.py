@@ -1,0 +1,129 @@
+"""Row-decode chain: predecode NAND plus a scaled wordline driver.
+
+The analytic array model charges every access a flat
+:data:`repro.sram.array.DECODE_TIME`; the compiler replaces that with a
+real gate chain simulated in the same transient as the cells it drives:
+an address-edge Pulse feeds a predecode NAND2 (second input tied to the
+periphery supply — the "enable" leg of a real predecoder), followed by
+a geometrically up-sized inverter chain whose last stage is the
+wordline driver.  The chain's inverter parity is chosen from the
+wordline polarity so the idle/active levels match the cell's
+convention: active-low wordlines (the proposed inward-pTFET cell) get
+an even inverter count, active-high (CMOS-style) an odd one.
+
+All gates are built through :class:`repro.sram.cell.CellBuilder`, so
+every stage carries its gate and junction capacitances — the decode
+delay is loaded by real parasitics plus whatever wordline RC ladder the
+column compiler hangs on the output node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import Pulse
+from repro.devices.library import nmos_device, pmos_device
+from repro.sram.cell import CellBuilder
+
+__all__ = ["DecoderSizing", "DecoderPath", "attach_row_decoder"]
+
+
+@dataclass(frozen=True)
+class DecoderSizing:
+    """Gate widths (um) and the per-stage up-sizing of the driver chain."""
+
+    nand_nmos: float = 0.2
+    nand_pmos: float = 0.3
+    inv_nmos: float = 0.2
+    inv_pmos: float = 0.3
+    stage_scale: float = 3.0
+
+    def __post_init__(self) -> None:
+        for name in ("nand_nmos", "nand_pmos", "inv_nmos", "inv_pmos"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} must be positive")
+        if self.stage_scale < 1.0:
+            raise ValueError("stage_scale must be >= 1")
+
+
+@dataclass(frozen=True)
+class DecoderPath:
+    """One compiled row-decode path."""
+
+    addr_node: str
+    out_node: str
+    stages: int
+    """Inverter stages after the NAND (2 for active-low, 3 for active-high)."""
+
+    initial_conditions: dict[str, float]
+    """Static pre-address levels of every decoder node."""
+
+    device_widths: tuple[float, ...]
+    """All gate widths, for the area census."""
+
+
+def attach_row_decoder(
+    circuit: Circuit,
+    vdd_node: str,
+    vdd: float,
+    t_addr: float,
+    active_low: bool,
+    out_node: str = "wl_drv",
+    sizing: DecoderSizing | None = None,
+    prefix: str = "dec_",
+) -> DecoderPath:
+    """Build the decode chain driving ``out_node``.
+
+    The address input steps 0 → ``vdd`` at ``t_addr`` (the selected
+    row's predecode line going true).  ``active_low`` is the cell's
+    wordline convention (:meth:`~repro.sram.base.SixTCellBase.wl_active`
+    at 0 V means active-low).
+    """
+    sizing = sizing or DecoderSizing()
+    nmos = nmos_device()
+    pmos = pmos_device()
+    builder = CellBuilder(circuit)
+    widths: list[float] = []
+
+    addr = f"{prefix}addr"
+    circuit.add_voltage_source(
+        f"{prefix}addr_src", addr, "0",
+        Pulse(base=0.0, active=vdd, t_start=t_addr, width=1e-6),
+    )
+
+    # Predecode NAND2: inputs (addr, enable); enable is tied to the
+    # periphery supply, so the NAND reduces to an inverter on addr with
+    # the series-stack resistance of a real predecoder.
+    nand_out = f"{prefix}nand"
+    mid = f"{prefix}mid"
+    builder.add_device(f"{prefix}nand_pu_a", nand_out, addr, vdd_node, pmos, "p", sizing.nand_pmos)
+    builder.add_device(f"{prefix}nand_pu_en", nand_out, vdd_node, vdd_node, pmos, "p", sizing.nand_pmos)
+    builder.add_device(f"{prefix}nand_pd_a", nand_out, addr, mid, nmos, "n", sizing.nand_nmos)
+    builder.add_device(f"{prefix}nand_pd_en", mid, vdd_node, "0", nmos, "n", sizing.nand_nmos)
+    widths += [sizing.nand_pmos, sizing.nand_pmos, sizing.nand_nmos, sizing.nand_nmos]
+
+    # Driver chain.  Even inverter count keeps the NAND's idle-high
+    # level (active-low wordline); odd inverts it (active-high).
+    stages = 2 if active_low else 3
+    level = vdd  # static level at the chain input (addr low -> NAND high)
+    ics = {addr: 0.0, nand_out: vdd, mid: 0.0}
+    node_in = nand_out
+    for k in range(stages):
+        node_out = out_node if k == stages - 1 else f"{prefix}i{k + 1}"
+        scale = sizing.stage_scale ** (k + 1)
+        wn, wp = sizing.inv_nmos * scale, sizing.inv_pmos * scale
+        builder.add_device(f"{prefix}inv{k + 1}_pu", node_out, node_in, vdd_node, pmos, "p", wp)
+        builder.add_device(f"{prefix}inv{k + 1}_pd", node_out, node_in, "0", nmos, "n", wn)
+        widths += [wp, wn]
+        level = 0.0 if level > 0.5 * vdd else vdd
+        ics[node_out] = level
+        node_in = node_out
+
+    return DecoderPath(
+        addr_node=addr,
+        out_node=out_node,
+        stages=stages,
+        initial_conditions=ics,
+        device_widths=tuple(widths),
+    )

@@ -1,0 +1,87 @@
+"""Cell instantiation into a shared array circuit.
+
+The single-cell builders (:meth:`repro.sram.base.SixTCellBase._build_core`)
+write canonical node names — ``q``, ``qb``, ``bl``, ``blb``, ``wl``,
+``vddc``, ``vgnd`` — directly into their private circuit.  To compose
+many cells into one array netlist we run the same ``_build_core``
+against an :class:`InstanceBuilder`: a :class:`~repro.sram.cell.CellBuilder`
+whose node and device names are rewritten through an instance prefix
+and an explicit node map (bitlines to ladder taps, wordline to the
+decoder's RC ladder, rails to shared or per-cell sources).  The cell
+classes themselves are untouched — the array reuses exactly the
+transistor-plus-parasitics construction the single-cell benches and
+the Monte-Carlo loop already exercise.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import _GROUND_NAMES, Circuit
+from repro.devices.charges import LinearCharge
+from repro.sram.cell import STORAGE_NODE_WIRE_CAP, CellBuilder
+
+__all__ = ["InstanceBuilder", "instantiate_cell", "CANONICAL_NODES"]
+
+#: Canonical 6T port/internal node names a cell core may reference.
+CANONICAL_NODES = ("q", "qb", "bl", "blb", "wl", "vddc", "vgnd")
+
+
+class InstanceBuilder(CellBuilder):
+    """CellBuilder that renames nodes/devices into an instance scope.
+
+    Nodes listed in ``node_map`` are connected to the mapped array
+    nodes; every other node (the storage pair, any cell-internal
+    node) is prefixed so instances cannot collide.  Ground passes
+    through unmapped.
+    """
+
+    def __init__(self, circuit: Circuit, prefix: str, node_map: dict[str, str]):
+        super().__init__(circuit)
+        self.prefix = prefix
+        self._map = dict(node_map)
+
+    def map_node(self, name: str) -> str:
+        if name in _GROUND_NAMES:
+            return name
+        return self._map.get(name, f"{self.prefix}{name}")
+
+    def add_device(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        model,
+        polarity: str,
+        width_um: float,
+    ) -> None:
+        super().add_device(
+            f"{self.prefix}{name}",
+            self.map_node(drain),
+            self.map_node(gate),
+            self.map_node(source),
+            model,
+            polarity,
+            width_um,
+        )
+
+    def add_storage_wire_caps(self, nodes: tuple[str, ...] = ("q", "qb")) -> None:
+        for node in nodes:
+            mapped = self.map_node(node)
+            self.circuit.add_capacitor(
+                mapped, "0", LinearCharge(STORAGE_NODE_WIRE_CAP), name=f"{mapped}.wire"
+            )
+
+
+def instantiate_cell(
+    circuit: Circuit,
+    cell,
+    prefix: str,
+    node_map: dict[str, str],
+) -> dict[str, str]:
+    """Build one cell instance into ``circuit``; returns the node map
+    for every canonical node (mapped or prefixed) so callers can probe
+    and set initial conditions on the instance's nodes."""
+    builder = InstanceBuilder(circuit, prefix, node_map)
+    cell._build_core(builder)
+    builder.add_storage_wire_caps()
+    return {name: builder.map_node(name) for name in CANONICAL_NODES}

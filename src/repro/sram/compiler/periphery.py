@@ -1,0 +1,250 @@
+"""Column periphery: precharge, write drivers, replica-bitline timing.
+
+Everything here hangs off the *near* (periphery) end of the bitline
+ladders built by :mod:`repro.sram.compiler.column`:
+
+* **Precharge** — pMOS devices holding the bitlines at the precharge
+  level until just before the wordline fires (gate released by a
+  shared ``prech`` pulse), replacing the ideal initial-condition-only
+  precharge of the single-cell benches.
+* **Write drivers** — the selected column's bitline pulled to the
+  write data through a driver on-resistance, the complement held high.
+* **Replica bitline** — a mirrored single-ended ladder discharged by
+  ``n_replica`` hardwired replica cells (real bitcells of the same
+  type storing the always-discharge state, wordline tied to the real
+  decoded wordline), feeding a skewed inverter whose output is the
+  sense-enable.  Because the replica column is the same RC ladder with
+  the same cells, the sense fire time tracks the data bitlines across
+  geometry, V_DD, and corner — the OpenNVRAM ``replica_bitline``
+  scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.waveforms import Pulse
+from repro.devices.library import nmos_device, pmos_device
+from repro.sram.cell import CellBuilder
+from repro.sram.compiler.instance import instantiate_cell
+
+__all__ = [
+    "PRECHARGE_WIDTH",
+    "WRITE_DRIVER_RESISTANCE",
+    "ReplicaPath",
+    "attach_precharge",
+    "attach_write_drivers",
+    "attach_replica_bitline",
+    "replica_cell_count",
+]
+
+PRECHARGE_WIDTH = 0.3
+"""Precharge pMOS width (um) per bitline."""
+
+WRITE_DRIVER_RESISTANCE = 1.0e3
+"""Write-driver on-resistance (ohm) between the data source and the
+bitline — sets a realistic drive edge instead of an ideal clamp."""
+
+#: Skewed sense-enable inverter widths: strong pull-up / weak pull-down
+#: puts the switching threshold high, so the enable fires after a
+#: modest replica-bitline droop (~25-30 % of V_DD).
+SENSE_INV_PMOS = 0.6
+SENSE_INV_NMOS = 0.1
+
+
+def replica_cell_count(rows: int) -> int:
+    """Replica cells hardwired to discharge the replica bitline.
+
+    ``N`` replicas make the replica line fall ~``N``x faster than a
+    single cell, firing the sense when the worst-case data bitline has
+    developed roughly ``V_DD * fraction / N`` of split — the standard
+    replica ratio.  Scales with rows so the tracking holds from the
+    4-row smoke arrays to 256+ rows.
+    """
+    return max(2, rows // 32)
+
+
+def attach_precharge(
+    circuit: Circuit,
+    bitlines: tuple[str, ...],
+    vdd: float,
+    precharge_level: float,
+    release_time: float,
+    gate_node: str = "prech",
+    supply_node: str = "vp_pre",
+) -> list[float]:
+    """Precharge pMOS per bitline; released at ``release_time``.
+
+    Returns the added device widths (area census).  The precharge
+    supply is its own source so a ``bl_lowering`` read assist is one
+    level change, not a topology change.
+    """
+    builder = CellBuilder(circuit)
+    pmos = pmos_device()
+    circuit.add_voltage_source(supply_node, supply_node, "0", precharge_level)
+    circuit.add_voltage_source(
+        f"{gate_node}_src", gate_node, "0",
+        Pulse(base=0.0, active=vdd, t_start=release_time, width=1e-6),
+    )
+    widths = []
+    for bl in bitlines:
+        builder.add_device(f"pc_{bl}", bl, gate_node, supply_node, pmos, "p", PRECHARGE_WIDTH)
+        widths.append(PRECHARGE_WIDTH)
+    return widths
+
+
+def attach_write_drivers(
+    circuit: Circuit,
+    bl: str,
+    blb: str,
+    vdd: float,
+    t_on: float,
+    pulse_width: float,
+    high_level: float | None = None,
+) -> None:
+    """Drive a write-0 onto ``bl`` (and hold ``blb`` high) through the
+    driver on-resistance, starting at ``t_on``.
+
+    Matches the single-cell :meth:`write_testbench` data convention
+    (bl low / blb high flips the canonical q = 1 state); ``high_level``
+    is the ``bl_raising`` write-assist knob.
+    """
+    high = vdd if high_level is None else high_level
+    circuit.add_voltage_source(
+        "wd_bl", "wd_bl", "0",
+        Pulse(base=vdd, active=0.0, t_start=t_on, width=pulse_width),
+    )
+    circuit.add_resistor("wd_bl", bl, WRITE_DRIVER_RESISTANCE)
+    circuit.add_voltage_source(
+        "wd_blb", "wd_blb", "0",
+        Pulse(base=vdd, active=high, t_start=t_on, width=pulse_width)
+        if high != vdd
+        else vdd,
+    )
+    circuit.add_resistor("wd_blb", blb, WRITE_DRIVER_RESISTANCE)
+
+
+@dataclass(frozen=True)
+class ReplicaPath:
+    """The compiled replica-bitline timing path."""
+
+    rbl_near: str
+    """Near-end replica bitline node (the sense inverter's input)."""
+
+    enable_node: str
+    """Active-high sense-enable output."""
+
+    sample_node: str
+    """Enable complement — gates the sense-amp sampling pass gates, so
+    sampling releases exactly when the latch fires."""
+
+    n_replica: int
+    initial_conditions: dict[str, float]
+    device_widths: tuple[float, ...]
+
+
+def attach_replica_bitline(
+    circuit: Circuit,
+    cell,
+    geometry,
+    vdd: float,
+    wordline_node: str,
+    precharge_level: float,
+    vdd_node: str = "vp",
+    prefix: str = "rbl",
+) -> ReplicaPath:
+    """Build the replica column and its sense-enable inverter.
+
+    The replica cells are full bitcell instances of ``cell`` storing the
+    canonical q = 1 state with their *discharging* bitline (``blb``, the
+    qb = 0 side) bussed onto the replica ladder — a replica read always
+    discharges, and through exactly the access path a real read uses.
+    Their wordline is ``wordline_node`` (the decoder output), so the
+    enable timing includes the decode edge.
+    """
+    rows = geometry.rows
+    n_replica = replica_cell_count(rows)
+    replica_rows = tuple(range(rows - n_replica, rows))
+    junction_cap = _cell_bitline_junction_cap(cell)
+    ladder = geometry.bitline_ladder(
+        explicit_rows=replica_rows, explicit_cell_cap=junction_cap
+    )
+
+    ics: dict[str, float] = {}
+    widths: list[float] = []
+    # The single-ended ladder: node 0 at the periphery.
+    prev = f"{prefix}_0"
+    circuit.add_capacitor(prev, "0", ladder.fixed_cap, name=f"{prefix}.fixed")
+    ics[prev] = precharge_level
+    for row in range(rows):
+        node = f"{prefix}_{row + 1}"
+        circuit.add_resistor(prev, node, ladder.segment_res[row])
+        if ladder.segment_caps[row] > 0.0:
+            circuit.add_capacitor(
+                node, "0", ladder.segment_caps[row], name=f"{prefix}.c{row}"
+            )
+        ics[node] = precharge_level
+        prev = node
+    far = prev
+
+    storage_ic = cell._storage_ic(vdd)
+    for k, row in enumerate(replica_rows):
+        # Dump node for the non-discharging bitline: per-replica, with
+        # a token wire cap so it is not a floating island.
+        dump = f"{prefix}_dump{k}"
+        circuit.add_capacitor(dump, "0", 1e-17, name=f"{dump}.wire")
+        nodes = instantiate_cell(
+            circuit,
+            cell,
+            prefix=f"{prefix}_c{k}_",
+            node_map={
+                "blb": far,
+                "bl": dump,
+                "wl": wordline_node,
+                "vddc": "vddc",
+                "vgnd": "vgnd",
+            },
+        )
+        ics[nodes["q"]] = storage_ic["q"]
+        ics[nodes["qb"]] = storage_ic["qb"]
+        ics[dump] = precharge_level
+        widths += [
+            cell.sizing.pulldown_width * 2,
+            cell.sizing.pullup_width * 2,
+            cell.sizing.access_width * 2,
+        ]
+
+    # Skewed inverter on the near end: output rises as the replica
+    # line droops past the (high) switching threshold.
+    enable = f"{prefix}_sen"
+    near = f"{prefix}_0"
+    builder = CellBuilder(circuit)
+    builder.add_device(f"{prefix}_inv_pu", enable, near, vdd_node, pmos_device(), "p", SENSE_INV_PMOS)
+    builder.add_device(f"{prefix}_inv_pd", enable, near, "0", nmos_device(), "n", SENSE_INV_NMOS)
+    widths += [SENSE_INV_PMOS, SENSE_INV_NMOS]
+    ics[enable] = 0.0
+
+    # Enable complement for the sampling pass gates.
+    sample = f"{prefix}_smp"
+    builder.add_device(f"{prefix}_smp_pu", sample, enable, vdd_node, pmos_device(), "p", 0.3)
+    builder.add_device(f"{prefix}_smp_pd", sample, enable, "0", nmos_device(), "n", 0.2)
+    widths += [0.3, 0.2]
+    ics[sample] = vdd
+
+    return ReplicaPath(
+        rbl_near=f"{prefix}_0",
+        enable_node=enable,
+        sample_node=sample,
+        n_replica=n_replica,
+        initial_conditions=ics,
+        device_widths=tuple(widths),
+    )
+
+
+def _cell_bitline_junction_cap(cell) -> float:
+    """Drain-side capacitance one explicit cell stamps on its bitline
+    (the access device's junction cap), delegated out of the ladder tap."""
+    from repro.sram.cell import JUNCTION_CAP_PER_UM
+
+    return JUNCTION_CAP_PER_UM * cell.sizing.access_width

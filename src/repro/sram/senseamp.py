@@ -59,6 +59,8 @@ def attach_sense_amplifier(
     fire_time: float,
     sizing: SenseAmpSizing | None = None,
     sample_until: float | None = None,
+    enable_node: str | None = None,
+    sample_node: str | None = None,
 ) -> tuple[str, str]:
     """Add the latch to an existing read circuit.
 
@@ -66,6 +68,13 @@ def attach_sense_amplifier(
     ``sa_out`` regenerates toward the side whose bitline stayed high.
     The pass gates sample the bitlines until ``sample_until`` (defaults
     to the fire time), then the footer fires and the latch regenerates.
+
+    ``enable_node`` replaces the ideal sense-enable pulse with an
+    existing circuit node (the array compiler's replica-bitline timing
+    path drives the footer gate directly); ``fire_time`` is then only
+    used for the default sampling cut-off.  ``sample_node`` likewise
+    replaces the ideal sampling pulse with an existing (active-high
+    sample, i.e. enable-complement) node.
     """
     sizing = sizing or SenseAmpSizing()
     sample_until = fire_time if sample_until is None else sample_until
@@ -74,12 +83,14 @@ def attach_sense_amplifier(
 
     circuit.add_voltage_source("sa_vdd", "sa_vdd", "0", vdd)
     # Pass gates sample the bitlines while the latch is off.
-    circuit.add_voltage_source(
-        "sa_sample", "sa_smp", "0",
-        Pulse(base=vdd, active=0.0, t_start=sample_until, width=1e-6),
-    )
-    circuit.add_transistor("sa_pg1", "bl", "sa_smp", "sa_out", nmos, "n", sizing.pass_gate)
-    circuit.add_transistor("sa_pg2", "blb", "sa_smp", "sa_outb", nmos, "n", sizing.pass_gate)
+    if sample_node is None:
+        sample_node = "sa_smp"
+        circuit.add_voltage_source(
+            "sa_sample", "sa_smp", "0",
+            Pulse(base=vdd, active=0.0, t_start=sample_until, width=1e-6),
+        )
+    circuit.add_transistor("sa_pg1", bl, sample_node, "sa_out", nmos, "n", sizing.pass_gate)
+    circuit.add_transistor("sa_pg2", blb, sample_node, "sa_outb", nmos, "n", sizing.pass_gate)
 
     # Cross-coupled latch core.  The worst-case offset widens the
     # pull-down that fights the correct decision (sa_out should stay
@@ -93,11 +104,13 @@ def attach_sense_amplifier(
     circuit.add_transistor("sa_pd2", "sa_outb", "sa_out", "sa_tail", nmos, "n", sizing.latch_nmos)
 
     # Footer: floats the tail until sense-enable fires.
-    circuit.add_voltage_source(
-        "sa_enable", "sa_en", "0",
-        Pulse(base=0.0, active=vdd, t_start=fire_time, width=1e-6),
-    )
-    circuit.add_transistor("sa_ft", "sa_tail", "sa_en", "0", nmos, "n", sizing.footer)
+    if enable_node is None:
+        enable_node = "sa_en"
+        circuit.add_voltage_source(
+            "sa_enable", "sa_en", "0",
+            Pulse(base=0.0, active=vdd, t_start=fire_time, width=1e-6),
+        )
+    circuit.add_transistor("sa_ft", "sa_tail", enable_node, "0", nmos, "n", sizing.footer)
 
     circuit.add_capacitor("sa_out", "0", 2e-16, name="sa_out.load")
     circuit.add_capacitor("sa_outb", "0", 2e-16, name="sa_outb.load")

@@ -1,0 +1,57 @@
+"""Tests for the compiled-array validation experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ext_array_area, ext_array_read
+from repro.experiments.runner import REGISTRY
+
+
+class TestArrayRead:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Small geometry keeps the transients fast; the reference-
+        # geometry tolerances are exercised by scripts/array_smoke.py.
+        return ext_array_read.run(rows_list=(4,), columns=2)
+
+    def test_every_scenario_reported(self, result):
+        scenarios = result.column("scenario")
+        assert scenarios == ["read", "write", "half_select"]
+
+    def test_read_ratio_reported(self, result):
+        h = result.header
+        read_row = result.rows[0]
+        assert 0.3 < read_row[h.index("ratio")] < 2.0
+        assert read_row[h.index("simulated (ps)")] > 0.0
+
+    def test_half_select_has_disturb_margin(self, result):
+        h = result.header
+        hs_row = result.rows[2]
+        assert hs_row[h.index("disturb (mV)")] > 100.0
+
+    def test_tolerances_documented(self, result):
+        notes = " ".join(result.notes)
+        assert "read delay" in notes
+        assert "band" in notes
+
+    def test_registered(self):
+        assert "ext_array_read" in REGISTRY
+
+
+class TestArrayArea:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_array_area.run(rows=64, columns=32)
+
+    def test_census_within_tolerance_of_analytic(self, result):
+        h = result.header
+        for row in result.rows:
+            assert abs(row[h.index("ratio")] - 1.0) <= ext_array_area.AREA_TOLERANCE
+
+    def test_small_arrays_not_gated(self):
+        result = ext_array_area.run(rows=8, columns=4)
+        assert any("only at the reference geometry" in n for n in result.notes)
+
+    def test_registered(self):
+        assert "ext_array_area" in REGISTRY

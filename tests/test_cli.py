@@ -154,3 +154,51 @@ class TestServeCLIOffline:
              "--socket", str(tmp_path / "s.sock"), "--store", str(tmp_path)]
         ) == 2
         assert "unknown spec" in capsys.readouterr().err
+
+
+class TestArrayCLI:
+    def test_build_prints_structure(self, capsys):
+        assert main(["array", "build", "--rows", "8", "--columns", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "unknowns" in out
+        assert "census" in out
+        assert "replica" in out
+
+    def test_measure_half_select_with_profile_manifest(self, tmp_path, capsys):
+        code = main(
+            ["array", "measure", "--rows", "4", "--columns", "2",
+             "--scenario", "half_select", "--profile",
+             "--output-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "disturb margin" in out
+        assert (tmp_path / "array_measure_manifest.json").exists()
+        assert main(["diag", str(tmp_path)]) == 0
+        assert "array_measure" in capsys.readouterr().out
+
+    def test_sense_none_skips_the_sense_amp(self, capsys):
+        assert main(
+            ["array", "build", "--rows", "4", "--columns", "2",
+             "--sense", "none"]
+        ) == 0
+        assert "replica" not in capsys.readouterr().out
+
+    def test_corner_error_reported(self, capsys):
+        assert main(
+            ["array", "build", "--design", "cmos", "--corner", "ss"]
+        ) == 2
+        assert "corner" in capsys.readouterr().err
+
+    def test_sweep_checkpoints_and_resumes(self, tmp_path, capsys):
+        argv = ["array", "sweep", "--rows-list", "4", "--columns", "2",
+                "--output-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert "4" in capsys.readouterr().out
+        assert (tmp_path / "checkpoints" / "array_sweep.jsonl").exists()
+        assert main(argv + ["--resume"]) == 0
+        assert "1 resumed" in capsys.readouterr().out
+
+    def test_bad_rows_list_is_an_error(self, capsys):
+        assert main(["array", "sweep", "--rows-list", "4,x"]) == 2
+        assert "rows-list" in capsys.readouterr().err
